@@ -1,0 +1,334 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus ablations and real-concurrency microbenchmarks.
+//
+// The table benchmarks regenerate the full experiment per iteration; run
+// them with a single iteration and -v to see the reproduced tables next
+// to the paper's published values:
+//
+//	go test -bench 'Table|Figure|Stagger|Ablation' -benchtime 1x -v .
+//
+// Virtual (simulated testbed) seconds are reported as custom metrics;
+// the wall-clock ns/op of a table benchmark only measures how fast the
+// simulator regenerates it.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/matmul"
+	"repro/internal/matrix"
+	"repro/internal/navp"
+	"repro/internal/stencil"
+	"repro/internal/summa"
+	"repro/internal/trace"
+)
+
+// reportTable logs the regenerated table alongside the paper's values
+// and reports headline metrics.
+func reportTable(b *testing.B, t *bench.Table, headline string) {
+	b.Helper()
+	b.Logf("\n%s", t.Format())
+	if ref := bench.PaperReference(t.Name); ref != nil {
+		b.Logf("paper reference (time s / speedup):")
+		for _, pr := range ref {
+			line := fmt.Sprintf("  N=%-5d seq %.2f", pr.N, pr.SeqActual)
+			for _, col := range t.Columns {
+				if e, ok := pr.Entries[col]; ok {
+					line += fmt.Sprintf(" | %s %.2f/%.2f", col, e.Seconds, e.Speedup)
+				}
+			}
+			b.Logf("%s", line)
+		}
+	}
+	if len(t.Rows) > 0 {
+		last := t.Rows[len(t.Rows)-1]
+		if e, ok := t.Lookup(last.N, headline); ok {
+			b.ReportMetric(e.Speedup, "speedup_"+fmt.Sprint(last.N))
+			b.ReportMetric(e.Seconds, "virtual_s")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: the 1-D NavP stages and the
+// ScaLAPACK stand-in on 3 PEs, N = 1536..6144.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table1(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t, "NavP (1D phase)")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the out-of-core N=9216 run on 8
+// PEs — the thrashing sequential baseline versus NavP 1-D DSC.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table2(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t, "NavP (1D DSC)")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: Gentleman's Algorithm, the 2-D
+// NavP stages, and the ScaLAPACK stand-in on 2×2 PEs, N = 1024..5120.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table3(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t, "NavP (2D phase)")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: the same columns on 3×3 PEs,
+// N = 1536..6144.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table4(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, t, "NavP (2D phase)")
+	}
+}
+
+// benchFigure renders a measured space-time diagram for the given stage
+// — the counterpart of the paper's schematic figures.
+func benchFigure(b *testing.B, stage matmul.Stage, n, block, p int) {
+	for i := 0; i < b.N; i++ {
+		rec := trace.New()
+		res, err := matmul.Run(stage, matmul.Config{
+			N: n, BS: block, P: p, Phantom: true,
+			HW: machine.SunBlade100(), NavP: navp.DefaultConfig(), Tracer: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := rec.Stats()
+		b.ReportMetric(res.Seconds, "virtual_s")
+		b.ReportMetric(float64(st.Hops), "hops")
+		if i == 0 {
+			b.Logf("\n%s: %.2fs on %d PEs, %d hops, %.1f MB carried\n%s",
+				stage, res.Seconds, res.PEs, st.Hops, float64(st.HopBytes)/1e6,
+				rec.SpaceTime(res.PEs, 16))
+		}
+	}
+}
+
+// BenchmarkFigure1 reproduces Figure 1's four schedules as measured
+// space-time diagrams (sequential, DSC, pipelining, phase shifting).
+func BenchmarkFigure1(b *testing.B) {
+	for _, st := range []matmul.Stage{matmul.Sequential, matmul.DSC1D, matmul.Pipeline1D, matmul.Phase1D} {
+		st := st
+		b.Run(st.String(), func(b *testing.B) { benchFigure(b, st, 768, 128, 3) })
+	}
+}
+
+// BenchmarkFigure4 reproduces the 1-D DSC movement of Figure 4.
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, matmul.DSC1D, 768, 128, 3) }
+
+// BenchmarkFigure6 reproduces the 1-D pipelining of Figure 6.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, matmul.Pipeline1D, 768, 128, 3) }
+
+// BenchmarkFigure8 reproduces the 1-D phase shifting of Figure 8.
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, matmul.Phase1D, 768, 128, 3) }
+
+// BenchmarkFigure10 reproduces the 2-D DSC of Figure 10.
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, matmul.DSC2D, 768, 128, 3) }
+
+// BenchmarkFigure12 reproduces the 2-D pipelining of Figure 12.
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, matmul.Pipeline2D, 768, 128, 3) }
+
+// BenchmarkFigure14 reproduces the 2-D full DPC of Figure 14.
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, matmul.Phase2D, 768, 128, 3) }
+
+// BenchmarkStaggering runs the §5(3) staggering experiment: half-duplex
+// communication phases for forward vs reverse staggering.
+func BenchmarkStaggering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.FormatStagger(2, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", out)
+		}
+		rep, err := bench.Stagger(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.ForwardMax), "forward_phases")
+		b.ReportMetric(float64(rep.ReverseMax), "reverse_phases")
+	}
+}
+
+// BenchmarkAblationPointerSwap measures Gentleman with and without the
+// pointer-swapping optimization of §4.
+func BenchmarkAblationPointerSwap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationPointerSwap(bench.Options{}, 3072, 128, 3, 80e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[1].Seconds/res[0].Seconds, "slowdown")
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatAblation("pointer swapping (Gentleman, N=3072, 3×3)", res))
+		}
+	}
+}
+
+// BenchmarkAblationOverlap measures the §5(1) discussion: the
+// straightforward MPI structure, the hand-overlapped variant, and NavP
+// phase shifting, which gets the overlap from the runtime.
+func BenchmarkAblationOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationOverlap(bench.Options{}, 3072, 128, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].Seconds/res[2].Seconds, "navp_vs_mpi")
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatAblation("communication/computation overlap (N=3072, 3×3)", res))
+		}
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps the algorithmic block order (§3.6's
+// granularity trade-off) for NavP 2-D phase shifting.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationBlockSize(bench.Options{}, 3072, 3, []int{64, 128, 256, 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatAblation("block size (NavP 2D phase, N=3072, 3×3)", res))
+		}
+	}
+}
+
+// BenchmarkAblationStateBytes sweeps the per-hop migration overhead of
+// the NavP runtime.
+func BenchmarkAblationStateBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationStateBytes(bench.Options{}, 3072, 128, 3, []int64{64, 256, 1024, 4096, 16384})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatAblation("per-hop thread state (NavP 2D pipeline, N=3072, 3×3)", res))
+		}
+	}
+}
+
+// BenchmarkStencil measures the methodology on the second case study:
+// Gauss-Seidel relaxation, sequential vs DSC vs pipelined sweeps (an
+// extension beyond the paper's tables; see internal/stencil).
+func BenchmarkStencil(b *testing.B) {
+	cfg := stencil.Config{
+		Rows: 3*512 + 2, Cols: 4096, Iters: 9, P: 3,
+		HW: machine.SunBlade100(), NavP: navp.DefaultConfig(), Seed: 5,
+	}
+	for _, m := range []stencil.Method{stencil.Sequential, stencil.DSC, stencil.Pipelined} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := stencil.Run(m, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Seconds, "virtual_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCyclicDistribution compares the contiguous block
+// distribution against ScaLAPACK's block-cyclic one in the SUMMA
+// stand-in.
+func BenchmarkAblationCyclicDistribution(b *testing.B) {
+	for _, cyclic := range []bool{false, true} {
+		cyclic := cyclic
+		name := "contiguous"
+		if cyclic {
+			name = "block-cyclic"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := summa.Run(summa.Config{
+					N: 3072, BS: 128, PR: 3, PC: 3, Cyclic: cyclic,
+					Phantom: true, HW: machine.SunBlade100(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Seconds, "virtual_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeterogeneity slows one PE and compares how the
+// lockstep MPI structure and NavP's run-time scheduling degrade.
+func BenchmarkAblationHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationHeterogeneity(bench.Options{}, 3072, 128, 3, 1.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[1].Seconds/res[0].Seconds, "mpi_slowdown")
+		b.ReportMetric(res[3].Seconds/res[2].Seconds, "navp_slowdown")
+		if i == 0 {
+			b.Logf("\n%s", bench.FormatAblation("heterogeneity (N=3072, 3×3, one PE 1.5× slower)", res))
+		}
+	}
+}
+
+// BenchmarkRealBackend runs the NavP stages with real goroutines and
+// real arithmetic on the host machine — genuine concurrent execution of
+// the same programs the simulator times.
+func BenchmarkRealBackend(b *testing.B) {
+	for _, stage := range []matmul.Stage{matmul.Pipeline1D, matmul.Phase2D} {
+		stage := stage
+		b.Run(stage.String(), func(b *testing.B) {
+			cfg := matmul.Config{N: 192, BS: 32, P: 3, Real: true, Seed: 3}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := matmul.Run(stage, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.C == nil {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDgemmKernel measures the raw block multiply-accumulate the
+// whole case study is built on.
+func BenchmarkDgemmKernel(b *testing.B) {
+	const bs = 128
+	a := matrix.NewBlock(0, 0, bs, bs)
+	c := matrix.NewBlock(0, 0, bs, bs)
+	bb := matrix.NewBlock(0, 0, bs, bs)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) - 3
+		bb.Data[i] = float64(i%5) - 2
+	}
+	b.SetBytes(3 * bs * bs * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.MulAdd(c, a, bb)
+	}
+	b.ReportMetric(2*float64(bs)*float64(bs)*float64(bs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflop/s")
+}

@@ -1,0 +1,143 @@
+// Command navpmm runs one stage of the incrementally parallelized matrix
+// multiplication — or one of the message-passing baselines — and reports
+// its simulated execution time, optionally verifying the product against
+// the sequential reference.
+//
+// Usage:
+//
+//	navpmm -stage phase2d -n 1536 -block 128 -p 3
+//	navpmm -stage gentleman -n 1024 -block 128 -p 2 -verify
+//	navpmm -stage dsc1d -n 9216 -block 128 -p 8        # Table 2's DSC run
+//	navpmm -stage seq -n 9216 -block 128 -paged        # Table 2's thrashing run
+//	navpmm -stage pipe2d -n 384 -block 128 -p 3 -trace # space-time diagram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gentleman"
+	"repro/internal/machine"
+	"repro/internal/matmul"
+	"repro/internal/matrix"
+	"repro/internal/navp"
+	"repro/internal/summa"
+	"repro/internal/trace"
+)
+
+var stages = map[string]matmul.Stage{
+	"seq":     matmul.Sequential,
+	"dsc1d":   matmul.DSC1D,
+	"pipe1d":  matmul.Pipeline1D,
+	"phase1d": matmul.Phase1D,
+	"dsc2d":   matmul.DSC2D,
+	"pipe2d":  matmul.Pipeline2D,
+	"phase2d": matmul.Phase2D,
+}
+
+func main() {
+	stage := flag.String("stage", "phase2d", "seq|dsc1d|pipe1d|phase1d|dsc2d|pipe2d|phase2d|gentleman|cannon|overlap|summa")
+	n := flag.Int("n", 1536, "matrix order")
+	block := flag.Int("block", 128, "algorithmic block order")
+	p := flag.Int("p", 3, "PEs per network dimension")
+	verify := flag.Bool("verify", false, "compute with real data and check against the sequential reference")
+	paged := flag.Bool("paged", false, "route sequential block accesses through the LRU pager")
+	traceFlag := flag.Bool("trace", false, "print a space-time diagram (NavP stages only)")
+	csvPath := flag.String("csv", "", "write the raw trace events to this CSV file (NavP stages only)")
+	seed := flag.Int64("seed", 42, "input generator seed")
+	flag.Parse()
+
+	hw := machine.SunBlade100()
+	name := strings.ToLower(*stage)
+
+	switch name {
+	case "gentleman", "cannon", "overlap":
+		variant := map[string]gentleman.Variant{
+			"gentleman": gentleman.Gentleman,
+			"cannon":    gentleman.Cannon,
+			"overlap":   gentleman.Overlap,
+		}[name]
+		cfg := gentleman.Config{N: *n, BS: *block, P: *p, Phantom: !*verify, HW: hw, Seed: *seed}
+		res, err := gentleman.Run(variant, cfg)
+		fail(err)
+		report(variant.String(), res.Seconds, *n, *p**p)
+		if *verify {
+			a, b := gentleman.Inputs(cfg)
+			check(res.C, a, b)
+		}
+	case "summa":
+		cfg := summa.Config{N: *n, BS: *block, PR: *p, PC: *p, Phantom: !*verify, HW: hw, Seed: *seed}
+		res, err := summa.Run(cfg)
+		fail(err)
+		report("SUMMA (ScaLAPACK stand-in)", res.Seconds, *n, *p**p)
+		if *verify {
+			a, b := summa.Inputs(cfg)
+			check(res.C, a, b)
+		}
+	default:
+		st, ok := stages[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown stage %q\n", *stage)
+			os.Exit(2)
+		}
+		cfg := matmul.Config{
+			N: *n, BS: *block, P: *p, Phantom: !*verify, Paged: *paged,
+			HW: hw, NavP: navp.DefaultConfig(), Seed: *seed,
+		}
+		var rec *trace.Recorder
+		if *traceFlag || *csvPath != "" {
+			rec = trace.New()
+			cfg.Tracer = rec
+		}
+		res, err := matmul.Run(st, cfg)
+		fail(err)
+		report(st.String(), res.Seconds, *n, res.PEs)
+		if *verify {
+			a, b := matmul.Inputs(cfg)
+			check(res.C, a, b)
+		}
+		if rec != nil {
+			st := rec.Stats()
+			fmt.Printf("trace: %d agents, %d hops, %.1f MB moved, %.2fs computing, %.2fs waiting\n",
+				st.Agents, st.Hops, float64(st.HopBytes)/1e6, st.ComputeTime, st.WaitTime)
+			if *traceFlag {
+				fmt.Print(rec.SpaceTime(res.PEs, 24))
+			}
+			if *csvPath != "" {
+				f, err := os.Create(*csvPath)
+				fail(err)
+				fail(rec.WriteCSV(f))
+				fail(f.Close())
+				fmt.Printf("trace events written to %s\n", *csvPath)
+			}
+		}
+	}
+}
+
+func report(name string, seconds float64, n, pes int) {
+	seq := 2 * float64(n) * float64(n) * float64(n) / machine.SunBlade100().CPURate
+	fmt.Printf("%-28s N=%-6d PEs=%-3d time %10.2fs   speedup %5.2f (vs %0.2fs model sequential)\n",
+		name, n, pes, seconds, seq/seconds, seq)
+}
+
+func check(c, a, b *matrix.Dense) {
+	if c == nil {
+		fmt.Println("verify: no result matrix")
+		os.Exit(1)
+	}
+	want := matrix.Mul(a, b)
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		fmt.Printf("verify: FAILED, max |Δ| = %g\n", d)
+		os.Exit(1)
+	}
+	fmt.Println("verify: OK (matches sequential reference)")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

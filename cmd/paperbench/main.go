@@ -1,0 +1,137 @@
+// Command paperbench regenerates the evaluation tables and supporting
+// experiments of "Incremental Parallelization Using Navigational
+// Programming: A Case Study" (ICPP 2005) on the simulated testbed.
+//
+// Usage:
+//
+//	paperbench -table all          # Tables 1–4
+//	paperbench -table 3 -compare   # Table 3 with the paper's values
+//	paperbench -stagger            # §5(3) staggering phase counts
+//	paperbench -ablations          # pointer-swap / overlap / block-size
+//	paperbench -quick              # truncated tables (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 1, 2, 3, 4, or all")
+	compare := flag.Bool("compare", false, "print the paper's published values next to the measured ones")
+	quick := flag.Bool("quick", false, "truncate each table to its two smallest problem sizes")
+	stagger := flag.Bool("stagger", false, "run the §5(3) staggering phase-count analysis")
+	ablations := flag.Bool("ablations", false, "run the ablation experiments")
+	report := flag.Bool("report", false, "emit the full markdown reproduction report (tables, staggering, ablations)")
+	flag.Parse()
+
+	if *table == "" && !*stagger && !*ablations && !*report {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := bench.Options{Quick: *quick}
+
+	if *report {
+		out, err := bench.Report(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	runners := map[string]func(bench.Options) (*bench.Table, error){
+		"1": bench.Table1, "2": bench.Table2, "3": bench.Table3, "4": bench.Table4,
+	}
+	var order []string
+	switch *table {
+	case "":
+	case "all":
+		order = []string{"1", "2", "3", "4"}
+	default:
+		if _, ok := runners[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		order = []string{*table}
+	}
+	for _, id := range order {
+		t, err := runners[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.Format())
+		if *compare {
+			printComparison(t)
+		}
+		fmt.Println()
+	}
+
+	if *stagger {
+		out, err := bench.FormatStagger(2, 16)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *ablations {
+		runAblations(opt)
+	}
+}
+
+func printComparison(t *bench.Table) {
+	ref := bench.PaperReference(t.Name)
+	if ref == nil {
+		return
+	}
+	fmt.Printf("%s — paper's published values:\n", t.Name)
+	for _, pr := range ref {
+		var cells []string
+		for _, col := range t.Columns {
+			if e, ok := pr.Entries[col]; ok {
+				cells = append(cells, fmt.Sprintf("%s %.2f (%.2f)", col, e.Seconds, e.Speedup))
+			}
+		}
+		fmt.Printf("  N=%-5d seq %.2f | %s\n", pr.N, pr.SeqActual, strings.Join(cells, " | "))
+	}
+}
+
+func runAblations(opt bench.Options) {
+	type ab struct {
+		title string
+		run   func() ([]bench.AblationResult, error)
+	}
+	for _, a := range []ab{
+		{"Pointer swapping vs local copies (Gentleman, N=3072, 3×3)", func() ([]bench.AblationResult, error) {
+			return bench.AblationPointerSwap(opt, 3072, 128, 3, 80e6)
+		}},
+		{"Communication/computation overlap (N=3072, 3×3)", func() ([]bench.AblationResult, error) {
+			return bench.AblationOverlap(opt, 3072, 128, 3)
+		}},
+		{"Algorithmic block size (NavP 2D phase, N=3072, 3×3)", func() ([]bench.AblationResult, error) {
+			return bench.AblationBlockSize(opt, 3072, 3, []int{64, 128, 256, 512})
+		}},
+		{"Per-hop thread state (NavP 2D pipeline, N=3072, 3×3)", func() ([]bench.AblationResult, error) {
+			return bench.AblationStateBytes(opt, 3072, 128, 3, []int64{64, 256, 1024, 4096, 16384})
+		}},
+		{"Heterogeneous cluster: one PE 1.5× slower (N=3072, 3×3)", func() ([]bench.AblationResult, error) {
+			return bench.AblationHeterogeneity(opt, 3072, 128, 3, 1.5)
+		}},
+	} {
+		res, err := a.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.title, err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatAblation(a.title, res))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,93 @@
+// Command spacetime renders the paper's figures from measured runs: the
+// space-time diagrams of Figure 1 (sequential, DSC, pipelining, phase
+// shifting) and the data-layout / movement views of Figures 4–14, all at
+// a small problem size where the structure is visible.
+//
+// Usage:
+//
+//	spacetime -figure 1     # Figure 1(a)-(d): the four schedules
+//	spacetime -figure 4     # 1-D DSC layout and movement   (also 6, 8)
+//	spacetime -figure 10    # 2-D DSC layout and movement   (also 12, 14)
+//	spacetime -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/matmul"
+	"repro/internal/navp"
+	"repro/internal/trace"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "paper figure to reproduce: 1, 4, 6, 8, 10, 12, or 14")
+	all := flag.Bool("all", false, "render every figure")
+	n := flag.Int("n", 384, "matrix order (small, so the structure is visible)")
+	block := flag.Int("block", 128, "algorithmic block order")
+	p := flag.Int("p", 3, "PEs per dimension")
+	flag.Parse()
+
+	figures := map[int][]matmul.Stage{
+		1:  {matmul.Sequential, matmul.DSC1D, matmul.Pipeline1D, matmul.Phase1D},
+		4:  {matmul.DSC1D},
+		6:  {matmul.Pipeline1D},
+		8:  {matmul.Phase1D},
+		10: {matmul.DSC2D},
+		12: {matmul.Pipeline2D},
+		14: {matmul.Phase2D},
+	}
+	var order []int
+	if *all {
+		order = []int{1, 4, 6, 8, 10, 12, 14}
+	} else if stages, ok := figures[*figure]; ok && len(stages) > 0 {
+		order = []int{*figure}
+	} else {
+		fmt.Fprintln(os.Stderr, "pass -figure 1|4|6|8|10|12|14 or -all")
+		os.Exit(2)
+	}
+
+	labels := map[matmul.Stage]string{
+		matmul.Sequential: "(a) sequential",
+		matmul.DSC1D:      "(b) DSC",
+		matmul.Pipeline1D: "(c) pipelining",
+		matmul.Phase1D:    "(d) phase shifting",
+	}
+
+	for _, fig := range order {
+		fmt.Printf("=== Figure %d ===\n", fig)
+		for _, stage := range figures[fig] {
+			rec := trace.New()
+			cfg := matmul.Config{
+				N: *n, BS: *block, P: *p, Phantom: true,
+				HW: machine.SunBlade100(), NavP: navp.DefaultConfig(), Tracer: rec,
+			}
+			res, err := matmul.Run(stage, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			title := stage.String()
+			if fig == 1 {
+				title = labels[stage]
+			}
+			fmt.Printf("--- %s: %.2fs on %d PE(s) ---\n", title, res.Seconds, res.PEs)
+			fmt.Print(rec.SpaceTime(res.PEs, 18))
+			if fig != 1 {
+				st := rec.Stats()
+				fmt.Printf("movement: %d hops, %.2f MB carried\n", st.Hops, float64(st.HopBytes)/1e6)
+				m := rec.HopMatrix(res.PEs)
+				for from := range m {
+					for to, bytes := range m[from] {
+						if bytes > 0 {
+							fmt.Printf("  PE%d → PE%d: %.2f MB\n", from, to, float64(bytes)/1e6)
+						}
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

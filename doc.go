@@ -1,0 +1,11 @@
+// Package repro is a from-scratch reproduction of "Incremental
+// Parallelization Using Navigational Programming: A Case Study"
+// (Pan, Zhang, Asuncion, Lai, Dillencourt, Bic — ICPP 2005).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable programs under cmd/ and examples/, and the
+// benchmark harness that regenerates every table and figure of the
+// paper's evaluation in bench_test.go at this root:
+//
+//	go test -bench 'Table|Figure' -benchtime 1x -v .
+package repro

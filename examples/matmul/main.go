@@ -1,0 +1,80 @@
+// The paper's case study, end to end: incremental parallelization of
+// matrix multiplication through all six transformation stages (§3),
+// with every intermediate program verified against the sequential
+// reference and timed on the simulated testbed.
+//
+// This is the walkthrough behind Tables 1, 3, and 4: each stage is a
+// small mechanical step from its predecessor, each runs correctly, and
+// each improves (or at worst matches) the one before — the central
+// claim of the methodology.
+//
+// Run with:
+//
+//	go run ./examples/matmul            # verify + time at N=768
+//	go run ./examples/matmul -n 1536    # the paper's smallest size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/matmul"
+	"repro/internal/matrix"
+	"repro/internal/navp"
+)
+
+func main() {
+	n := flag.Int("n", 768, "matrix order (multiple of block·p)")
+	block := flag.Int("block", 128, "algorithmic block order")
+	p := flag.Int("p", 3, "PEs per network dimension")
+	flag.Parse()
+
+	baseCfg := matmul.Config{
+		N: *n, BS: *block, P: *p,
+		HW:   machine.SunBlade100(),
+		NavP: navp.DefaultConfig(),
+		Seed: 7,
+	}
+
+	// The ground truth both for correctness and for speedups.
+	a, b := matmul.Inputs(baseCfg)
+	want := matrix.Mul(a, b)
+
+	fmt.Printf("Incremental parallelization of %d×%d matrix multiplication "+
+		"(block %d, %d PEs per dimension)\n\n", *n, *n, *block, *p)
+	fmt.Printf("%-22s %-6s %12s %10s   %s\n", "stage", "PEs", "time", "speedup", "transformation applied")
+
+	descriptions := map[matmul.Stage]string{
+		matmul.Sequential: "— (the starting point, Fig 2)",
+		matmul.DSC1D:      "DSC: distribute data, insert hops (Fig 5)",
+		matmul.Pipeline1D: "Pipelining: one carrier per row (Fig 7)",
+		matmul.Phase1D:    "Phase shifting: staggered entry (Fig 9)",
+		matmul.DSC2D:      "DSC again, second dimension (Fig 11)",
+		matmul.Pipeline2D: "Pipelining in both dimensions (Fig 13)",
+		matmul.Phase2D:    "Phase shifting in both dimensions (Fig 15)",
+	}
+
+	var seqTime float64
+	for _, stage := range matmul.Stages {
+		res, err := matmul.Run(stage, baseCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if d := res.C.MaxAbsDiff(want); d > 1e-9 {
+			fmt.Fprintf(os.Stderr, "%v: WRONG RESULT (max |Δ| = %g)\n", stage, d)
+			os.Exit(1)
+		}
+		if stage == matmul.Sequential {
+			seqTime = res.Seconds
+		}
+		fmt.Printf("%-22s %-6d %11.2fs %9.2f✓   %s\n",
+			stage, res.PEs, res.Seconds, seqTime/res.Seconds, descriptions[stage])
+	}
+
+	fmt.Println("\nEvery stage produced the exact same product (✓ = verified).")
+	fmt.Println("Each intermediate program is production-usable — stop whenever")
+	fmt.Println("the speedup is good enough; that is the point of the methodology.")
+}

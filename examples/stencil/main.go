@@ -1,0 +1,77 @@
+// Gauss-Seidel relaxation parallelized with the NavP transformations —
+// the methodology beyond matrix multiplication.
+//
+// Successive relaxation sweeps carry true dependences, so this workload
+// exercises a different corner of the methodology than the matmul case
+// study: DSC applies directly, Pipelining applies across *iterations*
+// (sweep t+1 chases sweep t one chunk behind, synchronized by node-local
+// events and backward-flowing GhostCarrier messengers), and Phase
+// shifting is illegal — the dependence checker proves it, see the
+// internal/stencil tests.
+//
+// Run with:
+//
+//	go run ./examples/stencil
+//	go run ./examples/stencil -rows 1538 -cols 4096 -iters 9 -p 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/navp"
+	"repro/internal/stencil"
+)
+
+func main() {
+	rows := flag.Int("rows", 770, "grid rows incl. boundary (rows-2 divisible by p)")
+	cols := flag.Int("cols", 2048, "grid columns incl. boundary")
+	iters := flag.Int("iters", 6, "Gauss-Seidel sweeps")
+	p := flag.Int("p", 3, "PEs")
+	flag.Parse()
+
+	cfg := stencil.Config{
+		Rows: *rows, Cols: *cols, Iters: *iters, P: *p,
+		HW:   machine.SunBlade100(),
+		NavP: navp.DefaultConfig(),
+		Seed: 5,
+	}
+	want := stencil.Reference(cfg)
+
+	fmt.Printf("Gauss-Seidel relaxation: %d×%d grid, %d sweeps, %d PEs\n\n",
+		*rows, *cols, *iters, *p)
+	fmt.Printf("%-16s %-5s %10s %9s   %s\n", "method", "PEs", "time", "speedup", "note")
+
+	var seq float64
+	for _, m := range []stencil.Method{stencil.Sequential, stencil.DSC, stencil.Pipelined} {
+		res, err := stencil.Run(m, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if d := res.Grid.MaxAbsDiff(want); d != 0 {
+			fmt.Fprintf(os.Stderr, "%v: result differs by %g\n", m, d)
+			os.Exit(1)
+		}
+		if m == stencil.Sequential {
+			seq = res.Seconds
+		}
+		pes := *p
+		if m == stencil.Sequential {
+			pes = 1
+		}
+		note := map[stencil.Method]string{
+			stencil.Sequential: "the starting point",
+			stencil.DSC:        "one migrating sweep; result bit-exact",
+			stencil.Pipelined:  "sweeps overlap across PEs; result bit-exact",
+		}[m]
+		fmt.Printf("%-16s %-5d %9.2fs %8.2f×   %s\n", m, pes, res.Seconds, seq/res.Seconds, note)
+	}
+
+	fmt.Println("\nPhase shifting is NOT applied: a sweep cannot enter the grid")
+	fmt.Println("mid-domain (each chunk depends on its predecessor), and the")
+	fmt.Println("dependence checker rejects the rotated plan — the methodology's")
+	fmt.Println("safety check working as intended.")
+}

@@ -1,0 +1,101 @@
+// Mechanical parallelization of an arbitrary computation with the
+// transformation framework (internal/core) — the paper's methodology
+// applied beyond matrix multiplication.
+//
+// The workload is a generic data-parallel sweep: R independent tasks,
+// each touching C column-partitioned data sets in order (think: R
+// records flowing through C pipeline stations whose reference data is
+// too big to replicate). Starting from the sequential item list, the
+// program below mechanically derives, executes, and times all four
+// schedules of the paper's Figure 1:
+//
+//	(a) sequential         — one thread, one PE
+//	(b) DSC                — one migrating thread over C PEs
+//	(c) + Pipelining       — one thread per record, staggered
+//	(d) + Phase shifting   — threads enter at distinct PEs
+//
+// Before each run, core.Check statically verifies that the transformed
+// plan preserves every data dependence of the sequential program — the
+// safety net that makes the steps "mechanical and straightforward to
+// apply". Run with:
+//
+//	go run ./examples/transform
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+func main() {
+	const (
+		rows  = 12   // records
+		cols  = 4    // stations / PEs
+		flops = 55e6 // ~0.5 s of work per visit on the modeled CPU
+		carry = 4096 // bytes each thread carries between stations
+	)
+
+	makeItems := func() []core.Item {
+		return core.GridSweep(rows, cols, flops, func(col int) int { return col })
+	}
+	groupByRow := func(it core.Item) string {
+		var i, j int
+		fmt.Sscanf(it.ID, "it(%d,%d)", &i, &j)
+		return fmt.Sprintf("record%d", i)
+	}
+
+	plans := []struct {
+		name string
+		pes  int
+		plan *core.Plan
+	}{
+		{"(a) sequential", 1,
+			core.DSC("sweep", core.GridSweep(rows, cols, flops, func(int) int { return 0 }), carry)},
+		{"(b) DSC", cols,
+			core.DSC("sweep", makeItems(), carry)},
+		{"(c) + pipelining", cols,
+			core.Pipeline(core.DSC("sweep", makeItems(), carry), groupByRow)},
+		{"(d) + phase shifting", cols,
+			core.PhaseShift(core.Pipeline(core.DSC("sweep", makeItems(), carry), groupByRow), nil)},
+	}
+
+	fmt.Printf("Figure 1, measured: %d records × %d stations, %.1f Mflop per visit\n\n",
+		rows, cols, flops/1e6)
+	fmt.Printf("%-22s %-9s %-9s %10s %9s\n", "schedule", "threads", "PEs", "makespan", "speedup")
+
+	var seq float64
+	for _, p := range plans {
+		// The mechanical safety check: the transformation must not have
+		// reordered any conflicting accesses.
+		violations, err := core.Check(p.plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(violations) != 0 {
+			fmt.Fprintf(os.Stderr, "%s: dependence violations: %v\n", p.name, violations)
+			os.Exit(1)
+		}
+
+		sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), p.pes)
+		if err := core.Execute(p.plan, sys, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := sys.VirtualTime()
+		if seq == 0 {
+			seq = t
+		}
+		fmt.Printf("%-22s %-9d %-9d %9.2fs %8.2f×\n",
+			p.name, len(p.plan.Threads), p.pes, t, seq/t)
+	}
+
+	fmt.Println("\nEach plan was derived from its predecessor by one mechanical")
+	fmt.Println("transformation, statically checked, and is independently runnable —")
+	fmt.Println("the incremental path of the paper, on a workload that is not")
+	fmt.Println("matrix multiplication.")
+}

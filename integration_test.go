@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runGo executes `go run` for a main package in this module and returns
+// its combined output. These tests exercise the user-facing binaries and
+// examples end to end; skip them with -short.
+func runGo(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runGo(t, "./examples/quickstart")
+	if !strings.Contains(out, "dot product  = 156") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleMatmul(t *testing.T) {
+	out := runGo(t, "./examples/matmul", "-n", "384")
+	for _, want := range []string{"NavP 2D phase", "Every stage produced the exact same product"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleOutOfCore(t *testing.T) {
+	out := runGo(t, "./examples/outofcore", "-n", "1024")
+	if !strings.Contains(out, "thrashing") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleTransform(t *testing.T) {
+	out := runGo(t, "./examples/transform")
+	for _, want := range []string{"(a) sequential", "(d) + phase shifting"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleStencil(t *testing.T) {
+	out := runGo(t, "./examples/stencil", "-rows", "194", "-cols", "256", "-iters", "4")
+	if !strings.Contains(out, "bit-exact") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCmdNavpmmVerify(t *testing.T) {
+	out := runGo(t, "./cmd/navpmm", "-stage", "pipe2d", "-n", "384", "-block", "128", "-p", "3", "-verify")
+	if !strings.Contains(out, "verify: OK") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCmdNavpmmBaselines(t *testing.T) {
+	for _, stage := range []string{"gentleman", "cannon", "overlap", "summa"} {
+		out := runGo(t, "./cmd/navpmm", "-stage", stage, "-n", "256", "-block", "64", "-p", "2", "-verify")
+		if !strings.Contains(out, "verify: OK") {
+			t.Fatalf("%s: unexpected output:\n%s", stage, out)
+		}
+	}
+}
+
+func TestCmdPaperbenchQuick(t *testing.T) {
+	out := runGo(t, "./cmd/paperbench", "-table", "1", "-quick", "-compare")
+	for _, want := range []string{"Table 1", "NavP (1D phase)", "paper's published values"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdPaperbenchStagger(t *testing.T) {
+	out := runGo(t, "./cmd/paperbench", "-stagger")
+	if !strings.Contains(out, "reverse staggering is an involution") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCmdSpacetime(t *testing.T) {
+	out := runGo(t, "./cmd/spacetime", "-figure", "1")
+	for _, want := range []string{"(a) sequential", "(d) phase shifting", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleWire(t *testing.T) {
+	out := runGo(t, "./examples/wire")
+	if !strings.Contains(out, "the computation migrated") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCmdPaperbenchReport(t *testing.T) {
+	out := runGo(t, "./cmd/paperbench", "-report", "-quick")
+	if !strings.Contains(out, "# Reproduction report") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gentleman"
+	"repro/internal/machine"
+	"repro/internal/matmul"
+)
+
+// AblationResult is one named measurement of an ablation sweep.
+type AblationResult struct {
+	Name    string
+	Seconds float64
+}
+
+// AblationPointerSwap measures Gentleman's Algorithm with and without
+// pointer swapping for local shifts (§4: "we use pointer swapping to
+// shift an algorithmic block locally"). copyRate is the memory-copy
+// bandwidth charged when swapping is disabled.
+func AblationPointerSwap(opt Options, n, bs, p int, copyRate float64) ([]AblationResult, error) {
+	opt = opt.fill()
+	base := gentleman.Config{N: n, BS: bs, P: p, Phantom: true, HW: opt.HW}
+	with, err := gentleman.Run(gentleman.Gentleman, base)
+	if err != nil {
+		return nil, err
+	}
+	base.CopyLocal = true
+	base.CopyRate = copyRate
+	without, err := gentleman.Run(gentleman.Gentleman, base)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "pointer swapping", Seconds: with.Seconds},
+		{Name: "local copies", Seconds: without.Seconds},
+	}, nil
+}
+
+// AblationOverlap compares the straightforward Gentleman structure, the
+// hand-overlapped MPI variant, and NavP 2-D phase shifting — the §5(1)
+// discussion: NavP gets the overlap from the daemon's run-time
+// scheduling; MPI needs it programmed explicitly.
+func AblationOverlap(opt Options, n, bs, p int) ([]AblationResult, error) {
+	opt = opt.fill()
+	out := []AblationResult{}
+	for _, v := range []gentleman.Variant{gentleman.Gentleman, gentleman.Overlap} {
+		res, err := gentleman.Run(v, gentleman.Config{N: n, BS: bs, P: p, Phantom: true, HW: opt.HW})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Name: v.String(), Seconds: res.Seconds})
+	}
+	res, err := matmul.Run(matmul.Phase2D, matmul.Config{
+		N: n, BS: bs, P: p, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{Name: res.Stage.String(), Seconds: res.Seconds})
+	return out, nil
+}
+
+// AblationBlockSize sweeps the algorithmic block order for NavP 2-D
+// phase shifting at a fixed problem size — the granularity trade-off of
+// §3.6 (finer blocks spread computation earlier but hop more often).
+func AblationBlockSize(opt Options, n, p int, blocks []int) ([]AblationResult, error) {
+	opt = opt.fill()
+	var out []AblationResult
+	for _, bs := range blocks {
+		res, err := matmul.Run(matmul.Phase2D, matmul.Config{
+			N: n, BS: bs, P: p, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bs=%d: %w", bs, err)
+		}
+		out = append(out, AblationResult{Name: fmt.Sprintf("block %d", bs), Seconds: res.Seconds})
+	}
+	return out, nil
+}
+
+// AblationStateBytes sweeps the per-hop thread-state overhead of the
+// NavP runtime for 2-D pipelining, quantifying how sensitive the
+// migrating-computation style is to the daemon's migration cost.
+func AblationStateBytes(opt Options, n, bs, p int, stateBytes []int64) ([]AblationResult, error) {
+	opt = opt.fill()
+	var out []AblationResult
+	for _, sb := range stateBytes {
+		nav := opt.NavP
+		nav.StateBytes = sb
+		res, err := matmul.Run(matmul.Pipeline2D, matmul.Config{
+			N: n, BS: bs, P: p, Phantom: true, HW: opt.HW, NavP: nav,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("state=%d: %w", sb, err)
+		}
+		out = append(out, AblationResult{Name: fmt.Sprintf("state %d B", sb), Seconds: res.Seconds})
+	}
+	return out, nil
+}
+
+// AblationHeterogeneity slows one PE by the given factor and compares
+// how MPI Gentleman and NavP 2-D phase shifting degrade. It probes the
+// paper's §5(1) claim about the MESSENGERS run-time task scheduling:
+// Gentleman's lockstep steps wait for the straggler at every shift,
+// while NavP carriers queue work by arrival and absorb some of the
+// imbalance. Returns, in order: Gentleman balanced, Gentleman with the
+// straggler, NavP phase balanced, NavP phase with the straggler.
+func AblationHeterogeneity(opt Options, n, bs, p int, slowdown float64) ([]AblationResult, error) {
+	opt = opt.fill()
+	slowPE := func(cl *machine.Cluster) {
+		cl.SetCPURate(0, opt.HW.CPURate/slowdown)
+	}
+	var out []AblationResult
+	for _, tune := range []func(*machine.Cluster){nil, slowPE} {
+		res, err := gentleman.Run(gentleman.Gentleman, gentleman.Config{
+			N: n, BS: bs, P: p, Phantom: true, HW: opt.HW, TuneCluster: tune,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "MPI (Gentleman), balanced"
+		if tune != nil {
+			name = fmt.Sprintf("MPI (Gentleman), PE0 %.1fx slower", slowdown)
+		}
+		out = append(out, AblationResult{Name: name, Seconds: res.Seconds})
+	}
+	for _, tune := range []func(*machine.Cluster){nil, slowPE} {
+		res, err := matmul.Run(matmul.Phase2D, matmul.Config{
+			N: n, BS: bs, P: p, Phantom: true, HW: opt.HW, NavP: opt.NavP, TuneCluster: tune,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "NavP 2D phase, balanced"
+		if tune != nil {
+			name = fmt.Sprintf("NavP 2D phase, PE0 %.1fx slower", slowdown)
+		}
+		out = append(out, AblationResult{Name: name, Seconds: res.Seconds})
+	}
+	return out, nil
+}
+
+// FormatAblation renders an ablation sweep with ratios to the first row.
+func FormatAblation(title string, results []AblationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range results {
+		ratio := 1.0
+		if results[0].Seconds > 0 {
+			ratio = r.Seconds / results[0].Seconds
+		}
+		fmt.Fprintf(&b, "  %-24s %10.2fs  (%.3f×)\n", r.Name, r.Seconds, ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/gentleman"
+	"repro/internal/machine"
+	"repro/internal/matmul"
+	"repro/internal/navp"
+	"repro/internal/summa"
+)
+
+// Options configures a table regeneration.
+type Options struct {
+	// HW is the cluster model; zero value selects the calibrated
+	// SunBlade100 testbed.
+	HW machine.Config
+	// NavP is the MESSENGERS daemon cost model; zero value selects
+	// navp.DefaultConfig.
+	NavP navp.Config
+	// Quick restricts each table to its two smallest problem sizes —
+	// used by tests; full tables are for the benchmark harness.
+	Quick bool
+}
+
+func (o Options) fill() Options {
+	if o.HW == (machine.Config{}) {
+		o.HW = machine.SunBlade100()
+	}
+	if o.NavP == (navp.Config{}) {
+		o.NavP = navp.DefaultConfig()
+	}
+	return o
+}
+
+// inCore reports whether three N-order matrices fit in one PE's memory.
+func inCore(hw machine.Config, n int) bool {
+	return 3*int64(n)*int64(n)*int64(hw.ElemBytes) <= hw.MemoryBytes
+}
+
+// sequentialTimes measures the sequential column for the given orders:
+// in-core rows run the plain model; oversubscribed rows run through the
+// LRU pager ("actual") and receive a cubic-fit baseline from the in-core
+// rows, the paper's starred-value method.
+func sequentialTimes(opt Options, orders []int, blocks []int) ([]Row, error) {
+	rows := make([]Row, len(orders))
+	var fitNs []int
+	var fitTimes []float64
+	for i, n := range orders {
+		cfg := matmul.Config{
+			N: n, BS: blocks[i], P: 1, Phantom: true,
+			HW: opt.HW, NavP: opt.NavP,
+		}
+		cfg.Paged = !inCore(opt.HW, n)
+		res, err := matmul.Run(matmul.Sequential, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sequential N=%d: %w", n, err)
+		}
+		rows[i] = Row{N: n, Block: blocks[i], SeqActual: res.Seconds, SeqBaseline: res.Seconds}
+		if !cfg.Paged {
+			fitNs = append(fitNs, n)
+			fitTimes = append(fitTimes, res.Seconds)
+		}
+	}
+	for i := range rows {
+		if inCore(opt.HW, rows[i].N) {
+			continue
+		}
+		rows[i].Starred = true
+		if len(fitNs) >= 4 {
+			base, err := fit.SequentialBaseline(fitNs, fitTimes, rows[i].N)
+			if err != nil {
+				return nil, err
+			}
+			rows[i].SeqBaseline = base
+		} else {
+			// Too few in-core points for a cubic (Quick mode): fall back
+			// to the flop model.
+			nf := float64(rows[i].N)
+			rows[i].SeqBaseline = 2 * nf * nf * nf / opt.HW.CPURate
+		}
+	}
+	return rows, nil
+}
+
+// add appends a measured entry to the row.
+func (r *Row) add(column string, seconds float64) {
+	r.Entries = append(r.Entries, Entry{
+		Column:  column,
+		Seconds: seconds,
+		Speedup: r.SeqBaseline / seconds,
+		Starred: r.Starred,
+	})
+}
+
+// Table1 reproduces "Performance on 3 PEs": the 1-D NavP stages and the
+// ScaLAPACK stand-in on three machines.
+func Table1(opt Options) (*Table, error) {
+	opt = opt.fill()
+	orders := []int{1536, 2304, 3072, 4608, 5376, 6144}
+	blocks := []int{128, 128, 128, 128, 128, 256}
+	if opt.Quick {
+		orders, blocks = orders[:2], blocks[:2]
+	}
+	rows, err := sequentialTimes(opt, orders, blocks)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    "Table 1",
+		Caption: "Performance on 3 PEs",
+		Columns: []string{"NavP (1D DSC)", "NavP (1D pipeline)", "NavP (1D phase)", "ScaLAPACK"},
+	}
+	for i := range rows {
+		r := &rows[i]
+		for stage, col := range map[matmul.Stage]string{
+			matmul.DSC1D:      "NavP (1D DSC)",
+			matmul.Pipeline1D: "NavP (1D pipeline)",
+			matmul.Phase1D:    "NavP (1D phase)",
+		} {
+			res, err := matmul.Run(stage, matmul.Config{
+				N: r.N, BS: r.Block, P: 3, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%v N=%d: %w", stage, r.N, err)
+			}
+			r.add(col, res.Seconds)
+		}
+		res, err := summa.Run(summa.Config{
+			N: r.N, BS: r.Block, PR: 1, PC: 3, Phantom: true, HW: opt.HW,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("summa 1x3 N=%d: %w", r.N, err)
+		}
+		r.add("ScaLAPACK", res.Seconds)
+		sortEntries(r, t.Columns)
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// Table2 reproduces "Performance on 8 PEs": the out-of-core N=9216 run,
+// sequential (thrashing, with a cubic-fit baseline) versus NavP 1-D DSC
+// on eight machines.
+func Table2(opt Options) (*Table, error) {
+	opt = opt.fill()
+	n, block := 9216, 128
+	if opt.Quick {
+		// A smaller out-of-core configuration with the same structure:
+		// shrink memory below one matrix so the B streams thrash, as the
+		// full-size run does. N must keep the block grid divisible by
+		// the 8 PEs.
+		n, block = 2048, 128
+		opt.HW.MemoryBytes = int64(n) * int64(n) * int64(opt.HW.ElemBytes) / 2
+	}
+	// Baseline fit uses the standard in-core orders.
+	fitNs := []int{1536, 2304, 3072, 3840}
+	var fitTimes []float64
+	if opt.Quick {
+		fitNs = nil
+	}
+	for _, fn := range fitNs {
+		res, err := matmul.Run(matmul.Sequential, matmul.Config{
+			N: fn, BS: block, P: 1, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fitTimes = append(fitTimes, res.Seconds)
+	}
+
+	seqRes, err := matmul.Run(matmul.Sequential, matmul.Config{
+		N: n, BS: block, P: 1, Phantom: true, Paged: true, HW: opt.HW, NavP: opt.NavP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paged sequential: %w", err)
+	}
+	row := Row{N: n, Block: block, SeqActual: seqRes.Seconds, Starred: true}
+	if len(fitNs) >= 4 {
+		row.SeqBaseline, err = fit.SequentialBaseline(fitNs, fitTimes, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		nf := float64(n)
+		row.SeqBaseline = 2 * nf * nf * nf / opt.HW.CPURate
+	}
+
+	dscRes, err := matmul.Run(matmul.DSC1D, matmul.Config{
+		N: n, BS: block, P: 8, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("1D DSC on 8 PEs: %w", err)
+	}
+	row.add("NavP (1D DSC)", dscRes.Seconds)
+
+	return &Table{
+		Name:    "Table 2",
+		Caption: "Performance on 8 PEs",
+		Columns: []string{"NavP (1D DSC)"},
+		Rows:    []Row{row},
+	}, nil
+}
+
+// table2D builds Tables 3 and 4: MPI Gentleman, the 2-D NavP stages, and
+// the ScaLAPACK stand-in on a P×P grid.
+func table2D(opt Options, name string, p int, orders, blocks []int) (*Table, error) {
+	opt = opt.fill()
+	if opt.Quick {
+		orders, blocks = orders[:2], blocks[:2]
+	}
+	rows, err := sequentialTimes(opt, orders, blocks)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    name,
+		Caption: fmt.Sprintf("Performance on %d×%d PEs", p, p),
+		Columns: []string{"MPI (Gentleman)", "NavP (2D DSC)", "NavP (2D pipeline)", "NavP (2D phase)", "ScaLAPACK"},
+	}
+	for i := range rows {
+		r := &rows[i]
+		gres, err := gentleman.Run(gentleman.Gentleman, gentleman.Config{
+			N: r.N, BS: r.Block, P: p, Phantom: true, HW: opt.HW,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gentleman N=%d: %w", r.N, err)
+		}
+		r.add("MPI (Gentleman)", gres.Seconds)
+		for stage, col := range map[matmul.Stage]string{
+			matmul.DSC2D:      "NavP (2D DSC)",
+			matmul.Pipeline2D: "NavP (2D pipeline)",
+			matmul.Phase2D:    "NavP (2D phase)",
+		} {
+			res, err := matmul.Run(stage, matmul.Config{
+				N: r.N, BS: r.Block, P: p, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%v N=%d: %w", stage, r.N, err)
+			}
+			r.add(col, res.Seconds)
+		}
+		sres, err := summa.Run(summa.Config{
+			N: r.N, BS: r.Block, PR: p, PC: p, Phantom: true, HW: opt.HW,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("summa N=%d: %w", r.N, err)
+		}
+		r.add("ScaLAPACK", sres.Seconds)
+		sortEntries(r, t.Columns)
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// Table3 reproduces "Performance on 2×2 PEs".
+func Table3(opt Options) (*Table, error) {
+	return table2D(opt, "Table 3", 2,
+		[]int{1024, 2048, 3072, 4096, 5120},
+		[]int{128, 128, 128, 128, 128})
+}
+
+// Table4 reproduces "Performance on 3×3 PEs".
+func Table4(opt Options) (*Table, error) {
+	return table2D(opt, "Table 4", 3,
+		[]int{1536, 2304, 3072, 4608, 5376, 6144},
+		[]int{128, 128, 128, 128, 128, 256})
+}
+
+// sortEntries orders a row's entries to match the table's column order.
+func sortEntries(r *Row, columns []string) {
+	ordered := make([]Entry, 0, len(r.Entries))
+	for _, c := range columns {
+		for _, e := range r.Entries {
+			if e.Column == c {
+				ordered = append(ordered, e)
+			}
+		}
+	}
+	r.Entries = ordered
+}

@@ -1,0 +1,100 @@
+package bench
+
+// PaperEntry is one published measurement from the paper's tables.
+type PaperEntry struct {
+	Seconds float64
+	Speedup float64
+}
+
+// PaperRow holds the published values of one row, keyed by column name.
+type PaperRow struct {
+	N, Block    int
+	SeqActual   float64
+	SeqBaseline float64 // the starred cubic-fit value where the paper used one
+	Entries     map[string]PaperEntry
+}
+
+// PaperTable1 is the paper's Table 1 (3 PEs).
+var PaperTable1 = []PaperRow{
+	{N: 1536, Block: 128, SeqActual: 65.44, SeqBaseline: 65.44, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {67.22, 0.97}, "NavP (1D pipeline)": {27.72, 2.36},
+		"NavP (1D phase)": {24.55, 2.67}, "ScaLAPACK": {26.80, 2.44}}},
+	{N: 2304, Block: 128, SeqActual: 219.71, SeqBaseline: 219.71, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {229.45, 0.96}, "NavP (1D pipeline)": {91.03, 2.41},
+		"NavP (1D phase)": {81.23, 2.70}, "ScaLAPACK": {82.83, 2.65}}},
+	{N: 3072, Block: 128, SeqActual: 520.30, SeqBaseline: 520.30, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {543.91, 0.96}, "NavP (1D pipeline)": {205.87, 2.53},
+		"NavP (1D phase)": {189.50, 2.75}, "ScaLAPACK": {211.45, 2.46}}},
+	{N: 4608, Block: 128, SeqActual: 1934.73, SeqBaseline: 1745.94, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {1809.73, 0.96}, "NavP (1D pipeline)": {688.18, 2.54},
+		"NavP (1D phase)": {653.64, 2.67}, "ScaLAPACK": {767.91, 2.27}}},
+	{N: 5376, Block: 128, SeqActual: 3033.92, SeqBaseline: 2735.69, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {2926.24, 0.93}, "NavP (1D pipeline)": {1151.07, 2.38},
+		"NavP (1D phase)": {990.05, 2.76}, "ScaLAPACK": {1173.46, 2.33}}},
+	{N: 6144, Block: 256, SeqActual: 5055.93, SeqBaseline: 4268.16, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {4697.32, 0.91}, "NavP (1D pipeline)": {1811.77, 2.36},
+		"NavP (1D phase)": {1554.99, 2.74}, "ScaLAPACK": {1984.18, 2.15}}},
+}
+
+// PaperTable2 is the paper's Table 2 (8 PEs, out of core).
+var PaperTable2 = []PaperRow{
+	{N: 9216, Block: 128, SeqActual: 36534.49, SeqBaseline: 13921.50, Entries: map[string]PaperEntry{
+		"NavP (1D DSC)": {14959.42, 0.93}}},
+}
+
+// PaperTable3 is the paper's Table 3 (2×2 PEs).
+var PaperTable3 = []PaperRow{
+	{N: 1024, Block: 128, SeqActual: 19.49, SeqBaseline: 19.49, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {6.02, 3.24}, "NavP (2D DSC)": {7.63, 2.55},
+		"NavP (2D pipeline)": {5.88, 3.31}, "NavP (2D phase)": {5.54, 3.52}, "ScaLAPACK": {5.23, 3.73}}},
+	{N: 2048, Block: 128, SeqActual: 158.51, SeqBaseline: 158.51, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {50.99, 3.11}, "NavP (2D DSC)": {50.59, 3.13},
+		"NavP (2D pipeline)": {42.61, 3.72}, "NavP (2D phase)": {41.54, 3.82}, "ScaLAPACK": {45.53, 3.48}}},
+	{N: 3072, Block: 128, SeqActual: 520.30, SeqBaseline: 520.30, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {157.53, 3.30}, "NavP (2D DSC)": {158.06, 3.29},
+		"NavP (2D pipeline)": {144.09, 3.61}, "NavP (2D phase)": {137.39, 3.79}, "ScaLAPACK": {156.27, 3.33}}},
+	{N: 4096, Block: 128, SeqActual: 1281.58, SeqBaseline: 1238.21, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {367.04, 3.37}, "NavP (2D DSC)": {362.73, 3.41},
+		"NavP (2D pipeline)": {328.98, 3.76}, "NavP (2D phase)": {321.70, 3.85}, "ScaLAPACK": {417.83, 2.96}}},
+	{N: 5120, Block: 128, SeqActual: 2727.86, SeqBaseline: 2373.32, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {733.91, 3.23}, "NavP (2D DSC)": {792.23, 3.00},
+		"NavP (2D pipeline)": {757.67, 3.13}, "NavP (2D phase)": {624.87, 3.80}, "ScaLAPACK": {907.16, 2.62}}},
+}
+
+// PaperTable4 is the paper's Table 4 (3×3 PEs).
+var PaperTable4 = []PaperRow{
+	{N: 1536, Block: 128, SeqActual: 65.44, SeqBaseline: 65.44, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {10.97, 5.97}, "NavP (2D DSC)": {13.66, 4.79},
+		"NavP (2D pipeline)": {9.18, 7.13}, "NavP (2D phase)": {8.21, 7.97}, "ScaLAPACK": {8.08, 8.10}}},
+	{N: 2304, Block: 128, SeqActual: 219.71, SeqBaseline: 219.71, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {29.95, 7.34}, "NavP (2D DSC)": {39.53, 5.56},
+		"NavP (2D pipeline)": {29.93, 7.34}, "NavP (2D phase)": {26.74, 8.22}, "ScaLAPACK": {29.39, 7.48}}},
+	{N: 3072, Block: 128, SeqActual: 520.30, SeqBaseline: 520.30, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {82.25, 6.33}, "NavP (2D DSC)": {86.52, 6.01},
+		"NavP (2D pipeline)": {66.94, 7.77}, "NavP (2D phase)": {62.36, 8.34}, "ScaLAPACK": {70.92, 7.34}}},
+	{N: 4608, Block: 128, SeqActual: 1934.73, SeqBaseline: 1745.94, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {241.92, 7.22}, "NavP (2D DSC)": {268.41, 6.50},
+		"NavP (2D pipeline)": {220.28, 7.93}, "NavP (2D phase)": {205.68, 8.49}, "ScaLAPACK": {255.87, 6.82}}},
+	{N: 5376, Block: 128, SeqActual: 3033.92, SeqBaseline: 2735.69, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {437.27, 6.26}, "NavP (2D DSC)": {421.78, 6.49},
+		"NavP (2D pipeline)": {360.77, 7.58}, "NavP (2D phase)": {323.67, 8.45}, "ScaLAPACK": {398.50, 6.86}}},
+	{N: 6144, Block: 256, SeqActual: 5055.93, SeqBaseline: 4268.16, Entries: map[string]PaperEntry{
+		"MPI (Gentleman)": {637.79, 6.69}, "NavP (2D DSC)": {745.18, 5.73},
+		"NavP (2D pipeline)": {584.85, 7.30}, "NavP (2D phase)": {510.29, 8.36}, "ScaLAPACK": {635.36, 6.72}}},
+}
+
+// PaperReference returns the published rows for the named table ("Table
+// 1" .. "Table 4"), or nil.
+func PaperReference(name string) []PaperRow {
+	switch name {
+	case "Table 1":
+		return PaperTable1
+	case "Table 2":
+		return PaperTable2
+	case "Table 3":
+		return PaperTable3
+	case "Table 4":
+		return PaperTable4
+	}
+	return nil
+}

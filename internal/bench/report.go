@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report regenerates every experiment and renders a self-contained
+// markdown report with measured values side by side with the paper's —
+// the machine-generated counterpart of EXPERIMENTS.md.
+func Report(opt Options) (string, error) {
+	var b strings.Builder
+	b.WriteString("# Reproduction report — NavP incremental parallelization (ICPP 2005)\n\n")
+	if opt.Quick {
+		b.WriteString("*Quick mode: each table truncated to its two smallest problem sizes.*\n\n")
+	}
+
+	for _, gen := range []func(Options) (*Table, error){Table1, Table2, Table3, Table4} {
+		t, err := gen(opt)
+		if err != nil {
+			return "", err
+		}
+		writeTableMarkdown(&b, t)
+	}
+
+	b.WriteString("## Staggering phases (§5(3))\n\n")
+	b.WriteString("| N | forward max | rows needing 3 | reverse max |\n|---|---|---|---|\n")
+	hi := 16
+	if opt.Quick {
+		hi = 8
+	}
+	for n := 2; n <= hi; n++ {
+		rep, err := Stagger(n)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %d |\n", n, rep.ForwardMax, rep.ForwardThree, rep.ReverseMax)
+	}
+	b.WriteString("\nReverse staggering is an involution (cycles ≤ 2): never more than two phases.\n\n")
+
+	if !opt.Quick {
+		b.WriteString("## Ablations (N=3072, 3×3)\n\n")
+		type ab struct {
+			title string
+			run   func() ([]AblationResult, error)
+		}
+		for _, a := range []ab{
+			{"Pointer swapping", func() ([]AblationResult, error) { return AblationPointerSwap(opt, 3072, 128, 3, 80e6) }},
+			{"Communication/computation overlap", func() ([]AblationResult, error) { return AblationOverlap(opt, 3072, 128, 3) }},
+			{"Algorithmic block size", func() ([]AblationResult, error) { return AblationBlockSize(opt, 3072, 3, []int{64, 128, 256, 512}) }},
+			{"Per-hop thread state", func() ([]AblationResult, error) {
+				return AblationStateBytes(opt, 3072, 128, 3, []int64{64, 1024, 16384})
+			}},
+			{"Heterogeneity (one PE 1.5× slower)", func() ([]AblationResult, error) {
+				return AblationHeterogeneity(opt, 3072, 128, 3, 1.5)
+			}},
+		} {
+			res, err := a.run()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "### %s\n\n| configuration | seconds | vs first |\n|---|---|---|\n", a.title)
+			for _, r := range res {
+				fmt.Fprintf(&b, "| %s | %.2f | %.3f× |\n", r.Name, r.Seconds, r.Seconds/res[0].Seconds)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// writeTableMarkdown renders one table with the paper's reference values
+// interleaved.
+func writeTableMarkdown(b *strings.Builder, t *Table) {
+	fmt.Fprintf(b, "## %s — %s\n\n", t.Name, t.Caption)
+	b.WriteString("| N | source | Sequential |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(b, " %s |", c)
+	}
+	b.WriteString("\n|---|---|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+
+	refRows := PaperReference(t.Name)
+	refFor := func(n int) *PaperRow {
+		for i := range refRows {
+			if refRows[i].N == n {
+				return &refRows[i]
+			}
+		}
+		return nil
+	}
+	for _, r := range t.Rows {
+		if ref := refFor(r.N); ref != nil {
+			fmt.Fprintf(b, "| %d | paper | %.2f |", r.N, ref.SeqActual)
+			for _, c := range t.Columns {
+				if e, ok := ref.Entries[c]; ok {
+					fmt.Fprintf(b, " %.2f (%.2f) |", e.Seconds, e.Speedup)
+				} else {
+					b.WriteString(" – |")
+				}
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(b, "| %d | ours | %.2f |", r.N, r.SeqActual)
+		for _, c := range t.Columns {
+			if e, ok := t.Lookup(r.N, c); ok {
+				fmt.Fprintf(b, " %.2f (%.2f) |", e.Seconds, e.Speedup)
+			} else {
+				b.WriteString(" – |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+}

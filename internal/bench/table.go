@@ -1,0 +1,129 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated testbed: Tables 1–4, the staggering
+// phase-count analysis of §5(3), and ablation experiments for the design
+// choices the paper discusses (pointer swapping, communication overlap,
+// block size).
+//
+// Absolute times come from the calibrated machine model
+// (machine.SunBlade100); the claims under reproduction are the *shape*
+// of the results — which implementation wins, by what factor, and where
+// the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is one measured cell of a table.
+type Entry struct {
+	// Column is the implementation name, matching the paper's header.
+	Column string
+	// Seconds is the measured (virtual) execution time.
+	Seconds float64
+	// Speedup is Seconds relative to the row's sequential baseline.
+	Speedup float64
+	// Starred marks rows whose sequential baseline is the cubic fit
+	// rather than a thrashing measurement (the paper's (*) convention).
+	Starred bool
+}
+
+// Row is one problem size of a table.
+type Row struct {
+	// N is the matrix order, Block the algorithmic block order.
+	N, Block int
+	// SeqActual is the measured sequential time (thrashing at large N);
+	// SeqBaseline is the baseline used for speedups (equal to SeqActual
+	// for in-core rows, the cubic fit for starred rows).
+	SeqActual, SeqBaseline float64
+	Starred                bool
+	Entries                []Entry
+}
+
+// Table is one reproduced evaluation table.
+type Table struct {
+	// Name is e.g. "Table 1"; Caption the paper's caption.
+	Name, Caption string
+	Columns       []string
+	Rows          []Row
+}
+
+// Format renders the table as aligned text, one "time / speedup" pair
+// per implementation, in the layout of the paper's tables.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s. %s\n", t.Name, t.Caption)
+	fmt.Fprintf(&b, "%-7s %-6s %-22s", "Order", "Block", "Sequential")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %-22s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		seq := formatSeconds(r.SeqActual)
+		if r.Starred {
+			seq += fmt.Sprintf(" (%s*)", formatSeconds(r.SeqBaseline))
+		}
+		fmt.Fprintf(&b, "%-7d %-6d %-22s", r.N, r.Block, seq+" 1.00")
+		for _, c := range t.Columns {
+			cell := "-"
+			for _, e := range r.Entries {
+				if e.Column == c {
+					cell = fmt.Sprintf("%s %.2f", formatSeconds(e.Seconds), e.Speedup)
+					break
+				}
+			}
+			fmt.Fprintf(&b, " %-22s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	if anyStarred(t.Rows) {
+		b.WriteString("(*) sequential baseline from least-squares cubic fit of the in-core rows\n")
+	}
+	return b.String()
+}
+
+func anyStarred(rows []Row) bool {
+	for _, r := range rows {
+		if r.Starred {
+			return true
+		}
+	}
+	return false
+}
+
+func formatSeconds(s float64) string {
+	switch {
+	case s >= 1000:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
+}
+
+// Lookup returns the entry for the given column of the row with matrix
+// order n, for tests and report generation.
+func (t *Table) Lookup(n int, column string) (Entry, bool) {
+	for _, r := range t.Rows {
+		if r.N != n {
+			continue
+		}
+		for _, e := range r.Entries {
+			if e.Column == column {
+				return e, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// RowFor returns the row with matrix order n.
+func (t *Table) RowFor(n int) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.N == n {
+			return r, true
+		}
+	}
+	return Row{}, false
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation reports a pair of conflicting items whose execution order is
+// not guaranteed by the plan, or is guaranteed in the wrong direction
+// relative to the sequential program.
+type Violation struct {
+	// First, Second are the item IDs in sequential order.
+	First, Second string
+	// Cell is a conflicting data cell they share.
+	Cell string
+	// Reversed is true when the plan *forces* the wrong order (as
+	// opposed to merely failing to order the pair).
+	Reversed bool
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	how := "unordered"
+	if v.Reversed {
+		how = "reversed"
+	}
+	return fmt.Sprintf("%s before %s on %q is %s", v.First, v.Second, v.Cell, how)
+}
+
+// Check verifies that the plan preserves every dependence of the
+// sequential program the plan was derived from (by DSC and the
+// subsequent transformations): for each pair of items with conflicting
+// accesses, the plan's happens-before relation — within-thread order
+// plus explicit Deps — must order them as the sequential program did.
+// It returns the violations found (nil means the plan is safe). This is
+// the mechanical safety check behind the paper's claim that each
+// transformation step is straightforward to apply.
+func Check(p *Plan) ([]Violation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	items := p.Items()
+	idx := map[string]int{}
+	for i, it := range items {
+		idx[it.ID] = i
+	}
+	n := len(items)
+
+	// Happens-before edges: consecutive items within a thread, plus deps.
+	adj := make([][]int, n)
+	pos := 0
+	for _, t := range p.Threads {
+		for i := range t.Items {
+			if i > 0 {
+				adj[pos-1] = append(adj[pos-1], pos)
+			}
+			pos++
+		}
+	}
+	for _, d := range p.Deps {
+		adj[idx[d.Before]] = append(adj[idx[d.Before]], idx[d.After])
+	}
+
+	reach := transitiveClosure(adj)
+
+	var out []Violation
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cell, conflicts := conflictCell(items[i], items[j])
+			if !conflicts {
+				continue
+			}
+			si, sj := p.SeqIndex(items[i].ID), p.SeqIndex(items[j].ID)
+			if si < 0 || sj < 0 {
+				return nil, fmt.Errorf("core: item %q or %q has no sequential stamp; Check requires a DSC-derived plan",
+					items[i].ID, items[j].ID)
+			}
+			first, second := i, j
+			if sj < si {
+				first, second = j, i
+			}
+			switch {
+			case reach[first].get(second):
+				// ordered correctly
+			case reach[second].get(first):
+				out = append(out, Violation{
+					First: items[first].ID, Second: items[second].ID,
+					Cell: cell, Reversed: true,
+				})
+			default:
+				out = append(out, Violation{
+					First: items[first].ID, Second: items[second].ID,
+					Cell: cell,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].First != out[b].First {
+			return out[a].First < out[b].First
+		}
+		return out[a].Second < out[b].Second
+	})
+	return out, nil
+}
+
+// conflictCell returns a cell on which the two items conflict.
+func conflictCell(a, b *Item) (string, bool) {
+	for _, aa := range a.Accesses {
+		for _, ba := range b.Accesses {
+			if aa.Conflicts(ba) {
+				return aa.Cell, true
+			}
+		}
+	}
+	return "", false
+}
+
+// bitset is a simple fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// transitiveClosure computes reachability over the DAG in reverse
+// topological order. The plan graphs are DAGs by construction (thread
+// chains plus forward deps); a cycle would mean a deadlocking plan, which
+// Execute would also detect, so the closure treats back edges
+// conservatively by iterating to a fixed point.
+func transitiveClosure(adj [][]int) []bitset {
+	n := len(adj)
+	reach := make([]bitset, n)
+	for i := range reach {
+		reach[i] = newBitset(n)
+		for _, j := range adj[i] {
+			reach[i].set(j)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			before := make(bitset, len(reach[i]))
+			copy(before, reach[i])
+			for _, j := range adj[i] {
+				reach[i].or(reach[j])
+			}
+			for w := range before {
+				if before[w] != reach[i][w] {
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,87 @@
+package core
+
+// This file provides analytic bounds on a plan's makespan, used to judge
+// how close an executed schedule comes to the best any runtime could do.
+
+// CriticalPathFlops returns the heaviest chain of flops through the
+// plan's happens-before graph (within-thread order plus Deps) — the
+// span. No execution can finish faster than span/rate even with
+// unlimited PEs and free communication.
+func CriticalPathFlops(p *Plan) float64 {
+	items := p.Items()
+	n := len(items)
+	idx := map[string]int{}
+	for i, it := range items {
+		idx[it.ID] = i
+	}
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	pos := 0
+	for _, t := range p.Threads {
+		for i := range t.Items {
+			if i > 0 {
+				adj[pos-1] = append(adj[pos-1], pos)
+				indeg[pos]++
+			}
+			pos++
+		}
+	}
+	for _, d := range p.Deps {
+		b, a := idx[d.Before], idx[d.After]
+		adj[b] = append(adj[b], a)
+		indeg[a]++
+	}
+
+	// Longest path over the DAG in topological order.
+	finish := make([]float64, n)
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+			finish[i] = items[i].Flops
+		}
+	}
+	span := 0.0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if finish[u] > span {
+			span = finish[u]
+		}
+		for _, v := range adj[u] {
+			if f := finish[u] + items[v].Flops; f > finish[v] {
+				finish[v] = f
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return span
+}
+
+// NodeWorkFlops returns the summed flops pinned to each node — the
+// per-PE work bound. No execution can finish faster than the largest
+// entry over the CPU rate, since items cannot move off their data.
+func NodeWorkFlops(p *Plan) map[int]float64 {
+	out := map[int]float64{}
+	for _, t := range p.Threads {
+		for _, it := range t.Items {
+			out[it.Node] += it.Flops
+		}
+	}
+	return out
+}
+
+// MakespanLowerBound combines the span and per-node work bounds into a
+// time bound for a machine with the given per-PE flop rate.
+func MakespanLowerBound(p *Plan, cpuRate float64) float64 {
+	bound := CriticalPathFlops(p)
+	for _, w := range NodeWorkFlops(p) {
+		if w > bound {
+			bound = w
+		}
+	}
+	return bound / cpuRate
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+func TestCriticalPathOfChain(t *testing.T) {
+	items := []Item{
+		{ID: "a", Node: 0, Flops: 3},
+		{ID: "b", Node: 1, Flops: 5},
+		{ID: "c", Node: 2, Flops: 7},
+	}
+	p := DSC("chain", items, 0)
+	if got := CriticalPathFlops(p); got != 15 {
+		t.Fatalf("span = %v, want 15", got)
+	}
+}
+
+func TestCriticalPathAfterPipeline(t *testing.T) {
+	// A 4×3 sweep split into row threads: the span becomes one row's
+	// work (3 items), while per-node work is 4 items.
+	p := Pipeline(sweepPlan(4, 3), groupByRow)
+	if got := CriticalPathFlops(p); got != 3e6 {
+		t.Fatalf("span = %v, want 3e6", got)
+	}
+	work := NodeWorkFlops(p)
+	for node := 0; node < 3; node++ {
+		if work[node] != 4e6 {
+			t.Fatalf("node %d work = %v, want 4e6", node, work[node])
+		}
+	}
+	// The binding constraint is per-node work.
+	if got := MakespanLowerBound(p, 1e6); got != 4 {
+		t.Fatalf("bound = %v, want 4", got)
+	}
+}
+
+func TestCriticalPathRespectsDeps(t *testing.T) {
+	items := []Item{
+		{ID: "x", Node: 0, Flops: 10},
+		{ID: "y", Node: 0, Flops: 10},
+	}
+	p := Pipeline(DSC("t", items, 0), func(it Item) string { return it.ID })
+	if got := CriticalPathFlops(p); got != 10 {
+		t.Fatalf("independent span = %v, want 10", got)
+	}
+	p.Deps = []Dep{{Before: "x", After: "y"}}
+	if got := CriticalPathFlops(p); got != 20 {
+		t.Fatalf("dependent span = %v, want 20", got)
+	}
+}
+
+func TestExecutedMakespanRespectsBound(t *testing.T) {
+	// The simulated execution can never beat the analytic lower bound,
+	// and a good schedule should land within a modest factor of it.
+	const rows, cols = 6, 3
+	items := GridSweep(rows, cols, 200e6, func(j int) int { return j })
+	p := PhaseShift(Pipeline(DSC("s", items, 1000), groupByRow), nil)
+	hw := machine.SunBlade100()
+	bound := MakespanLowerBound(p, hw.CPURate)
+
+	sys := navp.NewSim(navp.DefaultConfig(), hw, cols)
+	if err := Execute(p, sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.VirtualTime()
+	if got < bound {
+		t.Fatalf("executed %v beat the lower bound %v", got, bound)
+	}
+	if got > bound*1.3 {
+		t.Fatalf("executed %v is more than 1.3× the bound %v — schedule badly off", got, bound)
+	}
+}

@@ -1,0 +1,125 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactPolynomialRecovered(t *testing.T) {
+	// y = 2 - 3x + 0.5x² fitted with degree 2 must be exact.
+	want := Poly{Coeffs: []float64{2, -3, 0.5}}
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = want.Eval(x)
+	}
+	got, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Coeffs {
+		if math.Abs(got.Coeffs[i]-want.Coeffs[i]) > 1e-9 {
+			t.Fatalf("coeffs = %v, want %v", got.Coeffs, want.Coeffs)
+		}
+	}
+	if r := RSquared(got, xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("R² = %v", r)
+	}
+}
+
+func TestCubicRecoveryProperty(t *testing.T) {
+	// Property: fitting a cubic to noiseless cubic data recovers it
+	// (checked by prediction error, robust to coefficient conditioning).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		want := Poly{Coeffs: []float64{
+			rng.NormFloat64() * 10, rng.NormFloat64(), rng.NormFloat64() / 10, rng.NormFloat64() / 100,
+		}}
+		xs := make([]float64, 8)
+		ys := make([]float64, 8)
+		for i := range xs {
+			xs[i] = float64(i+1) * 3
+			ys[i] = want.Eval(xs[i])
+		}
+		got, err := PolyFit(xs, ys, 3)
+		if err != nil {
+			return false
+		}
+		for _, x := range []float64{2, 10, 30, 50} {
+			if math.Abs(got.Eval(x)-want.Eval(x)) > 1e-6*(1+math.Abs(want.Eval(x))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeZeroIsMean(t *testing.T) {
+	p, err := PolyFit([]float64{1, 2, 3}, []float64{2, 4, 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Eval(99)-4) > 1e-12 {
+		t.Fatalf("constant fit %v, want mean 4", p.Coeffs)
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 3); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+	if _, err := PolyFit([]float64{5, 5, 5, 5}, []float64{1, 2, 3, 4}, 2); err == nil {
+		t.Fatal("singular system accepted")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, -1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+func TestSequentialBaselineMatchesPaperMethod(t *testing.T) {
+	// Synthetic machine: T(N) = 2N³/rate exactly. The cubic baseline at a
+	// large N must then equal the true time.
+	rate := 110.7e6
+	ns := []int{1536, 2304, 3072, 3840}
+	times := make([]float64, len(ns))
+	for i, n := range ns {
+		nf := float64(n)
+		times[i] = 2 * nf * nf * nf / rate
+	}
+	got, err := SequentialBaseline(ns, times, 9216)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 9216.0 * 9216.0 * 9216.0 / rate
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("baseline %v, want %v", got, want)
+	}
+}
+
+func TestFitIgnoresThrashingOutliersByDesign(t *testing.T) {
+	// The paper fits only in-core points, then *predicts* the big-N time;
+	// the prediction must fall well below a thrashing measurement.
+	rate := 110.7e6
+	ns := []int{1536, 2304, 3072, 3840}
+	times := make([]float64, len(ns))
+	for i, n := range ns {
+		nf := float64(n)
+		times[i] = 2 * nf * nf * nf / rate
+	}
+	pred, err := SequentialBaseline(ns, times, 9216)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrashing := 36534.49 // the paper's measured N=9216 sequential time
+	if pred >= thrashing/2 {
+		t.Fatalf("cubic prediction %v not well below the thrashing time %v", pred, thrashing)
+	}
+}

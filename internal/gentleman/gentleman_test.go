@@ -1,0 +1,176 @@
+package gentleman
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+func testConfig(n, bs, p int) Config {
+	return Config{N: n, BS: bs, P: p, HW: machine.SunBlade100(), Seed: 7}
+}
+
+func verify(t *testing.T, v Variant, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(v, cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", v, err)
+	}
+	a, b := Inputs(cfg)
+	want := matrix.Mul(a, b)
+	if res.C == nil {
+		t.Fatalf("%v: no result", v)
+	}
+	if d := res.C.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("%v: result differs from reference by %g", v, d)
+	}
+	return res
+}
+
+func TestVariantsCorrectSim(t *testing.T) {
+	for _, v := range []Variant{Gentleman, Cannon, Overlap} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			verify(t, v, testConfig(24, 4, 3))
+		})
+	}
+}
+
+func TestVariantsCorrectReal(t *testing.T) {
+	for _, v := range []Variant{Gentleman, Cannon, Overlap} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			cfg := testConfig(24, 4, 3)
+			cfg.Real = true
+			verify(t, v, cfg)
+		})
+	}
+}
+
+func TestAcrossGeometries(t *testing.T) {
+	cases := []struct{ n, bs, p int }{
+		{8, 4, 2},
+		{16, 4, 4},
+		{36, 6, 3},
+		{40, 4, 5},
+		{12, 4, 3}, // one algorithmic block per rank: the fine-grained case
+	}
+	for _, tc := range cases {
+		for _, v := range []Variant{Gentleman, Cannon, Overlap} {
+			v, tc := v, tc
+			t.Run(fmt.Sprintf("%v/N%d-BS%d-P%d", v, tc.n, tc.bs, tc.p), func(t *testing.T) {
+				verify(t, v, testConfig(tc.n, tc.bs, tc.p))
+			})
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		testConfig(10, 4, 2),                            // N not multiple of BS
+		testConfig(16, 4, 3),                            // NB not multiple of P
+		{N: 16, BS: 4, P: 2, CopyLocal: true},           // CopyLocal without rate
+		{N: 0, BS: 4, P: 2},                             // zero N
+		{N: 16, BS: 4, P: 2, Phantom: true, Real: true}, // phantom+real
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPhantomMatchesRealSchedule(t *testing.T) {
+	for _, v := range []Variant{Gentleman, Cannon, Overlap} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			cfg := testConfig(24, 4, 3)
+			real, err := Run(v, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Phantom = true
+			ph, err := Run(v, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if real.Seconds != ph.Seconds {
+				t.Fatalf("schedules diverge: %v vs %v", real.Seconds, ph.Seconds)
+			}
+		})
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	cfg := testConfig(24, 4, 3)
+	cfg.Phantom = true
+	first, err := Run(Gentleman, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(Gentleman, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Seconds != first.Seconds {
+			t.Fatalf("virtual time differs: %v vs %v", again.Seconds, first.Seconds)
+		}
+	}
+}
+
+func TestPaperScaleOrderings(t *testing.T) {
+	// At the paper's granularity: single-step staggering beats stepwise
+	// (Cannon), and overlapping communication with computation beats the
+	// straightforward structure — the §5(1) discussion.
+	cfg := testConfig(1536, 128, 3)
+	cfg.Phantom = true
+	times := map[Variant]float64{}
+	for _, v := range []Variant{Gentleman, Cannon, Overlap} {
+		res, err := Run(v, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		times[v] = res.Seconds
+	}
+	if times[Gentleman] >= times[Cannon] {
+		t.Errorf("single-step staggering (%v) not faster than stepwise (%v)", times[Gentleman], times[Cannon])
+	}
+	if times[Overlap] >= times[Gentleman] {
+		t.Errorf("overlapped variant (%v) not faster than straightforward (%v)", times[Overlap], times[Gentleman])
+	}
+}
+
+func TestPointerSwapAblation(t *testing.T) {
+	// Disabling pointer swapping must cost time (local copies are charged)
+	// and must not change the result.
+	cfg := testConfig(24, 4, 3)
+	base := verify(t, Gentleman, cfg)
+
+	// A deliberately slow copy rate puts the row-0/column-0 ranks (whose
+	// staggering is a self-shift) on the critical path.
+	cfg.CopyLocal = true
+	cfg.CopyRate = 1e3
+	copied := verify(t, Gentleman, cfg)
+	if copied.Seconds <= base.Seconds {
+		t.Fatalf("CopyLocal run (%v) not slower than pointer-swapped (%v)", copied.Seconds, base.Seconds)
+	}
+}
+
+func TestGentlemanSpeedupShape(t *testing.T) {
+	// On a 3×3 grid at paper scale the MPI code achieves a healthy but
+	// sub-linear speedup (paper Table 4: 6.0–7.3 on 9 PEs).
+	cfg := testConfig(1536, 128, 3)
+	cfg.Phantom = true
+	res, err := Run(Gentleman, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := 2 * float64(cfg.N) * float64(cfg.N) * float64(cfg.N) / cfg.HW.CPURate
+	speedup := seq / res.Seconds
+	if speedup < 4.5 || speedup > 9 {
+		t.Fatalf("Gentleman 3×3 speedup %.2f outside the plausible band [4.5, 9]", speedup)
+	}
+}

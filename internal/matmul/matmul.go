@@ -1,0 +1,361 @@
+// Package matmul implements the paper's case study (§3): six incremental
+// parallelizations of matrix multiplication obtained by mechanically
+// applying the NavP transformations — DSC, Pipelining, and Phase shifting
+// — first along one dimension of the PE network, then along the second.
+//
+// Each stage is a direct transcription of the paper's pseudocode:
+//
+//	Sequential  — Figure 2, the starting point
+//	DSC1D       — Figure 5, one migrating thread chasing distributed data
+//	Pipeline1D  — Figure 7, one RowCarrier per block row, staggered
+//	Phase1D     — Figure 9, carriers enter the pipeline at distinct PEs
+//	DSC2D       — Figure 11, DSC applied again in the second dimension
+//	Pipeline2D  — Figure 13, per-block ACarriers/BCarriers in pipelines
+//	Phase2D     — Figure 15, full DPC in both dimensions (the stage that
+//	              resembles Gentleman's Algorithm)
+//
+// The paper presents the algorithms at fine granularity (N == P) and
+// notes that the coarse version substitutes a sub-matrix block for each
+// element (§3, §3.6). This package does exactly that: the algorithms run
+// on a virtual NB×NB grid of algorithmic blocks (NB = N/BS), mapped onto
+// the physical PEs in contiguous chunks. Hops between virtual nodes on
+// the same PE are free, as in MESSENGERS.
+package matmul
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/navp"
+)
+
+// Stage identifies one step of the incremental parallelization.
+type Stage int
+
+// The stages in the order the transformations produce them.
+const (
+	Sequential Stage = iota
+	DSC1D
+	Pipeline1D
+	Phase1D
+	DSC2D
+	Pipeline2D
+	Phase2D
+)
+
+// Stages lists all stages in transformation order.
+var Stages = []Stage{Sequential, DSC1D, Pipeline1D, Phase1D, DSC2D, Pipeline2D, Phase2D}
+
+// String returns the stage name as used in the paper's tables.
+func (s Stage) String() string {
+	switch s {
+	case Sequential:
+		return "Sequential"
+	case DSC1D:
+		return "NavP 1D DSC"
+	case Pipeline1D:
+		return "NavP 1D pipeline"
+	case Phase1D:
+		return "NavP 1D phase"
+	case DSC2D:
+		return "NavP 2D DSC"
+	case Pipeline2D:
+		return "NavP 2D pipeline"
+	case Phase2D:
+		return "NavP 2D phase"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// TwoDimensional reports whether the stage runs on a P×P grid (as opposed
+// to P PEs in a row).
+func (s Stage) TwoDimensional() bool { return s >= DSC2D }
+
+// Config describes one matrix-multiplication run.
+type Config struct {
+	// N is the matrix order; BS the algorithmic block size. N must be a
+	// multiple of BS, and N/BS a multiple of P.
+	N, BS int
+	// P is the PE count per network dimension: P machines for the 1-D
+	// stages, a P×P grid for the 2-D stages, 1 for Sequential.
+	P int
+	// Phantom selects shape-only blocks: message sizes, schedules, and
+	// charged flops are exact but no arithmetic is performed. Used to
+	// regenerate the paper's tables at full problem sizes.
+	Phantom bool
+	// Paged routes the Sequential stage's block accesses through the PE's
+	// LRU pager, reproducing the virtual-memory thrashing of the paper's
+	// out-of-core runs (Table 2, large-N rows of Table 1). Only
+	// meaningful on the sim backend.
+	Paged bool
+	// Real selects the real-goroutine backend instead of the simulator.
+	// Timings then reflect the host machine, not the paper's testbed.
+	Real bool
+	// HW is the simulated hardware (ignored when Real).
+	HW machine.Config
+	// NavP holds the MESSENGERS daemon cost parameters (ignored when Real).
+	NavP navp.Config
+	// Tracer, if non-nil, receives hop/compute/wait events.
+	Tracer navp.Tracer
+	// TuneCluster, if non-nil, adjusts the simulated hardware after
+	// construction (e.g. machine.Cluster.SetCPURate for heterogeneous
+	// experiments). Ignored on the real backend.
+	TuneCluster func(*machine.Cluster)
+	// Seed feeds the input generator for non-phantom runs.
+	Seed int64
+}
+
+// Validate reports whether the configuration is runnable for the stage.
+func (c Config) Validate(stage Stage) error {
+	if c.N <= 0 || c.BS <= 0 || c.P <= 0 {
+		return fmt.Errorf("matmul: N=%d BS=%d P=%d must be positive", c.N, c.BS, c.P)
+	}
+	if c.N%c.BS != 0 {
+		return fmt.Errorf("matmul: N=%d must be a multiple of BS=%d", c.N, c.BS)
+	}
+	nb := c.N / c.BS
+	if stage != Sequential && nb%c.P != 0 {
+		return fmt.Errorf("matmul: block grid order %d must be a multiple of P=%d", nb, c.P)
+	}
+	if c.Phantom && c.Real {
+		return fmt.Errorf("matmul: phantom blocks have no real-backend value")
+	}
+	if c.Paged && (stage != Sequential || c.Real) {
+		return fmt.Errorf("matmul: Paged applies only to Sequential on the sim backend")
+	}
+	return nil
+}
+
+// Result reports one run.
+type Result struct {
+	Stage Stage
+	// Seconds is the virtual finish time on the sim backend, or wall time
+	// on the real backend.
+	Seconds float64
+	// C is the assembled product, nil for phantom runs.
+	C *matrix.Dense
+	// PEs is the physical PE count used (P or P·P).
+	PEs int
+}
+
+// Run executes one stage and returns its result.
+func Run(stage Stage, cfg Config) (*Result, error) {
+	if err := cfg.Validate(stage); err != nil {
+		return nil, err
+	}
+	pr := newProblem(stage, cfg)
+	switch stage {
+	case Sequential:
+		pr.sequential()
+	case DSC1D:
+		pr.dsc1D()
+	case Pipeline1D:
+		pr.pipeline1D()
+	case Phase1D:
+		pr.phase1D()
+	case DSC2D:
+		pr.dsc2D()
+	case Pipeline2D:
+		pr.pipeline2D()
+	case Phase2D:
+		pr.phase2D()
+	default:
+		return nil, fmt.Errorf("matmul: unknown stage %d", int(stage))
+	}
+	if err := pr.sys.Run(); err != nil {
+		return nil, fmt.Errorf("matmul: %v on %d PEs: %w", stage, pr.pes, err)
+	}
+	res := &Result{Stage: stage, PEs: pr.pes}
+	if cfg.Real {
+		res.Seconds = float64(0) // real backend timing is the caller's testing.B concern
+	} else {
+		res.Seconds = pr.sys.VirtualTime()
+	}
+	if !cfg.Phantom {
+		res.C = pr.gatherC()
+	}
+	return res, nil
+}
+
+// problem holds one run's state: the NavP system, the blocked inputs, and
+// the virtual-grid geometry.
+type problem struct {
+	cfg   Config
+	stage Stage
+	sys   *navp.System
+	pes   int
+	// NB is the virtual grid order (N/BS); vpp the virtual nodes per PE
+	// along one dimension (NB/P).
+	NB, vpp int
+	A, B    *matrix.Blocked
+	elem    int
+}
+
+func newProblem(stage Stage, cfg Config) *problem {
+	pr := &problem{cfg: cfg, stage: stage, NB: cfg.N / cfg.BS}
+	pr.elem = cfg.HW.ElemBytes
+	if pr.elem == 0 {
+		pr.elem = 8
+	}
+	switch {
+	case stage == Sequential:
+		pr.pes = 1
+		pr.vpp = pr.NB
+	case stage.TwoDimensional():
+		pr.pes = cfg.P * cfg.P
+		pr.vpp = pr.NB / cfg.P
+	default:
+		pr.pes = cfg.P
+		pr.vpp = pr.NB / cfg.P
+	}
+	if cfg.Real {
+		pr.sys = navp.NewReal(cfg.NavP, pr.pes)
+	} else {
+		pr.sys = navp.NewSim(cfg.NavP, cfg.HW, pr.pes)
+	}
+	if cfg.Tracer != nil {
+		pr.sys.SetTracer(cfg.Tracer)
+	}
+	if cfg.TuneCluster != nil && !cfg.Real {
+		cfg.TuneCluster(pr.sys.Cluster())
+	}
+	pr.generateInputs()
+	return pr
+}
+
+func (pr *problem) generateInputs() {
+	if pr.cfg.Phantom {
+		pr.A = matrix.NewBlocked(pr.cfg.N, pr.cfg.BS, true)
+		pr.B = matrix.NewBlocked(pr.cfg.N, pr.cfg.BS, true)
+		return
+	}
+	rng := rand.New(rand.NewSource(pr.cfg.Seed))
+	a := matrix.NewDense(pr.cfg.N, pr.cfg.N)
+	b := matrix.NewDense(pr.cfg.N, pr.cfg.N)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	pr.A = matrix.Partition(a, pr.cfg.BS)
+	pr.B = matrix.Partition(b, pr.cfg.BS)
+}
+
+// Inputs returns dense copies of the generated inputs for verification.
+// It panics on phantom runs.
+func Inputs(cfg Config) (a, b *matrix.Dense) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a = matrix.NewDense(cfg.N, cfg.N)
+	b = matrix.NewDense(cfg.N, cfg.N)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	return a, b
+}
+
+// owner maps a virtual index to its PE chunk along one dimension.
+func (pr *problem) owner(v int) int { return v / pr.vpp }
+
+// pe1D returns the physical node of virtual column v in the 1-D network.
+func (pr *problem) pe1D(v int) int { return pr.owner(v) }
+
+// pe2D returns the physical node of virtual cell (vi, vj) on the P×P grid.
+func (pr *problem) pe2D(vi, vj int) int { return pr.owner(vi)*pr.cfg.P + pr.owner(vj) }
+
+// Node-variable keys. Virtual coordinates are part of the key because
+// several virtual nodes share one physical PE.
+func aRowKey(i int) string    { return "Arow:" + strconv.Itoa(i) }
+func bKey(k, j int) string    { return "B:" + strconv.Itoa(k) + ":" + strconv.Itoa(j) }
+func bColKey(i, j int) string { return "Bcol:" + strconv.Itoa(i) + ":" + strconv.Itoa(j) }
+func cKey(i, j int) string    { return "C:" + strconv.Itoa(i) + ":" + strconv.Itoa(j) }
+func epKey(i, j int) string   { return "EP:" + strconv.Itoa(i) + ":" + strconv.Itoa(j) }
+func ecKey(i, j int) string   { return "EC:" + strconv.Itoa(i) + ":" + strconv.Itoa(j) }
+func bDepositKey(i, j, k int) string {
+	return "Bdep:" + strconv.Itoa(i) + ":" + strconv.Itoa(j) + ":" + strconv.Itoa(k)
+}
+
+// epKey3 is the per-k variant of EP used by the per-block carriers of
+// Figures 13 and 15: it pairs A(i,k) with the deposit of B(k,j)
+// explicitly, so correctness does not depend on carrier arrival order
+// (the paper's fine-grained protocol relies on FIFO delivery for the
+// same pairing; on the FIFO simulation backend the two are identical).
+func epKey3(i, j, k int) string {
+	return "EP:" + strconv.Itoa(i) + ":" + strconv.Itoa(j) + ":" + strconv.Itoa(k)
+}
+
+// aRow materializes block row i of A as a slice of blocks.
+func (pr *problem) aRow(i int) []*matrix.Block {
+	row := make([]*matrix.Block, pr.NB)
+	for k := 0; k < pr.NB; k++ {
+		row[k] = pr.A.Block(i, k)
+	}
+	return row
+}
+
+// bCol materializes block column j of B.
+func (pr *problem) bCol(j int) []*matrix.Block {
+	col := make([]*matrix.Block, pr.NB)
+	for k := 0; k < pr.NB; k++ {
+		col[k] = pr.B.Block(k, j)
+	}
+	return col
+}
+
+// blocksBytes returns the payload size of a slice of blocks.
+func (pr *problem) blocksBytes(blocks []*matrix.Block) int64 {
+	var total int64
+	for _, b := range blocks {
+		total += b.Bytes(pr.elem)
+	}
+	return total
+}
+
+// newCBlock returns a zeroed (or phantom) C block of the right shape.
+func (pr *problem) newCBlock(i, j int) *matrix.Block {
+	rows := pr.A.Block(i, 0).Rows
+	cols := pr.B.Block(0, j).Cols
+	if pr.cfg.Phantom {
+		return matrix.NewPhantomBlock(i, j, rows, cols)
+	}
+	return matrix.NewBlock(i, j, rows, cols)
+}
+
+// blockFlops is the work of one BS×BS block multiply-accumulate.
+func (pr *problem) blockFlops() float64 {
+	bs := float64(pr.cfg.BS)
+	return 2 * bs * bs * bs
+}
+
+// visitFlops is the work of one virtual-node visit of a 1-D RowCarrier or
+// a 2-D (whole-column) DSC RowCarrier: one C block updated against a full
+// block row/column pair, NB block multiplies.
+func (pr *problem) visitFlops() float64 {
+	return pr.blockFlops() * float64(pr.NB)
+}
+
+// gatherC collects the C blocks from the node variables they ended on and
+// assembles the product. Every stage stores C(i,j) under cKey(i,j) on the
+// virtual cell's owner node (node 0 for Sequential; the 1-D column owner;
+// the 2-D grid cell owner).
+func (pr *problem) gatherC() *matrix.Dense {
+	out := matrix.NewBlocked(pr.cfg.N, pr.cfg.BS, false)
+	for i := 0; i < pr.NB; i++ {
+		for j := 0; j < pr.NB; j++ {
+			nd := pr.sys.Node(pr.cNode(i, j))
+			blk := navp.NodeVar[*matrix.Block](nd, cKey(i, j))
+			out.SetBlock(i, j, blk)
+		}
+	}
+	return out.Assemble()
+}
+
+// cNode returns the physical node holding C(i,j) for the current stage.
+func (pr *problem) cNode(i, j int) int {
+	switch {
+	case pr.stage == Sequential:
+		return 0
+	case pr.stage.TwoDimensional():
+		return pr.pe2D(i, j)
+	default:
+		return pr.pe1D(j)
+	}
+}

@@ -1,0 +1,268 @@
+package matmul
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/navp"
+)
+
+func testConfig(n, bs, p int) Config {
+	return Config{
+		N: n, BS: bs, P: p,
+		HW:   machine.SunBlade100(),
+		NavP: navp.DefaultConfig(),
+		Seed: 42,
+	}
+}
+
+// verify runs a stage and compares its product against the dense
+// reference multiply.
+func verify(t *testing.T, stage Stage, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(stage, cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", stage, err)
+	}
+	a, b := Inputs(cfg)
+	want := matrix.Mul(a, b)
+	if res.C == nil {
+		t.Fatalf("%v: no result matrix", stage)
+	}
+	if d := res.C.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("%v: result differs from reference by %g", stage, d)
+	}
+	return res
+}
+
+func TestAllStagesCorrectSim(t *testing.T) {
+	for _, stage := range Stages {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			verify(t, stage, testConfig(24, 4, 3)) // NB=6, P=3
+		})
+	}
+}
+
+func TestAllStagesCorrectReal(t *testing.T) {
+	for _, stage := range Stages {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			cfg := testConfig(24, 4, 3)
+			cfg.Real = true
+			verify(t, stage, cfg)
+		})
+	}
+}
+
+func TestStagesAcrossGeometries(t *testing.T) {
+	cases := []struct{ n, bs, p int }{
+		{8, 4, 2},  // NB=2, minimal
+		{16, 4, 2}, // NB=4
+		{16, 4, 4}, // NB=P: the paper's fine granularity
+		{36, 6, 3}, // NB=6, odd-ish sizes
+		{40, 8, 5}, // NB=5, P=5 (1-D only sizes also valid 2-D: 25 PEs)
+	}
+	for _, tc := range cases {
+		for _, stage := range Stages {
+			stage, tc := stage, tc
+			t.Run(fmt.Sprintf("%v/N%d-BS%d-P%d", stage, tc.n, tc.bs, tc.p), func(t *testing.T) {
+				verify(t, stage, testConfig(tc.n, tc.bs, tc.p))
+			})
+		}
+	}
+}
+
+func TestFineGranularityMatchesPaper(t *testing.T) {
+	// N == P at block granularity: one block per virtual node, the exact
+	// setting of the paper's pseudocode (§3: "we assume N == P").
+	for _, stage := range Stages[1:] {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			verify(t, stage, testConfig(12, 4, 3)) // NB=3=P
+		})
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name  string
+		stage Stage
+		cfg   Config
+	}{
+		{"indivisible N/BS", DSC1D, testConfig(10, 4, 2)},
+		{"indivisible NB/P", DSC1D, testConfig(16, 4, 3)},
+		{"zero N", Sequential, testConfig(0, 4, 1)},
+		{"phantom+real", DSC1D, func() Config {
+			c := testConfig(16, 4, 2)
+			c.Phantom = true
+			c.Real = true
+			return c
+		}()},
+		{"paged parallel", DSC1D, func() Config {
+			c := testConfig(16, 4, 2)
+			c.Paged = true
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.stage, tc.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestPhantomMatchesRealSchedule(t *testing.T) {
+	// A phantom run must charge exactly the virtual time of the same run
+	// with real data: identical hops, events, and flops — only the
+	// arithmetic is skipped.
+	for _, stage := range Stages {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			cfg := testConfig(24, 4, 3)
+			real, err := Run(stage, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Phantom = true
+			phantom, err := Run(stage, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if real.Seconds != phantom.Seconds {
+				t.Fatalf("schedules diverge: real %v vs phantom %v", real.Seconds, phantom.Seconds)
+			}
+		})
+	}
+}
+
+func TestSimDeterministicAcrossRuns(t *testing.T) {
+	for _, stage := range []Stage{Phase1D, Pipeline2D, Phase2D} {
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			first, err := Run(stage, testConfig(24, 4, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				again, err := Run(stage, testConfig(24, 4, 3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again.Seconds != first.Seconds {
+					t.Fatalf("run %d: %v vs %v", i, again.Seconds, first.Seconds)
+				}
+			}
+		})
+	}
+}
+
+func TestTransformationsImprove(t *testing.T) {
+	// The paper's central claim: every transformation improves on its
+	// predecessor. The orderings hold at realistic granularity (the
+	// paper's 128-order algorithmic blocks take ~38 ms each, dwarfing
+	// per-hop overheads), so this runs the actual Table 1/4 small
+	// configuration with phantom blocks: N=1536, BS=128, 3 PEs per
+	// dimension.
+	cfg := testConfig(1536, 128, 3) // NB=12
+	times := map[Stage]float64{}
+	for _, stage := range Stages {
+		cfg := cfg
+		cfg.Phantom = true
+		res, err := Run(stage, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", stage, err)
+		}
+		times[stage] = res.Seconds
+	}
+	seq := times[Sequential]
+	if dsc := times[DSC1D]; dsc < seq*0.95 || dsc > seq*1.3 {
+		t.Errorf("1D DSC %v not within [0.95,1.3]× sequential %v", times[DSC1D], seq)
+	}
+	if times[Pipeline1D] >= times[DSC1D] {
+		t.Errorf("1D pipelining did not improve: %v >= %v", times[Pipeline1D], times[DSC1D])
+	}
+	if times[Phase1D] >= times[Pipeline1D] {
+		t.Errorf("1D phase shifting did not improve: %v >= %v", times[Phase1D], times[Pipeline1D])
+	}
+	if times[Pipeline2D] >= times[DSC2D] {
+		t.Errorf("2D pipelining did not improve: %v >= %v", times[Pipeline2D], times[DSC2D])
+	}
+	if times[Phase2D] >= times[Pipeline2D] {
+		t.Errorf("2D phase shifting did not improve: %v >= %v", times[Phase2D], times[Pipeline2D])
+	}
+	// Full 2-D DPC on 9 PEs must beat full 1-D DPC on 3 PEs.
+	if times[Phase2D] >= times[Phase1D] {
+		t.Errorf("2D phase %v not faster than 1D phase %v", times[Phase2D], times[Phase1D])
+	}
+}
+
+func TestPagedSequentialSlowerWhenOversubscribed(t *testing.T) {
+	cfg := testConfig(64, 8, 1)
+	cfg.Phantom = true
+	inCore, err := Run(Sequential, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink memory so the three matrices (3·64²·4 B with ElemBytes=4)
+	// far exceed it, then run through the pager.
+	cfg.Paged = true
+	cfg.HW.MemoryBytes = 3 * 64 * 8 * int64(cfg.HW.ElemBytes) // a few block rows
+	cfg.HW.PageInRate = 1e6
+	paged, err := Run(Sequential, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.Seconds <= inCore.Seconds*1.5 {
+		t.Fatalf("thrashing run %v not clearly slower than in-core %v", paged.Seconds, inCore.Seconds)
+	}
+}
+
+func TestPagedSequentialCorrect(t *testing.T) {
+	cfg := testConfig(16, 4, 1)
+	cfg.Paged = true
+	cfg.HW.MemoryBytes = 1024
+	verify(t, Sequential, cfg)
+}
+
+func TestResultReportsPEs(t *testing.T) {
+	res, err := Run(Phase2D, func() Config { c := testConfig(16, 4, 2); c.Phantom = true; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEs != 4 {
+		t.Fatalf("PEs = %d, want 4", res.PEs)
+	}
+	res, err = Run(Phase1D, func() Config { c := testConfig(16, 4, 2); c.Phantom = true; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEs != 2 {
+		t.Fatalf("PEs = %d, want 2", res.PEs)
+	}
+}
+
+func TestStageStringNames(t *testing.T) {
+	if Sequential.String() != "Sequential" || Phase2D.String() != "NavP 2D phase" {
+		t.Fatal("stage names changed; the bench tables depend on them")
+	}
+	if !Phase2D.TwoDimensional() || Phase1D.TwoDimensional() {
+		t.Fatal("TwoDimensional misclassifies stages")
+	}
+}
+
+func TestMediumScaleRealDataSpotCheck(t *testing.T) {
+	// A larger real-data run through the simulator: all the machinery —
+	// carriers, events, per-k deposits — at a scale where block counts,
+	// wrap-arounds, and pipeline depth are all non-trivial.
+	if testing.Short() {
+		t.Skip("medium-scale run skipped in -short mode")
+	}
+	cfg := testConfig(256, 32, 4) // NB=8 on a 4×4 grid (16 PEs)
+	verify(t, Phase2D, cfg)
+	verify(t, Pipeline2D, cfg)
+}

@@ -1,0 +1,228 @@
+package matmul
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/matrix"
+	"repro/internal/navp"
+)
+
+// The 2-D stages run on a P×P grid of PEs carrying an NB×NB virtual grid
+// of algorithmic cells. Virtual cell (i,j) hosts C(i,j); the carriers of
+// §3.4–3.6 walk the virtual grid, with hops between cells on the same PE
+// free.
+
+// dsc2D stages the paper's Figure 11: the DSC Transformation applied in
+// the second dimension. Initially A(NB−1−l,*) (a whole block row) and
+// B(*,l) (a whole block column) sit on virtual cell (NB−1−l, l); C(i,j)
+// is zeroed on cell (i,j). ColCarriers ship whole B columns down their
+// grid column, depositing a copy at every cell; RowCarriers follow,
+// consuming them (event EP per cell).
+func (pr *problem) dsc2D() {
+	pr.placeC2D()
+	for l := 0; l < pr.NB; l++ {
+		nd := pr.sys.Node(pr.pe2D(pr.NB-1-l, l))
+		nd.Set(aRowKey(pr.NB-1-l), pr.aRow(pr.NB-1-l))
+		nd.Set("BcolHome:"+itoa(l), pr.bCol(l))
+	}
+
+	pr.sys.Inject(0, "injector", func(ag *navp.Agent) {
+		for l := 0; l < pr.NB; l++ {
+			ml := l
+			mi := pr.NB - 1 - ml
+			ag.Hop(pr.pe2D(mi, ml))
+			ag.Inject(fmt.Sprintf("RowCarrier(%d)", mi), func(rc *navp.Agent) {
+				pr.rowCarrier2D(rc, mi)
+			})
+			ag.Inject(fmt.Sprintf("ColCarrier(%d)", ml), func(cc *navp.Agent) {
+				pr.colCarrier2D(cc, ml)
+			})
+		}
+	})
+}
+
+// rowCarrier2D is Figure 11's RowCarrier(mi): carry block row mi of A
+// through virtual cells (mi, (NB−1−mi+mj) mod NB), waiting at each for
+// the ColCarrier to have deposited the B column, then updating C.
+func (pr *problem) rowCarrier2D(rc *navp.Agent, mi int) {
+	row := navp.NodeVar[[]*matrix.Block](rc.Node(), aRowKey(mi))
+	rc.Set("mA", row, pr.blocksBytes(row))
+	for mj := 0; mj < pr.NB; mj++ {
+		col := (pr.NB - 1 - mi + mj) % pr.NB
+		rc.Hop(pr.pe2D(mi, col))
+		rc.WaitEvent(epKey(mi, col))
+		nd := rc.Node()
+		c := navp.NodeVar[*matrix.Block](nd, cKey(mi, col))
+		bcol := navp.NodeVar[[]*matrix.Block](nd, bColKey(mi, col))
+		rc.Compute(pr.visitFlops(), func() {
+			for k := 0; k < pr.NB; k++ {
+				matrix.MulAdd(c, row[k], bcol[k])
+			}
+		})
+	}
+}
+
+// colCarrier2D is Figure 11's ColCarrier(mj): carry block column mj of B
+// through virtual cells ((NB−1−mj+mi) mod NB, mj), depositing the column
+// and signaling EP at each.
+func (pr *problem) colCarrier2D(cc *navp.Agent, mj int) {
+	col := navp.NodeVar[[]*matrix.Block](cc.Node(), "BcolHome:"+itoa(mj))
+	cc.Set("mB", col, pr.blocksBytes(col))
+	for mi := 0; mi < pr.NB; mi++ {
+		row := (pr.NB - 1 - mj + mi) % pr.NB
+		cc.Hop(pr.pe2D(row, mj))
+		cc.Node().Set(bColKey(row, mj), col)
+		cc.SignalEvent(epKey(row, mj))
+	}
+}
+
+// pipeline2D stages the paper's Figure 13: pipelining in both dimensions.
+// The initial layout is that of Figure 12 (same gathered rows/columns as
+// 2-D DSC), but now every algorithmic block of A and B is carried by its
+// own thread: a pair of A and B blocks moves on as soon as it has
+// contributed its C update. EP/EC events alternate producers (BCarriers)
+// and consumers (ACarriers) at every cell; EC is pre-signaled everywhere.
+func (pr *problem) pipeline2D() {
+	pr.placeC2D()
+	for l := 0; l < pr.NB; l++ {
+		nd := pr.sys.Node(pr.pe2D(pr.NB-1-l, l))
+		nd.Set(aRowKey(pr.NB-1-l), pr.aRow(pr.NB-1-l))
+		nd.Set("BcolHome:"+itoa(l), pr.bCol(l))
+	}
+	pr.preSignalEC()
+
+	pr.sys.Inject(0, "injector", func(ag *navp.Agent) {
+		for l := 0; l < pr.NB; l++ {
+			ml := l
+			ag.Hop(pr.pe2D(pr.NB-1-ml, ml))
+			ag.Inject(fmt.Sprintf("spawner(%d)", ml), func(sp *navp.Agent) {
+				mi := pr.NB - 1 - ml
+				aRow := navp.NodeVar[[]*matrix.Block](sp.Node(), aRowKey(mi))
+				bCol := navp.NodeVar[[]*matrix.Block](sp.Node(), "BcolHome:"+itoa(ml))
+				for k := 0; k < pr.NB; k++ {
+					mk := k
+					sp.Inject(fmt.Sprintf("ACarrier(%d,%d)", mi, mk), func(ac *navp.Agent) {
+						pr.aCarrier(ac, mi, mk, aRow[mk], func(mj int) int {
+							return (pr.NB - 1 - mi + mj) % pr.NB
+						})
+					})
+					sp.Inject(fmt.Sprintf("BCarrier(%d,%d)", mk, ml), func(bc *navp.Agent) {
+						pr.bCarrier(bc, mk, ml, bCol[mk], func(mi2 int) int {
+							return (pr.NB - 1 - ml + mi2) % pr.NB
+						})
+					})
+				}
+			})
+		}
+	})
+}
+
+// phase2D stages the paper's Figure 15: full DPC in both dimensions, the
+// stage that resembles Gentleman's Algorithm. Every matrix starts in its
+// canonical home — A(i,j), B(i,j), and C(i,j) on cell (i,j) — and the
+// carriers' first hops realize the reverse staggering.
+func (pr *problem) phase2D() {
+	pr.placeC2D()
+	for i := 0; i < pr.NB; i++ {
+		for j := 0; j < pr.NB; j++ {
+			nd := pr.sys.Node(pr.pe2D(i, j))
+			nd.Set("Ahome:"+itoa(i)+":"+itoa(j), pr.A.Block(i, j))
+			nd.Set("Bhome:"+itoa(i)+":"+itoa(j), pr.B.Block(i, j))
+		}
+	}
+	pr.sys.Inject(0, "injector", func(ag *navp.Agent) {
+		for j := 0; j < pr.NB; j++ {
+			mj := j
+			ag.Hop(pr.pe2D(0, mj))
+			ag.Inject(fmt.Sprintf("spawner(%d)", mj), func(sp *navp.Agent) {
+				for i := 0; i < pr.NB; i++ {
+					mi := i
+					sp.Hop(pr.pe2D(mi, mj))
+					sp.SignalEvent(ecKey(mi, mj)) // Figure 15 line (4)
+					aBlk := navp.NodeVar[*matrix.Block](sp.Node(), "Ahome:"+itoa(mi)+":"+itoa(mj))
+					bBlk := navp.NodeVar[*matrix.Block](sp.Node(), "Bhome:"+itoa(mi)+":"+itoa(mj))
+					// ACarrier(mi, mk) with mk = home column mj.
+					sp.Inject(fmt.Sprintf("ACarrier(%d,%d)", mi, mj), func(ac *navp.Agent) {
+						pr.aCarrier(ac, mi, mj, aBlk, func(step int) int {
+							return ((pr.NB-1-mi-mj+step)%pr.NB + pr.NB) % pr.NB
+						})
+					})
+					// BCarrier(mk, mj) with mk = home row mi.
+					sp.Inject(fmt.Sprintf("BCarrier(%d,%d)", mi, mj), func(bc *navp.Agent) {
+						pr.bCarrier(bc, mi, mj, bBlk, func(step int) int {
+							return ((pr.NB-1-mj-mi+step)%pr.NB + pr.NB) % pr.NB
+						})
+					})
+				}
+			})
+		}
+	})
+}
+
+// aCarrier is the ACarrier of Figures 13/15: carry one algorithmic block
+// of A along row mi, visiting the virtual column colAt(step) at each
+// step; at each cell wait EP, update C with the deposited B block, and
+// signal EC.
+func (pr *problem) aCarrier(ac *navp.Agent, mi, mk int, blk *matrix.Block, colAt func(step int) int) {
+	ac.Set("mA", blk, blk.Bytes(pr.elem))
+	for mj := 0; mj < pr.NB; mj++ {
+		col := colAt(mj)
+		ac.Hop(pr.pe2D(mi, col))
+		ac.WaitEvent(epKey3(mi, col, mk))
+		nd := ac.Node()
+		c := navp.NodeVar[*matrix.Block](nd, cKey(mi, col))
+		b := navp.NodeVar[*matrix.Block](nd, bDepositKey(mi, col, mk))
+		ac.Compute(pr.blockFlops(), func() { matrix.MulAdd(c, blk, b) })
+		ac.SignalEvent(ecKey(mi, col))
+	}
+}
+
+// bCarrier is the BCarrier of Figures 13/15: carry one algorithmic block
+// of B along column mj, visiting the virtual row rowAt(step) at each
+// step; at each cell wait EC (the previous B block consumed), deposit,
+// and signal EP.
+func (pr *problem) bCarrier(bc *navp.Agent, mk, mj int, blk *matrix.Block, rowAt func(step int) int) {
+	bc.Set("mB", blk, blk.Bytes(pr.elem))
+	sim := bc.System().Simulated()
+	for mi := 0; mi < pr.NB; mi++ {
+		row := rowAt(mi)
+		bc.Hop(pr.pe2D(row, mj))
+		// The EC wait models the paper's single B buffer per cell: the
+		// predecessor's deposit must be consumed before the next one
+		// lands. Its liveness relies on FIFO carrier arrival, which the
+		// simulation backend guarantees (as does a real MESSENGERS
+		// network) but the goroutine backend does not; there, the per-k
+		// deposit keys already make deposits conflict-free, so the wait
+		// is skipped rather than risked as a deadlock.
+		if sim {
+			bc.WaitEvent(ecKey(row, mj))
+		}
+		bc.Node().Set(bDepositKey(row, mj, mk), blk)
+		bc.SignalEvent(epKey3(row, mj, mk))
+	}
+}
+
+// placeC2D zeroes C(i,j) on virtual cell (i,j) for all cells.
+func (pr *problem) placeC2D() {
+	for i := 0; i < pr.NB; i++ {
+		for j := 0; j < pr.NB; j++ {
+			pr.sys.Node(pr.pe2D(i, j)).Set(cKey(i, j), pr.newCBlock(i, j))
+		}
+	}
+}
+
+// preSignalEC signals EC(i,j) once on every cell — Figure 13/15's initial
+// condition permitting the first B deposit.
+func (pr *problem) preSignalEC() {
+	pr.sys.Inject(0, "init-EC", func(ag *navp.Agent) {
+		for i := 0; i < pr.NB; i++ {
+			for j := 0; j < pr.NB; j++ {
+				ag.Hop(pr.pe2D(i, j))
+				ag.SignalEvent(ecKey(i, j))
+			}
+		}
+	})
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

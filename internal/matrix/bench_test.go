@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBlocks(bs int) (c, a, b *Block) {
+	rng := rand.New(rand.NewSource(1))
+	a = NewBlock(0, 0, bs, bs)
+	b = NewBlock(0, 0, bs, bs)
+	c = NewBlock(0, 0, bs, bs)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		b.Data[i] = rng.Float64()
+	}
+	return c, a, b
+}
+
+// BenchmarkMulAdd measures the block kernel at the paper's block sizes.
+func BenchmarkMulAdd(b *testing.B) {
+	for _, bs := range []int{32, 64, 128, 256} {
+		bs := bs
+		b.Run(itoa(bs), func(b *testing.B) {
+			cb, ab, bb := benchBlocks(bs)
+			b.SetBytes(int64(3 * bs * bs * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulAdd(cb, ab, bb)
+			}
+			flops := 2 * float64(bs) * float64(bs) * float64(bs)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflop/s")
+		})
+	}
+}
+
+// BenchmarkMulBlockedVsNaive compares the cache-blocked full multiply
+// against the straight triple loop.
+func BenchmarkMulBlockedVsNaive(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(2))
+	x := NewDense(n, n)
+	y := NewDense(n, n)
+	x.FillRandom(rng)
+	y.FillRandom(rng)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Mul(x, y)
+		}
+	})
+	b.Run("blocked64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MulBlocked(x, y, 64)
+		}
+	})
+}
+
+// BenchmarkPartitionAssemble measures the blocked-view conversion.
+func BenchmarkPartitionAssemble(b *testing.B) {
+	const n = 512
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(n, n)
+	d.FillRandom(rng)
+	b.SetBytes(int64(n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(d, 128).Assemble()
+	}
+}
+
+// BenchmarkSchedulePhases measures the staggering scheduler.
+func BenchmarkSchedulePhases(b *testing.B) {
+	p := ForwardStagger(255, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SchedulePhases(p)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,203 @@
+package matrix
+
+import "fmt"
+
+// Block is one algorithmic block of a partitioned matrix: the unit of
+// data a migrating carrier ships and a dgemm kernel consumes (paper
+// §3.6). A Block with nil Data is a phantom: it has full logical shape
+// and size (so message costs and schedules are exact) but carries no
+// elements and skips arithmetic. Phantom blocks let the harness replay
+// the paper's N=6144+ experiments in virtual time without doing hundreds
+// of Gflop of real math.
+type Block struct {
+	// BR, BC are the block's coordinates in the blocked matrix it was
+	// partitioned from.
+	BR, BC int
+	// Rows, Cols are the block's logical element dimensions.
+	Rows, Cols int
+	// Data holds the elements row-major, or is nil for a phantom block.
+	Data []float64
+}
+
+// NewBlock returns a zeroed block with the given coordinates and shape.
+func NewBlock(br, bc, rows, cols int) *Block {
+	return &Block{BR: br, BC: bc, Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewPhantomBlock returns a shape-only block.
+func NewPhantomBlock(br, bc, rows, cols int) *Block {
+	return &Block{BR: br, BC: bc, Rows: rows, Cols: cols}
+}
+
+// Phantom reports whether the block carries no data.
+func (b *Block) Phantom() bool { return b.Data == nil }
+
+// Bytes returns the logical payload size of the block for the given
+// element width, which is what a hop or message transfer is charged,
+// whether or not the block is phantom.
+func (b *Block) Bytes(elemBytes int) int64 {
+	return int64(b.Rows) * int64(b.Cols) * int64(elemBytes)
+}
+
+// Flops returns the floating-point work of one multiply-accumulate of
+// this block against a compatible partner (2·m·n·k).
+func (b *Block) Flops(partnerCols int) float64 {
+	return 2 * float64(b.Rows) * float64(b.Cols) * float64(partnerCols)
+}
+
+// At returns element (i, j) of a non-phantom block.
+func (b *Block) At(i, j int) float64 { return b.Data[i*b.Cols+j] }
+
+// Set assigns element (i, j) of a non-phantom block.
+func (b *Block) Set(i, j int, v float64) { b.Data[i*b.Cols+j] = v }
+
+// Clone returns a deep copy (phantoms clone to phantoms).
+func (b *Block) Clone() *Block {
+	c := &Block{BR: b.BR, BC: b.BC, Rows: b.Rows, Cols: b.Cols}
+	if b.Data != nil {
+		c.Data = append([]float64(nil), b.Data...)
+	}
+	return c
+}
+
+// MulAdd computes c += a×b on blocks. Shapes must conform. If any operand
+// is phantom the arithmetic is skipped (the caller still charges model
+// time); mixing phantom and real operands is a programming error and
+// panics, since it would silently corrupt a real result.
+func MulAdd(c, a, b *Block) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulAdd shape mismatch: c %d×%d, a %d×%d, b %d×%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	np := 0
+	if a.Phantom() {
+		np++
+	}
+	if b.Phantom() {
+		np++
+	}
+	if c.Phantom() {
+		np++
+	}
+	if np == 3 {
+		return
+	}
+	if np != 0 {
+		panic("matrix: MulAdd mixes phantom and real blocks")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		cr := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k, aik := range ar {
+			if aik == 0 {
+				continue
+			}
+			br := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range br {
+				cr[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// Blocked is a square matrix partitioned into a grid of algorithmic
+// blocks. NB is the block-grid order; blocks on the bottom/right edges
+// may be smaller when the matrix order is not a multiple of the block
+// size.
+type Blocked struct {
+	// N is the matrix order, BS the nominal block size, NB the block-grid
+	// order (ceil(N/BS)).
+	N, BS, NB int
+	blocks    []*Block // NB×NB, row-major
+}
+
+// Partition copies square matrix d into a blocked form with block size
+// bs.
+func Partition(d *Dense, bs int) *Blocked {
+	if d.Rows != d.Cols {
+		panic(fmt.Sprintf("matrix: Partition requires a square matrix, got %d×%d", d.Rows, d.Cols))
+	}
+	bm := NewBlocked(d.Rows, bs, false)
+	for br := 0; br < bm.NB; br++ {
+		for bc := 0; bc < bm.NB; bc++ {
+			blk := bm.Block(br, bc)
+			r0, c0 := br*bs, bc*bs
+			for i := 0; i < blk.Rows; i++ {
+				copy(blk.Data[i*blk.Cols:(i+1)*blk.Cols], d.Data[(r0+i)*d.Stride+c0:(r0+i)*d.Stride+c0+blk.Cols])
+			}
+		}
+	}
+	return bm
+}
+
+// NewBlocked returns an order-n blocked matrix of zeroed (or phantom)
+// blocks with block size bs.
+func NewBlocked(n, bs int, phantom bool) *Blocked {
+	if n <= 0 || bs <= 0 {
+		panic(fmt.Sprintf("matrix: invalid blocked dimensions n=%d bs=%d", n, bs))
+	}
+	nb := (n + bs - 1) / bs
+	bm := &Blocked{N: n, BS: bs, NB: nb, blocks: make([]*Block, nb*nb)}
+	for br := 0; br < nb; br++ {
+		rows := min(bs, n-br*bs)
+		for bc := 0; bc < nb; bc++ {
+			cols := min(bs, n-bc*bs)
+			if phantom {
+				bm.blocks[br*nb+bc] = NewPhantomBlock(br, bc, rows, cols)
+			} else {
+				bm.blocks[br*nb+bc] = NewBlock(br, bc, rows, cols)
+			}
+		}
+	}
+	return bm
+}
+
+// Block returns the block at block-grid coordinates (br, bc).
+func (bm *Blocked) Block(br, bc int) *Block { return bm.blocks[br*bm.NB+bc] }
+
+// SetBlock replaces the block at (br, bc). The replacement must have the
+// same shape as the original.
+func (bm *Blocked) SetBlock(br, bc int, b *Block) {
+	old := bm.Block(br, bc)
+	if b.Rows != old.Rows || b.Cols != old.Cols {
+		panic(fmt.Sprintf("matrix: SetBlock shape mismatch at (%d,%d): %d×%d vs %d×%d",
+			br, bc, b.Rows, b.Cols, old.Rows, old.Cols))
+	}
+	bm.blocks[br*bm.NB+bc] = b
+}
+
+// Phantom reports whether the blocked matrix holds phantom blocks (it
+// checks the first block; mixtures are not constructed by this package).
+func (bm *Blocked) Phantom() bool { return bm.blocks[0].Phantom() }
+
+// Assemble copies the blocks back into a dense matrix. It panics on a
+// phantom matrix.
+func (bm *Blocked) Assemble() *Dense {
+	if bm.Phantom() {
+		panic("matrix: Assemble on phantom blocked matrix")
+	}
+	d := NewDense(bm.N, bm.N)
+	for br := 0; br < bm.NB; br++ {
+		for bc := 0; bc < bm.NB; bc++ {
+			blk := bm.Block(br, bc)
+			r0, c0 := br*bm.BS, bc*bm.BS
+			for i := 0; i < blk.Rows; i++ {
+				copy(d.Data[(r0+i)*d.Stride+c0:(r0+i)*d.Stride+c0+blk.Cols], blk.Data[i*blk.Cols:(i+1)*blk.Cols])
+			}
+		}
+	}
+	return d
+}
+
+// TotalBytes returns the logical size of the whole matrix for the given
+// element width.
+func (bm *Blocked) TotalBytes(elemBytes int) int64 {
+	return int64(bm.N) * int64(bm.N) * int64(elemBytes)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package matrix
+
+import "fmt"
+
+// This file implements the initial-staggering schedules discussed in §5(3)
+// of the paper. Both Gentleman's/Cannon's Algorithm ("forward staggering")
+// and the NavP programs ("reverse staggering") begin by permuting the
+// columns of each A row (and the rows of each B column) across the PE
+// grid. The paper observes that reverse staggering never needs more than
+// two communication phases while forward staggering often needs three.
+//
+// The phase model is the half-duplex exchange model of the paper's
+// Ethernet testbed: in one phase a PE participates in at most one
+// transfer, as either sender or receiver. Under this model the transfers
+// of a permutation decompose into cycles, the edges of an even cycle can
+// be 2-colored into two phases, and an odd cycle (length ≥ 3) needs a
+// third phase. Forward staggering shifts row i by i — a cyclic shift whose
+// cycles have length N/gcd(N, i), frequently odd. Reverse staggering maps
+// k to (c − k) mod N — an involution, whose cycles all have length ≤ 2.
+
+// ForwardStagger returns, for shift s over n positions, the permutation
+// sending position k to (k − s) mod n. This is the column movement of row
+// s of A (and, transposed, the row movement of column s of B) in
+// Gentleman's and Cannon's algorithms.
+func ForwardStagger(n, s int) []int {
+	p := make([]int, n)
+	for k := 0; k < n; k++ {
+		p[k] = ((k-s)%n + n) % n
+	}
+	return p
+}
+
+// ReverseStagger returns, for offset c over n positions, the permutation
+// sending position k to (c − k) mod n. This is the column movement
+// performed by the first hop of the NavP carriers: ACarrier(i, k) starting
+// in column k of row i moves to column (N−1−i−k) mod N, i.e. c = N−1−i.
+func ReverseStagger(n, c int) []int {
+	p := make([]int, n)
+	for k := 0; k < n; k++ {
+		p[k] = ((c-k)%n + n) % n
+	}
+	return p
+}
+
+// IsPermutation reports whether p is a permutation of 0..len(p)-1.
+func IsPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// CommPhases returns the number of half-duplex communication phases
+// required to realize permutation p: 0 if p is the identity, 2 if every
+// non-trivial cycle has even length, and 3 if any cycle of odd length ≥ 3
+// exists.
+func CommPhases(p []int) int {
+	if !IsPermutation(p) {
+		panic(fmt.Sprintf("matrix: CommPhases of non-permutation %v", p))
+	}
+	phases := 0
+	seen := make([]bool, len(p))
+	for start := range p {
+		if seen[start] || p[start] == start {
+			seen[start] = true
+			continue
+		}
+		length := 0
+		for k := start; !seen[k]; k = p[k] {
+			seen[k] = true
+			length++
+		}
+		need := 2
+		if length%2 == 1 {
+			need = 3
+		}
+		if need > phases {
+			phases = need
+		}
+	}
+	return phases
+}
+
+// Transfer is one point-to-point block movement.
+type Transfer struct{ From, To int }
+
+// SchedulePhases packs the transfers of permutation p into half-duplex
+// phases by cycle decomposition and edge coloring, returning one slice of
+// transfers per phase. It realizes exactly CommPhases(p) phases and is
+// used both by the staggering benchmark and as an executable cross-check
+// of the analytic count.
+func SchedulePhases(p []int) [][]Transfer {
+	if !IsPermutation(p) {
+		panic(fmt.Sprintf("matrix: SchedulePhases of non-permutation %v", p))
+	}
+	phases := make([][]Transfer, CommPhases(p))
+	seen := make([]bool, len(p))
+	for start := range p {
+		if seen[start] || p[start] == start {
+			seen[start] = true
+			continue
+		}
+		// Walk the cycle collecting its edges in order.
+		var cycle []Transfer
+		for k := start; !seen[k]; k = p[k] {
+			seen[k] = true
+			cycle = append(cycle, Transfer{From: k, To: p[k]})
+		}
+		// Alternate edges between phases 0 and 1; an odd cycle's last edge
+		// would conflict with both neighbours and goes to phase 2.
+		for i, tr := range cycle {
+			ph := i % 2
+			if len(cycle)%2 == 1 && i == len(cycle)-1 {
+				ph = 2
+			}
+			phases[ph] = append(phases[ph], tr)
+		}
+	}
+	return phases
+}
+
+// ValidPhase reports whether the transfers can execute simultaneously
+// under the half-duplex model: no PE appears more than once, counting
+// both endpoints.
+func ValidPhase(trs []Transfer) bool {
+	busy := map[int]bool{}
+	for _, tr := range trs {
+		if busy[tr.From] || busy[tr.To] || tr.From == tr.To {
+			return false
+		}
+		busy[tr.From] = true
+		busy[tr.To] = true
+	}
+	return true
+}
+
+// ApplyColumnPerm permutes the blocks of row br of bm so the block in
+// column k moves to column p[k]. It is used to realize staggering
+// layouts.
+func (bm *Blocked) ApplyColumnPerm(br int, p []int) {
+	if len(p) != bm.NB {
+		panic(fmt.Sprintf("matrix: permutation length %d != block order %d", len(p), bm.NB))
+	}
+	old := make([]*Block, bm.NB)
+	for bc := 0; bc < bm.NB; bc++ {
+		old[bc] = bm.Block(br, bc)
+	}
+	for bc := 0; bc < bm.NB; bc++ {
+		bm.blocks[br*bm.NB+p[bc]] = old[bc]
+	}
+}
+
+// ApplyRowPerm permutes the blocks of column bc of bm so the block in row
+// k moves to row p[k].
+func (bm *Blocked) ApplyRowPerm(bc int, p []int) {
+	if len(p) != bm.NB {
+		panic(fmt.Sprintf("matrix: permutation length %d != block order %d", len(p), bm.NB))
+	}
+	old := make([]*Block, bm.NB)
+	for br := 0; br < bm.NB; br++ {
+		old[br] = bm.Block(br, bc)
+	}
+	for br := 0; br < bm.NB; br++ {
+		bm.blocks[p[br]*bm.NB+bc] = old[br]
+	}
+}

@@ -1,0 +1,121 @@
+package mp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIsendOverlapsWithCompute(t *testing.T) {
+	// A rank that Isends a large message and computes while it is in
+	// flight must finish in ~max(compute, transfer), not their sum.
+	w := NewSimWorld(testHW(), 2)
+	var senderDone sim.Time
+	err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			req := r.Isend(1, 0, "bulk", 10e6) // 1 s on the wire
+			r.Compute(100e6, nil)              // 1 s of work, concurrently
+			r.Wait(req)
+			senderDone = r.Now()
+		case 1:
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if senderDone > 1.2 {
+		t.Fatalf("sender finished at %v; transfer did not overlap compute", senderDone)
+	}
+	if senderDone < 0.99 {
+		t.Fatalf("sender finished at %v; costs went missing", senderDone)
+	}
+}
+
+func TestIsendValueDelivered(t *testing.T) {
+	eachWorld(t, 2, func(t *testing.T, w *World) {
+		var got any
+		err := w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				req := r.Isend(1, 3, 42, 8)
+				r.Wait(req)
+			} else {
+				got = r.Recv(0, 3)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 42 {
+			t.Fatalf("got %v", got)
+		}
+	})
+}
+
+func TestIsendRendezvousCompletesAfterMatch(t *testing.T) {
+	// Wait on an Isend must block until the receiver posts; the receiver
+	// posting releases it.
+	w := NewSimWorld(testHW(), 2)
+	var waitDone sim.Time
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 0, nil, 0)
+			r.Wait(req)
+			waitDone = r.Now()
+		} else {
+			r.Compute(500e6, nil) // receiver busy for 5 s first
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitDone < 4.9 {
+		t.Fatalf("Isend completed at %v before the receiver matched", waitDone)
+	}
+}
+
+func TestIsendManyConcurrentDistinctTags(t *testing.T) {
+	eachWorld(t, 2, func(t *testing.T, w *World) {
+		const n = 20
+		got := make([]any, n)
+		err := w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				var reqs []*Request
+				for i := 0; i < n; i++ {
+					reqs = append(reqs, r.Isend(1, i, i, 8))
+				}
+				for _, req := range reqs {
+					r.Wait(req)
+				}
+			} else {
+				// Receive in reverse tag order: completion must still
+				// match values to tags.
+				for i := n - 1; i >= 0; i-- {
+					got[i] = r.Recv(0, i)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("tag %d carried %v", i, v)
+			}
+		}
+	})
+}
+
+func TestIsendToInvalidRankPanics(t *testing.T) {
+	w := NewSimWorld(testHW(), 2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Isend(7, 0, nil, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("invalid Isend accepted")
+	}
+}

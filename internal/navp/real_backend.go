@@ -1,0 +1,151 @@
+package navp
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// realBackend executes each agent as a real goroutine. PEs serialize
+// computation with a per-node mutex (one CPU per PE, like the testbed);
+// hops are bookkeeping (plus an optional caller-supplied delay); events
+// are condition-variable-backed counting semaphores. The backend makes no
+// timing promises — it exists to run the same NavP programs with genuine
+// concurrency, validating that they are free of races and deadlocks and
+// providing real testing.B numbers.
+type realBackend struct {
+	cpus   []sync.Mutex // one per node
+	events struct {
+		mu sync.Mutex
+		m  map[string]*realEvent // key: "node/event"
+	}
+	wg      sync.WaitGroup
+	started time.Time
+
+	// HopDelay, if non-nil, is called with the hop payload size and the
+	// result slept, to emulate network transfer time in real runs.
+	hopDelay func(bytes int64) time.Duration
+}
+
+type realEvent struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+}
+
+// NewReal builds a NavP system of n nodes executed by real goroutines.
+func NewReal(cfg Config, n int) *System {
+	b := &realBackend{cpus: make([]sync.Mutex, n)}
+	b.events.m = map[string]*realEvent{}
+	s := &System{cfg: cfg, backend: b}
+	for i := 0; i < n; i++ {
+		s.nodes = append(s.nodes, newNode(i))
+	}
+	return s
+}
+
+// SetHopDelay installs a per-hop delay function on a real-backed system,
+// emulating network transfer time (e.g. bytes over a modeled bandwidth).
+// It panics on a simulation-backed system, which models hops natively.
+func (s *System) SetHopDelay(fn func(bytes int64) time.Duration) {
+	b, ok := s.backend.(*realBackend)
+	if !ok {
+		panic("navp: SetHopDelay on a simulation-backed system")
+	}
+	b.hopDelay = fn
+}
+
+func (b *realBackend) run(s *System) error {
+	b.started = time.Now()
+	for _, pi := range s.pending {
+		pi := pi
+		ag := &Agent{name: pi.name, sys: s, node: s.nodes[pi.node], vars: map[string]agentVar{}}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			pi.fn(ag)
+		}()
+	}
+	s.pending = nil
+	b.wg.Wait()
+	return nil
+}
+
+func (b *realBackend) hop(ag *Agent, dst int) {
+	src := ag.node.id
+	if src == dst {
+		return
+	}
+	bytes := ag.PayloadBytes()
+	if b.hopDelay != nil {
+		if d := b.hopDelay(bytes); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	ag.node = ag.sys.nodes[dst]
+	ag.sys.record(TraceEvent{Kind: TraceHop, Agent: ag.name, From: src, To: dst,
+		Bytes: bytes, Start: b.elapsed(), End: b.elapsed()})
+}
+
+func (b *realBackend) compute(ag *Agent, flops float64, fn func()) {
+	id := ag.node.id
+	b.cpus[id].Lock()
+	if fn != nil {
+		fn()
+	}
+	b.cpus[id].Unlock()
+	ag.sys.record(TraceEvent{Kind: TraceCompute, Agent: ag.name, From: id, To: id,
+		Start: b.elapsed(), End: b.elapsed()})
+}
+
+func (b *realBackend) realEvent(node int, name string) *realEvent {
+	key := nodeEventKey(node, name)
+	b.events.mu.Lock()
+	defer b.events.mu.Unlock()
+	ev, ok := b.events.m[key]
+	if !ok {
+		ev = &realEvent{}
+		ev.cond = sync.NewCond(&ev.mu)
+		b.events.m[key] = ev
+	}
+	return ev
+}
+
+func nodeEventKey(node int, name string) string {
+	return strconv.Itoa(node) + "/" + name
+}
+
+func (b *realBackend) wait(ag *Agent, event string) {
+	ev := b.realEvent(ag.node.id, event)
+	ev.mu.Lock()
+	for ev.count == 0 {
+		ev.cond.Wait()
+	}
+	ev.count--
+	ev.mu.Unlock()
+}
+
+func (b *realBackend) signal(ag *Agent, event string) {
+	ev := b.realEvent(ag.node.id, event)
+	ev.mu.Lock()
+	ev.count++
+	ev.mu.Unlock()
+	ev.cond.Signal()
+}
+
+func (b *realBackend) inject(parent *Agent, name string, fn func(*Agent)) {
+	child := &Agent{name: name, sys: parent.sys, node: parent.node, vars: map[string]agentVar{}}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		fn(child)
+	}()
+}
+
+func (b *realBackend) touch(ag *Agent, key string, bytes int64) {}
+
+func (b *realBackend) elapsed() sim.Time { return time.Since(b.started).Seconds() }
+
+func (b *realBackend) now(ag *Agent) sim.Time { return b.elapsed() }

@@ -1,0 +1,152 @@
+package navp
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// simBackend executes agents as processes on a discrete-event kernel,
+// charging hop, compute, and daemon costs against the machine model.
+type simBackend struct {
+	kernel  *sim.Kernel
+	cluster *machine.Cluster
+	nagents int // monotone counter for unique process names
+}
+
+// NewSim builds a NavP system of n nodes on a fresh simulation kernel
+// with the given runtime and hardware parameters.
+func NewSim(cfg Config, hw machine.Config, n int) *System {
+	k := sim.New()
+	b := &simBackend{kernel: k, cluster: machine.NewCluster(k, hw, n)}
+	s := &System{cfg: cfg, backend: b}
+	for i := 0; i < n; i++ {
+		s.nodes = append(s.nodes, newNode(i))
+	}
+	return s
+}
+
+// Cluster returns the machine model beneath a simulation-backed system,
+// or nil for a real-backed system. It gives experiments access to pagers
+// and hardware parameters.
+func (s *System) Cluster() *machine.Cluster {
+	if b, ok := s.backend.(*simBackend); ok {
+		return b.cluster
+	}
+	return nil
+}
+
+// VirtualTime returns the kernel's current virtual time for a
+// simulation-backed system (the program's finish time after Run). It
+// panics on a real-backed system.
+func (s *System) VirtualTime() sim.Time {
+	b, ok := s.backend.(*simBackend)
+	if !ok {
+		panic("navp: VirtualTime on a real-backed system")
+	}
+	return b.kernel.Now()
+}
+
+func (b *simBackend) run(s *System) error {
+	for _, pi := range s.pending {
+		pi := pi
+		ag := b.newAgent(s, pi.name, pi.node)
+		b.kernel.Spawn(ag.procName(), func(p *sim.Proc) {
+			ag.proc = p
+			pi.fn(ag)
+		})
+	}
+	s.pending = nil
+	return b.kernel.Run()
+}
+
+func (b *simBackend) newAgent(s *System, name string, node int) *Agent {
+	b.nagents++
+	return &Agent{name: name, sys: s, node: s.nodes[node], vars: map[string]agentVar{}}
+}
+
+// procName returns a unique kernel process name for diagnostics.
+func (ag *Agent) procName() string {
+	return fmt.Sprintf("%s@n%d", ag.name, ag.node.id)
+}
+
+func (b *simBackend) hop(ag *Agent, dst int) {
+	src := ag.node.id
+	if src == dst {
+		return
+	}
+	start := ag.proc.Now()
+	bytes := ag.PayloadBytes()
+	readyAt := b.cluster.SendCost(ag.proc, src, dst, bytes)
+	b.cluster.RecvCost(ag.proc, dst, readyAt, false)
+	// Daemon dispatch at the destination occupies the arriving thread,
+	// not the CPU resource (see machine.SendCost for the rationale).
+	ag.proc.Sleep(ag.sys.cfg.HopOverhead)
+	ag.node = ag.sys.nodes[dst]
+	ag.sys.record(TraceEvent{Kind: TraceHop, Agent: ag.name, From: src, To: dst,
+		Bytes: bytes, Start: start, End: ag.proc.Now()})
+}
+
+func (b *simBackend) compute(ag *Agent, flops float64, fn func()) {
+	pe := b.cluster.PEs[ag.node.id]
+	pe.CPU.Acquire(ag.proc, 1)
+	start := ag.proc.Now() // service start: queueing is not "computing"
+	if fn != nil {
+		fn()
+	}
+	ag.proc.Sleep(flops / pe.Rate)
+	pe.CPU.Release(1)
+	ag.sys.record(TraceEvent{Kind: TraceCompute, Agent: ag.name, From: ag.node.id,
+		To: ag.node.id, Start: start, End: ag.proc.Now()})
+}
+
+// simEvent fetches or creates the sim event for (node, name).
+func (b *simBackend) simEvent(nd *Node, name string) *sim.Event {
+	if es, ok := nd.events[name]; ok {
+		return es.(*sim.Event)
+	}
+	ev := sim.NewEvent(fmt.Sprintf("n%d:%s", nd.id, name))
+	nd.events[name] = ev
+	return ev
+}
+
+func (b *simBackend) wait(ag *Agent, event string) {
+	start := ag.proc.Now()
+	if o := ag.sys.cfg.EventOverhead; o > 0 {
+		ag.proc.Sleep(o)
+	}
+	node := ag.node // record the wait against the node we waited on
+	b.simEvent(node, event).Wait(ag.proc)
+	ag.sys.record(TraceEvent{Kind: TraceWait, Agent: ag.name, From: node.id,
+		To: node.id, Label: event, Start: start, End: ag.proc.Now()})
+}
+
+func (b *simBackend) signal(ag *Agent, event string) {
+	if o := ag.sys.cfg.EventOverhead; o > 0 {
+		ag.proc.Sleep(o)
+	}
+	b.simEvent(ag.node, event).Signal()
+	ag.sys.record(TraceEvent{Kind: TraceSignal, Agent: ag.name, From: ag.node.id,
+		To: ag.node.id, Label: event, Start: ag.proc.Now(), End: ag.proc.Now()})
+}
+
+func (b *simBackend) inject(parent *Agent, name string, fn func(*Agent)) {
+	if o := parent.sys.cfg.InjectOverhead; o > 0 {
+		parent.proc.Sleep(o)
+	}
+	child := b.newAgent(parent.sys, name, parent.node.id)
+	parent.sys.record(TraceEvent{Kind: TraceInject, Agent: parent.name,
+		From: parent.node.id, To: parent.node.id, Label: name,
+		Start: parent.proc.Now(), End: parent.proc.Now()})
+	parent.proc.Spawn(child.procName(), func(p *sim.Proc) {
+		child.proc = p
+		fn(child)
+	})
+}
+
+func (b *simBackend) touch(ag *Agent, key string, bytes int64) {
+	b.cluster.PEs[ag.node.id].Mem.Touch(ag.proc, key, bytes)
+}
+
+func (b *simBackend) now(ag *Agent) sim.Time { return ag.proc.Now() }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkProcessSwitch measures the coroutine handshake: two processes
+// ping-ponging via yields.
+func BenchmarkProcessSwitch(b *testing.B) {
+	k := New()
+	n := b.N
+	for p := 0; p < 2; p++ {
+		k.Spawn(fmt.Sprintf("p%d", p), func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerHeap measures timed wakeups through the event heap.
+func BenchmarkTimerHeap(b *testing.B) {
+	k := New()
+	n := b.N
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventSignalWait measures the producer/consumer event path.
+func BenchmarkEventSignalWait(b *testing.B) {
+	k := New()
+	ev := NewEvent("e")
+	n := b.N
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ev.Signal()
+			p.Yield()
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ev.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures FIFO admission with four
+// contenders on one server.
+func BenchmarkResourceContention(b *testing.B) {
+	k := New()
+	r := NewResource("cpu", 1)
+	n := b.N
+	for w := 0; w < 4; w++ {
+		k.Spawn(fmt.Sprintf("w%d", w), func(p *Proc) {
+			for i := 0; i < n/4; i++ {
+				r.Use(p, 0.001)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChanRendezvous measures unbuffered channel handoffs.
+func BenchmarkChanRendezvous(b *testing.B) {
+	k := New()
+	c := NewChan[int]("c", 0)
+	n := b.N
+	k.Spawn("sender", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			c.Send(p, i)
+		}
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			c.Recv(p)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

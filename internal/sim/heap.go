@@ -1,0 +1,62 @@
+package sim
+
+// timer is a scheduled wakeup for a process.
+type timer struct {
+	at  Time
+	seq uint64 // creation order, breaks ties deterministically
+	p   *Proc
+}
+
+// timerHeap is a binary min-heap of timers ordered by (at, seq). It is
+// hand-rolled rather than using container/heap to avoid interface boxing
+// on the simulator's hottest path.
+type timerHeap struct {
+	s []timer
+}
+
+func (h *timerHeap) Len() int    { return len(h.s) }
+func (h *timerHeap) peek() timer { return h.s[0] }
+
+func (h *timerHeap) less(i, j int) bool {
+	if h.s[i].at != h.s[j].at {
+		return h.s[i].at < h.s[j].at
+	}
+	return h.s[i].seq < h.s[j].seq
+}
+
+func (h *timerHeap) push(t timer) {
+	h.s = append(h.s, t)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() timer {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.s) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.s) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.s[i], h.s[smallest] = h.s[smallest], h.s[i]
+		i = smallest
+	}
+	return top
+}

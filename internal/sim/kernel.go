@@ -1,0 +1,180 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of cooperatively scheduled processes over a
+// virtual clock. Exactly one process executes at any instant, and all
+// scheduling queues are FIFO with stable tie-breaking, so a simulation is
+// fully deterministic: the same program produces the same event ordering
+// and the same virtual finish times on every run, independent of the host
+// machine's core count or load.
+//
+// Processes are ordinary goroutines that hand control back to the kernel
+// whenever they block on a primitive (Sleep, Event.Wait, Resource.Acquire,
+// Chan.Send/Recv). The kernel advances virtual time only when no process
+// is runnable, jumping directly to the next timed wakeup.
+//
+// The package is the substrate for the NavP runtime (internal/navp), the
+// message-passing library (internal/mp), and the cluster machine model
+// (internal/machine) used to reproduce the paper's performance tables.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in seconds.
+type Time = float64
+
+// Kernel is a discrete-event simulation engine. Create one with New, add
+// processes with Spawn, and execute with Run. A Kernel must not be reused
+// after Run returns.
+type Kernel struct {
+	now     Time
+	timers  timerHeap
+	runq    []*Proc
+	nextSeq uint64
+	live    int // spawned processes that have not finished
+	procs   []*Proc
+	yielded chan struct{}
+	failure error
+	running bool
+}
+
+// New returns an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{yielded: make(chan struct{})}
+}
+
+// Now reports the current virtual time. It may be called between Run
+// invocations or from within a process via Proc.Now.
+func (k *Kernel) Now() Time { return k.now }
+
+// Spawn registers a new process executing fn. The process becomes runnable
+// immediately (it is appended to the ready queue) but does not execute
+// until the kernel schedules it. Spawn may be called before Run or from
+// inside a running process; calling it from any other goroutine while Run
+// is in progress is a data race and must not be done.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		seq:    k.nextSeq,
+		resume: make(chan struct{}),
+	}
+	k.nextSeq++
+	k.live++
+	k.procs = append(k.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errKilled {
+					// Kernel shut down while this process was parked;
+					// exit silently without touching kernel state.
+					return
+				}
+				k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.state = procDone
+			k.live--
+			k.yielded <- struct{}{}
+		}()
+		if _, ok := <-p.resume; !ok {
+			panic(errKilled)
+		}
+		fn(p)
+	}()
+	k.ready(p)
+	return p
+}
+
+// Ready makes a process parked with Proc.Park runnable again. Calling it
+// on a process that is not parked corrupts the scheduler; external
+// primitives must pair every Ready with exactly one earlier Park.
+func (k *Kernel) Ready(p *Proc) { k.ready(p) }
+
+// ready appends p to the run queue.
+func (k *Kernel) ready(p *Proc) {
+	p.state = procReady
+	p.blockedOn = ""
+	k.runq = append(k.runq, p)
+}
+
+// DeadlockError is returned by Run when live processes remain but none is
+// runnable and no timed wakeup is pending.
+type DeadlockError struct {
+	// Time is the virtual time at which the simulation stalled.
+	Time Time
+	// Blocked lists the stuck processes as "name (waiting on X)".
+	Blocked []string
+}
+
+// Error formats the deadlock diagnosis.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.6fs: %d process(es) blocked: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes the simulation until every spawned process has finished.
+// It returns a *DeadlockError if processes remain blocked with no pending
+// wakeups, or the panic value (wrapped) if a process panics. After Run
+// returns, all remaining parked goroutines are reclaimed.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() {
+		k.running = false
+		k.shutdown()
+	}()
+	for k.failure == nil {
+		if len(k.runq) == 0 {
+			if k.timers.Len() == 0 {
+				break
+			}
+			t := k.timers.peek().at
+			if t < k.now {
+				return fmt.Errorf("sim: timer in the past (%.9f < %.9f)", t, k.now)
+			}
+			k.now = t
+			for k.timers.Len() > 0 && k.timers.peek().at == t {
+				k.ready(k.timers.pop().p)
+			}
+			continue
+		}
+		p := k.runq[0]
+		k.runq = k.runq[1:]
+		p.state = procRunning
+		p.resume <- struct{}{}
+		<-k.yielded
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.live > 0 {
+		dl := &DeadlockError{Time: k.now}
+		for _, p := range k.procs {
+			if p.state == procBlocked {
+				dl.Blocked = append(dl.Blocked, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOn))
+			}
+		}
+		sort.Strings(dl.Blocked)
+		return dl
+	}
+	return nil
+}
+
+// shutdown reclaims goroutines of processes that are still parked.
+func (k *Kernel) shutdown() {
+	for _, p := range k.procs {
+		if p.state != procDone {
+			p.state = procDone
+			close(p.resume)
+		}
+	}
+}
+
+// errKilled is panicked inside a parked process when the kernel shuts
+// down, unwinding its goroutine.
+var errKilled = new(int)

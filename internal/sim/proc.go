@@ -1,0 +1,91 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	procReady procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by a
+// Kernel. All Proc methods must be called from the process's own goroutine
+// (i.e., from within the function passed to Spawn).
+type Proc struct {
+	k         *Kernel
+	name      string
+	seq       uint64
+	resume    chan struct{}
+	state     procState
+	blockedOn string
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel scheduling this process.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park blocks the calling process until another process (or a timer)
+// readies it. The caller must have registered itself with a waker (timer
+// heap, event queue, resource queue, ...) before parking.
+func (p *Proc) park(reason string) {
+	p.state = procBlocked
+	p.blockedOn = reason
+	p.k.yielded <- struct{}{}
+	if _, ok := <-p.resume; !ok {
+		panic(errKilled)
+	}
+}
+
+// Sleep advances the process's local view of time by d seconds of virtual
+// time. Other runnable processes execute in the interim. Sleep with d <= 0
+// is equivalent to Yield.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.SleepUntil(p.k.now + d)
+}
+
+// SleepUntil blocks the process until virtual time t. If t is not after
+// the current time it is equivalent to Yield.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		p.Yield()
+		return
+	}
+	p.k.timers.push(timer{at: t, seq: p.k.nextSeq, p: p})
+	p.k.nextSeq++
+	p.park(fmt.Sprintf("timer@%.6f", t))
+}
+
+// Yield moves the process to the back of the ready queue, letting every
+// other currently runnable process execute first. Virtual time does not
+// advance.
+func (p *Proc) Yield() {
+	p.k.ready(p)
+	p.park("yield")
+	// ready() reset state/blockedOn; park overwrote them after the fact is
+	// harmless because the scheduler resumes us only via the run queue.
+}
+
+// Spawn creates a child process on the same kernel. Injection is local in
+// the MESSENGERS sense: the child starts on the same kernel and becomes
+// runnable immediately.
+func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
+	return p.k.Spawn(name, fn)
+}
+
+// Park blocks the calling process until another process passes it to
+// Kernel.Ready. It is the building block for synchronization primitives
+// implemented outside this package (e.g. message matching in internal/mp).
+// The reason string appears in deadlock diagnostics.
+func (p *Proc) Park(reason string) { p.park(reason) }

@@ -1,0 +1,213 @@
+package stencil
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+func testConfig(rows, cols, iters, p int) Config {
+	return Config{
+		Rows: rows, Cols: cols, Iters: iters, P: p,
+		HW:   machine.SunBlade100(),
+		NavP: navp.DefaultConfig(),
+		Seed: 5,
+	}
+}
+
+func verify(t *testing.T, m Method, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+	want := Reference(cfg)
+	// The distributed sweeps perform the identical operations in the
+	// identical order: the match must be exact, not approximate.
+	if d := res.Grid.MaxAbsDiff(want); d != 0 {
+		t.Fatalf("%v: grid differs from reference by %g (must be exact)", m, d)
+	}
+	return res
+}
+
+func TestAllMethodsExactSim(t *testing.T) {
+	for _, m := range []Method{Sequential, DSC, Pipelined} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			verify(t, m, testConfig(14, 10, 4, 3))
+		})
+	}
+}
+
+func TestAllMethodsExactReal(t *testing.T) {
+	for _, m := range []Method{Sequential, DSC, Pipelined} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := testConfig(14, 10, 4, 3)
+			cfg.Real = true
+			verify(t, m, cfg)
+		})
+	}
+}
+
+func TestAcrossGeometries(t *testing.T) {
+	cases := []struct{ rows, cols, iters, p int }{
+		{3, 3, 1, 1},   // single interior point
+		{6, 5, 3, 1},   // one PE
+		{6, 5, 3, 4},   // one interior row per PE
+		{18, 6, 5, 4},  // deep pipeline
+		{10, 24, 2, 2}, // wide rows
+		{26, 8, 8, 6},  // more sweeps than PEs
+	}
+	for _, tc := range cases {
+		for _, m := range []Method{DSC, Pipelined} {
+			m, tc := m, tc
+			t.Run(fmt.Sprintf("%v/%dx%d-t%d-p%d", m, tc.rows, tc.cols, tc.iters, tc.p), func(t *testing.T) {
+				verify(t, m, testConfig(tc.rows, tc.cols, tc.iters, tc.p))
+			})
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		testConfig(2, 5, 1, 1), // no interior
+		testConfig(6, 5, 0, 1), // zero iters
+		testConfig(6, 5, 1, 3), // 4 interior rows not divisible by 3
+		testConfig(6, 5, 1, 0), // zero PEs
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPipeliningImproves(t *testing.T) {
+	// With several sweeps and meaningful per-row work, pipelined sweeps
+	// overlap across PEs and beat DSC; DSC stays near sequential.
+	cfg := testConfig(3*256+2, 2048, 6, 3)
+	times := map[Method]float64{}
+	for _, m := range []Method{Sequential, DSC, Pipelined} {
+		res, err := Run(m, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		times[m] = res.Seconds
+	}
+	if times[DSC] < times[Sequential]*0.95 || times[DSC] > times[Sequential]*1.6 {
+		t.Errorf("DSC %v not in the near-sequential band of %v", times[DSC], times[Sequential])
+	}
+	if times[Pipelined] >= times[DSC] {
+		t.Errorf("pipelining did not improve: %v >= %v", times[Pipelined], times[DSC])
+	}
+	// With 6 sweeps on 3 PEs the ideal overlap approaches min(P, Iters)=3.
+	speedup := times[Sequential] / times[Pipelined]
+	if speedup < 1.8 {
+		t.Errorf("pipelined speedup %.2f too low", speedup)
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	cfg := testConfig(14, 10, 3, 3)
+	first, err := Run(Pipelined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(Pipelined, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Seconds != first.Seconds {
+			t.Fatalf("virtual time differs: %v vs %v", again.Seconds, first.Seconds)
+		}
+	}
+}
+
+// TestPhaseShiftIsIllegalHere is the methodology's negative case: unlike
+// matrix multiplication, a Gauss-Seidel sweep cannot be phase shifted —
+// each chunk depends on its predecessor within the same sweep — and the
+// dependence checker of internal/core proves it mechanically.
+//
+// The abstract plan mirrors the real protocol of this package: sweep
+// items write their chunk and read the ghost row below it; GhostCarrier
+// threads (two items: pick up at chunk p, deposit at chunk p−1) carry
+// the refreshed boundary backward, providing the cross-node orderings
+// that NavP's node-local events cannot express directly.
+func TestPhaseShiftIsIllegalHere(t *testing.T) {
+	const chunks, sweeps = 4, 3
+	sweepID := func(t, p int) string { return fmt.Sprintf("sweep%d.chunk%d", t, p) }
+	pickID := func(t, p int) string { return fmt.Sprintf("ghost%d.%d.pick", t, p) }
+	depID := func(t, p int) string { return fmt.Sprintf("ghost%d.%d.dep", t, p) }
+
+	// Sequential item order: sweep t visits chunk p, then the ghost of
+	// chunk p's first row flows back to p−1.
+	var items []core.Item
+	for tIdx := 0; tIdx < sweeps; tIdx++ {
+		for p := 0; p < chunks; p++ {
+			acc := []core.Access{{Cell: fmt.Sprintf("chunk%d", p), Write: true}}
+			if p < chunks-1 {
+				acc = append(acc, core.Access{Cell: fmt.Sprintf("ghost%d", p)})
+			}
+			items = append(items, core.Item{ID: sweepID(tIdx, p), Node: p, Accesses: acc})
+			if p > 0 {
+				items = append(items,
+					core.Item{ID: pickID(tIdx, p), Node: p,
+						Accesses: []core.Access{{Cell: fmt.Sprintf("chunk%d", p)}}},
+					core.Item{ID: depID(tIdx, p), Node: p - 1,
+						Accesses: []core.Access{{Cell: fmt.Sprintf("ghost%d", p-1), Write: true}}})
+			}
+		}
+	}
+	groupOf := func(it core.Item) string {
+		var tIdx, p int
+		if _, err := fmt.Sscanf(it.ID, "sweep%d.chunk%d", &tIdx, &p); err == nil {
+			return fmt.Sprintf("sweep%d", tIdx)
+		}
+		fmt.Sscanf(it.ID, "ghost%d.%d", &tIdx, &p)
+		return fmt.Sprintf("ghost%d.%d", tIdx, p)
+	}
+	pipe := core.Pipeline(core.DSC("gs", items, 0), groupOf)
+	// The event protocol, as explicit (node-local) deps: done(t,p) orders
+	// successive sweeps per chunk; the ghost pickup follows the sweep's
+	// first-row update; the deposit precedes the next sweep's entry.
+	for tIdx := 0; tIdx < sweeps; tIdx++ {
+		for p := 0; p < chunks; p++ {
+			if tIdx > 0 {
+				pipe.Deps = append(pipe.Deps, core.Dep{Before: sweepID(tIdx-1, p), After: sweepID(tIdx, p)})
+			}
+			if p > 0 {
+				pipe.Deps = append(pipe.Deps, core.Dep{Before: sweepID(tIdx, p), After: pickID(tIdx, p)})
+				if tIdx < sweeps-1 {
+					pipe.Deps = append(pipe.Deps, core.Dep{Before: depID(tIdx, p), After: sweepID(tIdx+1, p-1)})
+				}
+			}
+		}
+	}
+	if v, err := core.Check(pipe); err != nil || len(v) != 0 {
+		t.Fatalf("pipelined sweep with the ghost protocol should check clean:\n%v %v", v, err)
+	}
+	// Phase shifting the same plan reorders chunk visits within a sweep —
+	// the checker must reject it.
+	shifted := core.PhaseShift(pipe, nil)
+	v, err := core.Check(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 {
+		t.Fatal("phase-shifted Gauss-Seidel checked clean; the dependence checker is broken")
+	}
+}
+
+// TestGhostProtocolDeadlockFreedom runs a long pipeline on the sim
+// backend, which would report any event-protocol deadlock exactly.
+func TestGhostProtocolDeadlockFreedom(t *testing.T) {
+	cfg := testConfig(8*4+2, 6, 12, 8)
+	if _, err := Run(Pipelined, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package summa
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/matrix"
+)
+
+func testConfig(n, bs, pr, pc int) Config {
+	return Config{N: n, BS: bs, PR: pr, PC: pc, HW: machine.SunBlade100(), Seed: 11}
+}
+
+func verify(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Inputs(cfg)
+	want := matrix.Mul(a, b)
+	if d := res.C.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("result differs from reference by %g", d)
+	}
+	return res
+}
+
+func TestCorrectSim2D(t *testing.T) {
+	verify(t, testConfig(24, 4, 3, 3))
+}
+
+func TestCorrectSim1DRow(t *testing.T) {
+	// Table 1's ScaLAPACK column runs on a 1×3 grid.
+	verify(t, testConfig(24, 4, 1, 3))
+}
+
+func TestCorrectReal(t *testing.T) {
+	cfg := testConfig(24, 4, 2, 2)
+	cfg.Real = true
+	verify(t, cfg)
+}
+
+func TestAcrossGeometries(t *testing.T) {
+	cases := []struct{ n, bs, pr, pc int }{
+		{8, 4, 2, 2},
+		{16, 4, 4, 4},
+		{16, 4, 2, 4}, // rectangular grid
+		{36, 6, 3, 3},
+		{24, 4, 6, 1}, // column grid
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("N%d-BS%d-%dx%d", tc.n, tc.bs, tc.pr, tc.pc), func(t *testing.T) {
+			verify(t, testConfig(tc.n, tc.bs, tc.pr, tc.pc))
+		})
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		testConfig(10, 4, 2, 2),
+		testConfig(16, 4, 3, 2),
+		testConfig(16, 4, 2, 3),
+		{N: 0, BS: 4, PR: 2, PC: 2},
+		{N: 16, BS: 4, PR: 2, PC: 2, Phantom: true, Real: true},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPhantomMatchesRealSchedule(t *testing.T) {
+	cfg := testConfig(24, 4, 3, 3)
+	real, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Phantom = true
+	ph, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Seconds != ph.Seconds {
+		t.Fatalf("schedules diverge: %v vs %v", real.Seconds, ph.Seconds)
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	// Paper Table 4 reports ScaLAPACK speedups of 6.7–8.1 on 3×3 at the
+	// smaller orders; allow a generous band around that.
+	cfg := testConfig(1536, 128, 3, 3)
+	cfg.Phantom = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := 2 * float64(cfg.N) * float64(cfg.N) * float64(cfg.N) / cfg.HW.CPURate
+	speedup := seq / res.Seconds
+	if speedup < 5 || speedup > 9 {
+		t.Fatalf("SUMMA 3×3 speedup %.2f outside [5, 9]", speedup)
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	cfg := testConfig(16, 4, 2, 2)
+	cfg.Phantom = true
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Seconds != first.Seconds {
+			t.Fatalf("virtual time differs: %v vs %v", again.Seconds, first.Seconds)
+		}
+	}
+}
+
+func TestCyclicDistributionCorrect(t *testing.T) {
+	cases := []struct{ n, bs, pr, pc int }{
+		{24, 4, 3, 3}, // divisible anyway
+		{28, 4, 3, 3}, // 7 blocks over 3×3 — impossible contiguously
+		{20, 4, 2, 3}, // 5 blocks, rectangular grid
+		{12, 4, 4, 4}, // fewer blocks than grid rows for some ranks
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("N%d-%dx%d", tc.n, tc.pr, tc.pc), func(t *testing.T) {
+			cfg := testConfig(tc.n, tc.bs, tc.pr, tc.pc)
+			cfg.Cyclic = true
+			verify(t, cfg)
+		})
+	}
+}
+
+func TestCyclicAcceptsIndivisible(t *testing.T) {
+	cfg := testConfig(28, 4, 3, 3)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("contiguous distribution accepted indivisible block grid")
+	}
+	cfg.Cyclic = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicMatchesContiguousSchedule(t *testing.T) {
+	// On a divisible, square, uniform problem the two distributions move
+	// the same volumes; virtual times should be close (not necessarily
+	// equal — the owners of panel k differ).
+	base := testConfig(24, 4, 3, 3)
+	base.Phantom = true
+	contig, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Cyclic = true
+	cyclic, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := cyclic.Seconds / contig.Seconds
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("cyclic %v vs contiguous %v: ratio %.2f out of band", cyclic.Seconds, contig.Seconds, ratio)
+	}
+}

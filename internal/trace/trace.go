@@ -1,0 +1,266 @@
+// Package trace records the observable actions of NavP agents — hops,
+// computation spans, event waits — and renders them as ASCII space-time
+// diagrams (space across, time down), the measured counterpart of the
+// paper's Figure 1 schematics, and as per-PE data-movement summaries used
+// by the experiment reports.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/navp"
+	"repro/internal/sim"
+)
+
+// Recorder collects trace events. It is safe for concurrent use (the
+// real backend records from many goroutines).
+type Recorder struct {
+	mu     sync.Mutex
+	events []navp.TraceEvent
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record implements navp.Tracer.
+func (r *Recorder) Record(ev navp.TraceEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []navp.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]navp.TraceEvent(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Hops is the number of inter-PE migrations; HopBytes their total
+	// payload.
+	Hops     int
+	HopBytes int64
+	// ComputeTime is the summed duration of compute spans across agents;
+	// WaitTime the summed duration of event waits.
+	ComputeTime, WaitTime sim.Time
+	// Agents is the number of distinct agents observed.
+	Agents int
+	// Finish is the latest event end time.
+	Finish sim.Time
+}
+
+// Stats computes the run summary.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Stats
+	agents := map[string]bool{}
+	for _, ev := range r.events {
+		agents[ev.Agent] = true
+		if ev.End > s.Finish {
+			s.Finish = ev.End
+		}
+		switch ev.Kind {
+		case navp.TraceHop:
+			s.Hops++
+			s.HopBytes += ev.Bytes
+		case navp.TraceCompute:
+			s.ComputeTime += ev.End - ev.Start
+		case navp.TraceWait:
+			s.WaitTime += ev.End - ev.Start
+		}
+	}
+	s.Agents = len(agents)
+	return s
+}
+
+// HopMatrix returns bytes moved between each ordered PE pair;
+// m[from][to] is the payload volume of hops from PE from to PE to.
+func (r *Recorder) HopMatrix(pes int) [][]int64 {
+	m := make([][]int64, pes)
+	for i := range m {
+		m[i] = make([]int64, pes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range r.events {
+		if ev.Kind == navp.TraceHop && ev.From < pes && ev.To < pes {
+			m[ev.From][ev.To] += ev.Bytes
+		}
+	}
+	return m
+}
+
+// symbolFor assigns compact display runes to agents in order of first
+// appearance.
+var symbolAlphabet = []rune("0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz")
+
+// SpaceTime renders the run as an ASCII space-time diagram: one column
+// per PE (space, west to east), one row per time bucket (time, top to
+// bottom), the paper's Figure 1 orientation. Each cell shows the symbol
+// of the agent that computed longest on that PE during the bucket, '·'
+// for idle. A legend maps symbols back to agent names.
+func (r *Recorder) SpaceTime(pes, height int) string {
+	if height <= 0 {
+		height = 24
+	}
+	events := r.Events()
+	var finish sim.Time
+	for _, ev := range events {
+		if ev.End > finish {
+			finish = ev.End
+		}
+	}
+	if finish == 0 {
+		return "(empty trace)\n"
+	}
+	bucket := finish / sim.Time(height)
+
+	// occupancy[row][pe][agent] = compute time in that cell.
+	occupancy := make([]map[int]map[string]sim.Time, height)
+	for i := range occupancy {
+		occupancy[i] = map[int]map[string]sim.Time{}
+	}
+	symbols := map[string]rune{}
+	order := []string{}
+	sym := func(agent string) rune {
+		if s, ok := symbols[agent]; ok {
+			return s
+		}
+		s := rune('*')
+		if len(order) < len(symbolAlphabet) {
+			s = symbolAlphabet[len(order)]
+		}
+		symbols[agent] = s
+		order = append(order, agent)
+		return s
+	}
+	for _, ev := range events {
+		if ev.Kind != navp.TraceCompute {
+			continue
+		}
+		sym(ev.Agent)
+		for row := int(ev.Start / bucket); row < height; row++ {
+			lo := sim.Time(row) * bucket
+			hi := lo + bucket
+			if ev.End <= lo {
+				break
+			}
+			span := minT(ev.End, hi) - maxT(ev.Start, lo)
+			if span <= 0 {
+				continue
+			}
+			if occupancy[row][ev.From] == nil {
+				occupancy[row][ev.From] = map[string]sim.Time{}
+			}
+			occupancy[row][ev.From][ev.Agent] += span
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time ↓   PE: ")
+	for pe := 0; pe < pes; pe++ {
+		fmt.Fprintf(&b, "%-3d", pe)
+	}
+	b.WriteByte('\n')
+	for row := 0; row < height; row++ {
+		fmt.Fprintf(&b, "%9.3fs  ", sim.Time(row)*bucket)
+		for pe := 0; pe < pes; pe++ {
+			best, bestSpan := '·', sim.Time(0)
+			// Deterministic tie-breaking by agent appearance order.
+			for _, agent := range order {
+				if span := occupancy[row][pe][agent]; span > bestSpan {
+					best, bestSpan = symbols[agent], span
+				}
+			}
+			b.WriteRune(best)
+			b.WriteString("  ")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: ")
+	for i, agent := range order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", symbols[agent], agent)
+		if i == 11 && len(order) > 12 {
+			fmt.Fprintf(&b, ", … (%d agents)", len(order))
+			break
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Layout renders the node-variable placement of a NavP system as a
+// per-PE listing — the measured counterpart of the paper's data-layout
+// figures (4, 6, 8, 10, 12, 14). For 2-D systems pass the grid order;
+// for 1-D pass cols = number of PEs and rows = 1.
+func Layout(sys *navp.System, rows, cols int) string {
+	var b strings.Builder
+	for gr := 0; gr < rows; gr++ {
+		for gc := 0; gc < cols; gc++ {
+			id := gr*cols + gc
+			names := sys.Node(id).VarNames()
+			sort.Strings(names)
+			if rows > 1 {
+				fmt.Fprintf(&b, "node(%d,%d): ", gr, gc)
+			} else {
+				fmt.Fprintf(&b, "node(%d): ", gc)
+			}
+			if len(names) <= 12 {
+				b.WriteString(strings.Join(names, " "))
+			} else {
+				b.WriteString(strings.Join(names[:12], " "))
+				fmt.Fprintf(&b, " … (%d vars)", len(names))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func minT(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV streams the recorded events as CSV (kind, agent, from, to,
+// label, bytes, start, end) for external analysis or plotting. Events
+// appear in recording order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "kind,agent,from,to,label,bytes,start,end\n"); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		_, err := fmt.Fprintf(w, "%s,%q,%d,%d,%q,%d,%.9f,%.9f\n",
+			ev.Kind, ev.Agent, ev.From, ev.To, ev.Label, ev.Bytes, ev.Start, ev.End)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

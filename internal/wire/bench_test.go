@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+type benchState struct{ Remaining int }
+
+func init() {
+	RegisterState(&benchState{})
+	Register("bench-ring", func(ctx *Ctx) Verdict {
+		st := ctx.State().(*benchState)
+		st.Remaining--
+		if st.Remaining <= 0 {
+			return ctx.Done()
+		}
+		return ctx.HopTo((ctx.NodeID() + 1) % ctx.Nodes())
+	})
+}
+
+// BenchmarkWireHop measures one agent migration over loopback TCP,
+// including gob encoding of the carried state.
+func BenchmarkWireHop(b *testing.B) {
+	cl, err := NewCluster(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	cl.Inject(0, "bench-ring", &benchState{Remaining: b.N})
+	if err := cl.Wait(5 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWireConcurrentAgents measures aggregate migration throughput
+// with eight agents circulating at once.
+func BenchmarkWireConcurrentAgents(b *testing.B) {
+	cl, err := NewCluster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	const agents = 8
+	per := b.N/agents + 1
+	b.ResetTimer()
+	for i := 0; i < agents; i++ {
+		cl.Inject(i%4, "bench-ring", &benchState{Remaining: per})
+	}
+	if err := cl.Wait(5 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}

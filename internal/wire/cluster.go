@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Cluster is a set of wire daemons on loopback TCP, plus the control
+// client that injects agents and detects quiescence. It plays the role
+// of the operator's shell in a MESSENGERS deployment.
+type Cluster struct {
+	daemons []*daemon
+	errs    chan error
+	ctl     []*ctlConn // one control connection per daemon
+}
+
+// ctlConn is the coordinator's connection to one daemon.
+type ctlConn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCluster starts n daemons listening on ephemeral loopback ports and
+// connects the control client to each.
+func NewCluster(n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: cluster size %d must be positive", n)
+	}
+	cl := &Cluster{errs: make(chan error, n)}
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("wire: listen: %w", err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		d := newDaemon(i, peers, listeners[i], cl.errs)
+		cl.daemons = append(cl.daemons, d)
+		go d.serve()
+	}
+	for i := 0; i < n; i++ {
+		conn, err := net.Dial("tcp", peers[i])
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("wire: control dial %d: %w", i, err)
+		}
+		cl.ctl = append(cl.ctl, &ctlConn{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)})
+	}
+	return cl, nil
+}
+
+// Size returns the number of daemons.
+func (cl *Cluster) Size() int { return len(cl.daemons) }
+
+// Inject starts an agent with the given registered behavior and
+// gob-encodable state on node id — the paper's command-line injection.
+func (cl *Cluster) Inject(node int, behavior string, state any) {
+	cl.daemons[node].injectLocal(behavior, state)
+}
+
+// Set places a node variable on a daemon before (or between) runs —
+// the initial data distribution.
+func (cl *Cluster) Set(node int, name string, v any) {
+	cl.daemons[node].store.set(name, v)
+}
+
+// Get reads a node variable from a daemon (after Wait, for collecting
+// results).
+func (cl *Cluster) Get(node int, name string) any {
+	return cl.daemons[node].store.get(name)
+}
+
+// Wait blocks until the cluster is quiescent — every agent finished and
+// no migration in flight — using Mattern's four-counter termination
+// detection over the control connections: two consecutive identical
+// snapshots with created == finished and sent == received. It returns
+// the first daemon error, or an error on timeout.
+func (cl *Cluster) Wait(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var prev counters
+	havePrev := false
+	for {
+		select {
+		case err := <-cl.errs:
+			return err
+		default:
+		}
+		if time.Now().After(deadline) {
+			cur, _ := cl.snapshot()
+			return fmt.Errorf("wire: termination timeout after %v (created %d, finished %d, sent %d, received %d)",
+				timeout, cur.Created, cur.Finished, cur.Sent, cur.Received)
+		}
+		cur, err := cl.snapshot()
+		if err != nil {
+			return err
+		}
+		balanced := cur.Created == cur.Finished && cur.Sent == cur.Received
+		if balanced && havePrev && cur == prev {
+			return nil
+		}
+		prev, havePrev = cur, true
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// snapshot polls every daemon's counters over its control connection and
+// sums them.
+func (cl *Cluster) snapshot() (counters, error) {
+	var total counters
+	for i, c := range cl.ctl {
+		if err := c.enc.Encode(&envelope{Kind: msgSnapshot}); err != nil {
+			return total, fmt.Errorf("wire: snapshot %d: %w", i, err)
+		}
+		var reply envelope
+		if err := c.dec.Decode(&reply); err != nil {
+			return total, fmt.Errorf("wire: snapshot reply %d: %w", i, err)
+		}
+		total.Created += reply.Counters.Created
+		total.Finished += reply.Counters.Finished
+		total.Sent += reply.Counters.Sent
+		total.Received += reply.Counters.Received
+	}
+	return total, nil
+}
+
+// Close shuts every daemon down and releases the sockets.
+func (cl *Cluster) Close() {
+	for _, c := range cl.ctl {
+		_ = c.enc.Encode(&envelope{Kind: msgShutdown})
+	}
+	for _, d := range cl.daemons {
+		d.shutdown()
+	}
+}

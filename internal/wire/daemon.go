@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Message kinds on the wire.
+const (
+	msgAgent    = "agent"    // a migrating computation's state
+	msgSnapshot = "snapshot" // coordinator polling a daemon's counters
+	msgCounters = "counters" // a daemon's reply
+	msgShutdown = "shutdown" // coordinator: quiesced, stop serving
+)
+
+// envelope is the single wire format; unused fields stay zero.
+type envelope struct {
+	Kind string
+	// Agent migration.
+	Agent *agentMsg
+	// Termination detection (Mattern's four counters).
+	Counters counters
+}
+
+// agentMsg is a migrating computation between steps: the behavior name
+// (code is pre-installed) and the gob-encoded state.
+type agentMsg struct {
+	Behavior string
+	State    any
+}
+
+// counters is one daemon's contribution to the termination snapshot.
+type counters struct {
+	Created, Finished int64
+	Sent, Received    int64
+}
+
+// daemon is one node of the wire cluster: a TCP listener, a node-variable
+// store, node-local events, and a pool of running agent steps.
+type daemon struct {
+	id     int
+	peers  []string // peer addresses, indexed by node id
+	ln     net.Listener
+	store  *store
+	events *events
+
+	created, finished int64 // agents started / completed here
+	sent, received    int64 // agent migrations out / in
+
+	encMu    sync.Mutex
+	encs     map[int]*gob.Encoder // lazily dialed peer connections
+	conns    []net.Conn
+	wg       sync.WaitGroup // running agent steps
+	stopped  chan struct{}
+	stopOnce sync.Once
+	errs     chan error
+}
+
+func newDaemon(id int, peers []string, ln net.Listener, errs chan error) *daemon {
+	return &daemon{
+		id: id, peers: peers, ln: ln,
+		store: newStore(), events: newEvents(),
+		encs: map[int]*gob.Encoder{}, stopped: make(chan struct{}),
+		errs: errs,
+	}
+}
+
+// serve accepts connections until shutdown.
+func (d *daemon) serve() {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			select {
+			case <-d.stopped:
+				return
+			default:
+				d.fail(fmt.Errorf("wire: daemon %d accept: %w", d.id, err))
+				return
+			}
+		}
+		d.encMu.Lock()
+		d.conns = append(d.conns, conn)
+		d.encMu.Unlock()
+		go d.handle(conn)
+	}
+}
+
+// handle decodes envelopes from one connection.
+func (d *daemon) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // peer closed (normal at shutdown)
+		}
+		switch env.Kind {
+		case msgAgent:
+			atomic.AddInt64(&d.received, 1)
+			d.startStep(env.Agent)
+		case msgSnapshot:
+			reply := envelope{Kind: msgCounters, Counters: counters{
+				Created:  atomic.LoadInt64(&d.created),
+				Finished: atomic.LoadInt64(&d.finished),
+				Sent:     atomic.LoadInt64(&d.sent),
+				Received: atomic.LoadInt64(&d.received),
+			}}
+			if err := enc.Encode(&reply); err != nil {
+				d.fail(fmt.Errorf("wire: daemon %d counters: %w", d.id, err))
+				return
+			}
+		case msgShutdown:
+			d.shutdown()
+			return
+		}
+	}
+}
+
+// injectLocal starts a new agent on this daemon.
+func (d *daemon) injectLocal(behaviorName string, state any) {
+	atomic.AddInt64(&d.created, 1)
+	d.startStep(&agentMsg{Behavior: behaviorName, State: state})
+}
+
+// startStep runs one behavior step in its own goroutine; the step may
+// block on local events without stalling the daemon.
+func (d *daemon) startStep(ag *agentMsg) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				d.fail(fmt.Errorf("wire: behavior %q panicked on node %d: %v", ag.Behavior, d.id, r))
+			}
+		}()
+		b, err := behavior(ag.Behavior)
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		v := b(&Ctx{daemon: d, agent: ag})
+		switch {
+		case v.stop:
+			atomic.AddInt64(&d.finished, 1)
+		case v.hop && v.dst == d.id:
+			// Local hop: free, immediate re-dispatch (the daemon
+			// short-cut the paper relies on).
+			d.startStep(ag)
+		case v.hop:
+			if err := d.send(v.dst, envelope{Kind: msgAgent, Agent: ag}); err != nil {
+				d.fail(err)
+				return
+			}
+			atomic.AddInt64(&d.sent, 1)
+		default:
+			d.fail(fmt.Errorf("wire: behavior %q returned no verdict; use HopTo or Done", ag.Behavior))
+		}
+	}()
+}
+
+// send ships an envelope to a peer over a (cached) connection.
+func (d *daemon) send(dst int, env envelope) error {
+	d.encMu.Lock()
+	defer d.encMu.Unlock()
+	enc, ok := d.encs[dst]
+	if !ok {
+		conn, err := net.Dial("tcp", d.peers[dst])
+		if err != nil {
+			return fmt.Errorf("wire: daemon %d dial %d: %w", d.id, dst, err)
+		}
+		d.conns = append(d.conns, conn)
+		enc = gob.NewEncoder(conn)
+		d.encs[dst] = enc
+	}
+	return enc.Encode(&env)
+}
+
+func (d *daemon) shutdown() {
+	d.stopOnce.Do(func() {
+		close(d.stopped)
+		d.ln.Close()
+		d.encMu.Lock()
+		for _, c := range d.conns {
+			c.Close()
+		}
+		d.encMu.Unlock()
+	})
+}
+
+func (d *daemon) fail(err error) {
+	select {
+	case d.errs <- err:
+	default:
+	}
+}
