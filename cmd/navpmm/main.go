@@ -10,6 +10,7 @@
 //	navpmm -stage dsc1d -n 9216 -block 128 -p 8        # Table 2's DSC run
 //	navpmm -stage seq -n 9216 -block 128 -paged        # Table 2's thrashing run
 //	navpmm -stage pipe2d -n 384 -block 128 -p 3 -trace # space-time diagram
+//	navpmm -stage phase2d -n 1536 -block 128 -p 3 -chaos 'seed=7,drop=0.05,kill=4@3' -trace
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/gentleman"
 	"repro/internal/machine"
 	"repro/internal/matmul"
@@ -46,11 +48,28 @@ func main() {
 	paged := flag.Bool("paged", false, "route sequential block accesses through the LRU pager")
 	traceFlag := flag.Bool("trace", false, "print a space-time diagram (NavP stages only)")
 	csvPath := flag.String("csv", "", "write the raw trace events to this CSV file (NavP stages only)")
+	chaos := flag.String("chaos", "", "seeded fault plan, e.g. 'seed=7,drop=0.01,dup=2,delay=0.1,maxdelay=2ms,kill=1@3' (NavP stages only)")
 	seed := flag.Int64("seed", 42, "input generator seed")
 	flag.Parse()
 
+	var plan *fault.Plan
+	if *chaos != "" {
+		var err error
+		if plan, err = fault.Parse(*chaos); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	hw := machine.SunBlade100()
 	name := strings.ToLower(*stage)
+
+	if plan != nil {
+		if _, ok := stages[name]; !ok {
+			fmt.Fprintf(os.Stderr, "-chaos applies only to the NavP stages, not %q\n", name)
+			os.Exit(2)
+		}
+	}
 
 	switch name {
 	case "gentleman", "cannon", "overlap":
@@ -84,10 +103,10 @@ func main() {
 		}
 		cfg := matmul.Config{
 			N: *n, BS: *block, P: *p, Phantom: !*verify, Paged: *paged,
-			HW: hw, NavP: navp.DefaultConfig(), Seed: *seed,
+			HW: hw, NavP: navp.DefaultConfig(), Seed: *seed, Fault: plan,
 		}
 		var rec *trace.Recorder
-		if *traceFlag || *csvPath != "" {
+		if *traceFlag || *csvPath != "" || plan != nil {
 			rec = trace.New()
 			cfg.Tracer = rec
 		}
@@ -102,6 +121,10 @@ func main() {
 			st := rec.Stats()
 			fmt.Printf("trace: %d agents, %d hops, %.1f MB moved, %.2fs computing, %.2fs waiting\n",
 				st.Agents, st.Hops, float64(st.HopBytes)/1e6, st.ComputeTime, st.WaitTime)
+			if plan != nil {
+				fmt.Printf("chaos: plan %s — %d drops, %d retries, %d kills, %d recoveries\n",
+					plan, st.Drops, st.Retries, st.Kills, st.Recovers)
+			}
 			if *traceFlag {
 				fmt.Print(rec.SpaceTime(res.PEs, 24))
 			}

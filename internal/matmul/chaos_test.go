@@ -1,0 +1,86 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestStagesCorrectUnderSimChaos runs every parallel stage under a
+// seeded fault plan on the sim backend: the product must still verify,
+// and the charged virtual time must not beat the clean run (faults only
+// cost time).
+func TestStagesCorrectUnderSimChaos(t *testing.T) {
+	plan := &fault.Plan{Seed: 99, Drop: 0.05, Dup: 1, Delay: 0.2, MaxDelay: 0.001,
+		Kills: []fault.Kill{{Node: 1, AfterArrivals: 3}}}
+	for _, stage := range Stages[1:] { // Sequential has no hops to disturb
+		stage := stage
+		t.Run(stage.String(), func(t *testing.T) {
+			clean := verify(t, stage, testConfig(24, 4, 3))
+			cfg := testConfig(24, 4, 3)
+			cfg.Fault = plan
+			chaotic := verify(t, stage, cfg)
+			if chaotic.Seconds < clean.Seconds {
+				t.Errorf("chaos run (%.4fs) faster than clean run (%.4fs)",
+					chaotic.Seconds, clean.Seconds)
+			}
+		})
+	}
+}
+
+// TestChaosReplaysIdenticallyThroughConfig: the same Config.Fault gives
+// the same outcome on repeated runs — the identical virtual finish time
+// when the stage completes, or the identical diagnostic when it does
+// not. (Heavy drop plans can reorder the fine-grained carriers of the
+// 2-D pipelines past what their event rendezvous tolerates; the sim
+// kernel then reports the deadlock deterministically instead of
+// hanging, which is itself part of the replay contract.)
+func TestChaosReplaysIdenticallyThroughConfig(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stage Stage
+		plan  *fault.Plan
+	}{
+		{"completes", Phase2D, &fault.Plan{Seed: 5, Drop: 0.02, Dup: 2, Delay: 0.3, MaxDelay: 0.0005}},
+		{"heavy-drops", Phase2D, &fault.Plan{Seed: 5, Drop: 0.1, Dup: 2}},
+		{"dsc-solo-agent", DSC1D, &fault.Plan{Seed: 6, Drop: 0.2, Dup: 3}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (float64, string) {
+				cfg := testConfig(24, 4, 3)
+				cfg.Fault = tc.plan
+				res, err := Run(tc.stage, cfg)
+				if err != nil {
+					return 0, err.Error()
+				}
+				return res.Seconds, ""
+			}
+			firstSec, firstErr := run()
+			for i := 0; i < 2; i++ {
+				sec, errStr := run()
+				if sec != firstSec || errStr != firstErr {
+					t.Fatalf("run %d diverged:\n  %.9fs / %q\nvs %.9fs / %q",
+						i+2, sec, errStr, firstSec, firstErr)
+				}
+			}
+		})
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cfg := testConfig(24, 4, 3)
+	cfg.Real = true
+	cfg.Fault = &fault.Plan{Drop: 0.1}
+	if err := cfg.Validate(DSC1D); err == nil {
+		t.Error("fault plan on the real backend accepted")
+	}
+	cfg = testConfig(24, 4, 3)
+	cfg.Fault = &fault.Plan{Kills: []fault.Kill{{Node: 3}}} // 1-D stages have 3 PEs
+	if err := cfg.Validate(DSC1D); err == nil {
+		t.Error("kill of node 3 on a 3-PE stage accepted")
+	}
+	if err := cfg.Validate(DSC2D); err != nil { // 9 PEs: node 3 exists
+		t.Errorf("kill of node 3 on a 9-PE stage rejected: %v", err)
+	}
+}

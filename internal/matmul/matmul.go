@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/matrix"
 	"repro/internal/navp"
@@ -104,6 +105,11 @@ type Config struct {
 	// construction (e.g. machine.Cluster.SetCPURate for heterogeneous
 	// experiments). Ignored on the real backend.
 	TuneCluster func(*machine.Cluster)
+	// Fault injects a seeded chaos plan into the simulated hops: dropped
+	// frames charge a resend timeout, duplicates extra dispatch overhead,
+	// kills a daemon blackout window. Sim backend only; the wire runtime
+	// takes its plan through wire.Options instead.
+	Fault *fault.Plan
 	// Seed feeds the input generator for non-phantom runs.
 	Seed int64
 }
@@ -125,6 +131,23 @@ func (c Config) Validate(stage Stage) error {
 	}
 	if c.Paged && (stage != Sequential || c.Real) {
 		return fmt.Errorf("matmul: Paged applies only to Sequential on the sim backend")
+	}
+	if c.Fault.Active() {
+		if c.Real {
+			return fmt.Errorf("matmul: Fault applies only to the sim backend (use wire.Options for real daemons)")
+		}
+		pes := c.P
+		switch {
+		case stage == Sequential:
+			pes = 1
+		case stage.TwoDimensional():
+			pes = c.P * c.P
+		}
+		for _, k := range c.Fault.Kills {
+			if k.Node < 0 || k.Node >= pes {
+				return fmt.Errorf("matmul: fault plan kills node %d but %v runs on %d PEs", k.Node, stage, pes)
+			}
+		}
 	}
 	return nil
 }
@@ -221,6 +244,9 @@ func newProblem(stage Stage, cfg Config) *problem {
 	}
 	if cfg.TuneCluster != nil && !cfg.Real {
 		cfg.TuneCluster(pr.sys.Cluster())
+	}
+	if cfg.Fault.Active() && !cfg.Real {
+		pr.sys.SetFaultPlan(cfg.Fault)
 	}
 	pr.generateInputs()
 	return pr

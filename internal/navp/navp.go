@@ -67,6 +67,12 @@ const (
 	TraceWait
 	TraceSignal
 	TraceInject
+	// Fault-layer kinds: a hop frame lost in transit, a resend after a
+	// timeout, a daemon death, and its recovery (checkpoint replay).
+	TraceDrop
+	TraceRetry
+	TraceKill
+	TraceRecover
 )
 
 // String returns the kind's name.
@@ -82,6 +88,14 @@ func (k TraceKind) String() string {
 		return "signal"
 	case TraceInject:
 		return "inject"
+	case TraceDrop:
+		return "drop"
+	case TraceRetry:
+		return "retry"
+	case TraceKill:
+		return "kill"
+	case TraceRecover:
+		return "recover"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }

@@ -12,7 +12,8 @@ import (
 type simBackend struct {
 	kernel  *sim.Kernel
 	cluster *machine.Cluster
-	nagents int // monotone counter for unique process names
+	nagents int       // monotone counter for unique process names
+	fault   *simFault // chaos injection, nil when no plan is set
 }
 
 // NewSim builds a NavP system of n nodes on a fresh simulation kernel
@@ -78,11 +79,15 @@ func (b *simBackend) hop(ag *Agent, dst int) {
 	}
 	start := ag.proc.Now()
 	bytes := ag.PayloadBytes()
-	readyAt := b.cluster.SendCost(ag.proc, src, dst, bytes)
-	b.cluster.RecvCost(ag.proc, dst, readyAt, false)
-	// Daemon dispatch at the destination occupies the arriving thread,
-	// not the CPU resource (see machine.SendCost for the rationale).
-	ag.proc.Sleep(ag.sys.cfg.HopOverhead)
+	if b.fault != nil {
+		b.fault.hop(b, ag, src, dst, bytes)
+	} else {
+		readyAt := b.cluster.SendCost(ag.proc, src, dst, bytes)
+		b.cluster.RecvCost(ag.proc, dst, readyAt, false)
+		// Daemon dispatch at the destination occupies the arriving thread,
+		// not the CPU resource (see machine.SendCost for the rationale).
+		ag.proc.Sleep(ag.sys.cfg.HopOverhead)
+	}
 	ag.node = ag.sys.nodes[dst]
 	ag.sys.record(TraceEvent{Kind: TraceHop, Agent: ag.name, From: src, To: dst,
 		Bytes: bytes, Start: start, End: ag.proc.Now()})

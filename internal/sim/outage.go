@@ -1,0 +1,36 @@
+package sim
+
+// Outage tracks unavailability windows for a set of stations (PEs,
+// daemons, links) in virtual time. A failed station is down until a fixed
+// recovery instant; work arriving during the window waits for the
+// recovery. It is the fault-injection counterpart of Resource: where
+// Resource models contention, Outage models absence.
+//
+// Like every sim primitive it is driven from process context on a single
+// kernel, so no locking is needed and replays are deterministic.
+type Outage struct {
+	until []Time
+}
+
+// NewOutage returns an outage tracker for n stations, all available.
+func NewOutage(n int) *Outage { return &Outage{until: make([]Time, n)} }
+
+// Fail marks station i down from now for the given duration. Overlapping
+// failures extend the window to the latest recovery instant.
+func (o *Outage) Fail(i int, now, duration Time) {
+	if end := now + duration; end > o.until[i] {
+		o.until[i] = end
+	}
+}
+
+// Down reports whether station i is unavailable at time t.
+func (o *Outage) Down(i int, t Time) bool { return t < o.until[i] }
+
+// ClearsAt returns the earliest instant at or after t when station i is
+// available: t itself if the station is up, otherwise its recovery time.
+func (o *Outage) ClearsAt(i int, t Time) Time {
+	if o.until[i] > t {
+		return o.until[i]
+	}
+	return t
+}

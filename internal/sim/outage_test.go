@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+func TestOutageWindows(t *testing.T) {
+	o := NewOutage(2)
+	if o.Down(0, 0) || o.ClearsAt(0, 3) != 3 {
+		t.Fatal("fresh outage reports a station down")
+	}
+	o.Fail(0, 10, 5)
+	if !o.Down(0, 10) || !o.Down(0, 14.9) {
+		t.Fatal("station not down inside its window")
+	}
+	if o.Down(0, 15) {
+		t.Fatal("station down at its recovery instant")
+	}
+	if got := o.ClearsAt(0, 12); got != 15 {
+		t.Fatalf("ClearsAt inside window = %v, want 15", got)
+	}
+	if got := o.ClearsAt(0, 20); got != 20 {
+		t.Fatalf("ClearsAt after window = %v, want 20", got)
+	}
+	if o.Down(1, 12) {
+		t.Fatal("failure leaked to another station")
+	}
+	// Overlapping failures extend, never shorten.
+	o.Fail(0, 12, 10)
+	if got := o.ClearsAt(0, 12); got != 22 {
+		t.Fatalf("extended ClearsAt = %v, want 22", got)
+	}
+	o.Fail(0, 13, 1)
+	if got := o.ClearsAt(0, 13); got != 22 {
+		t.Fatalf("shorter overlapping failure shortened the window to %v", got)
+	}
+}

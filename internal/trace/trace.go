@@ -60,6 +60,9 @@ type Stats struct {
 	Agents int
 	// Finish is the latest event end time.
 	Finish sim.Time
+	// Fault-injection counts: dropped hop frames, retransmission
+	// attempts, daemon kills, and daemon recoveries.
+	Drops, Retries, Kills, Recovers int
 }
 
 // Stats computes the run summary.
@@ -81,6 +84,14 @@ func (r *Recorder) Stats() Stats {
 			s.ComputeTime += ev.End - ev.Start
 		case navp.TraceWait:
 			s.WaitTime += ev.End - ev.Start
+		case navp.TraceDrop:
+			s.Drops++
+		case navp.TraceRetry:
+			s.Retries++
+		case navp.TraceKill:
+			s.Kills++
+		case navp.TraceRecover:
+			s.Recovers++
 		}
 	}
 	s.Agents = len(agents)
@@ -112,7 +123,11 @@ var symbolAlphabet = []rune("0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmno
 // per PE (space, west to east), one row per time bucket (time, top to
 // bottom), the paper's Figure 1 orientation. Each cell shows the symbol
 // of the agent that computed longest on that PE during the bucket, '·'
-// for idle. A legend maps symbols back to agent names.
+// for idle. Fault-injection events overlay the compute cells — 'x' a
+// dropped hop frame (at the sending PE), 'r' a retransmission, '#' a
+// daemon kill, '+' a recovery — with kills taking precedence over
+// recoveries over drops over retries. A legend maps symbols back to
+// agent names; a second legend line appears when fault marks are shown.
 func (r *Recorder) SpaceTime(pes, height int) string {
 	if height <= 0 {
 		height = 24
@@ -148,6 +163,37 @@ func (r *Recorder) SpaceTime(pes, height int) string {
 		order = append(order, agent)
 		return s
 	}
+	// Fault marks per cell, keeping the highest-precedence mark. Kills
+	// and recoveries are recorded at the affected node (From == To);
+	// drops and retries at the sending PE.
+	faultRank := map[navp.TraceKind]int{
+		navp.TraceRetry: 1, navp.TraceDrop: 2, navp.TraceRecover: 3, navp.TraceKill: 4,
+	}
+	faultRune := map[navp.TraceKind]rune{
+		navp.TraceRetry: 'r', navp.TraceDrop: 'x', navp.TraceRecover: '+', navp.TraceKill: '#',
+	}
+	faults := make([]map[int]navp.TraceKind, height)
+	anyFault := false
+	for _, ev := range events {
+		if faultRank[ev.Kind] == 0 {
+			continue
+		}
+		row := int(ev.Start / bucket)
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		if faults[row] == nil {
+			faults[row] = map[int]navp.TraceKind{}
+		}
+		if faultRank[ev.Kind] > faultRank[faults[row][ev.From]] {
+			faults[row][ev.From] = ev.Kind
+		}
+		anyFault = true
+	}
+
 	for _, ev := range events {
 		if ev.Kind != navp.TraceCompute {
 			continue
@@ -186,6 +232,9 @@ func (r *Recorder) SpaceTime(pes, height int) string {
 					best, bestSpan = symbols[agent], span
 				}
 			}
+			if k, ok := faults[row][pe]; ok {
+				best = faultRune[k]
+			}
 			b.WriteRune(best)
 			b.WriteString("  ")
 		}
@@ -203,6 +252,9 @@ func (r *Recorder) SpaceTime(pes, height int) string {
 		}
 	}
 	b.WriteByte('\n')
+	if anyFault {
+		b.WriteString("faults: x=drop, r=retry, #=kill, +=recover\n")
+	}
 	return b.String()
 }
 

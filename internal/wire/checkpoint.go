@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// nodeState is the node-resident persistent state of one cluster node:
+// node variables, events, the checkpoint store, the hop dedup table, and
+// the termination counters. It is owned by the Cluster and handed to
+// every daemon incarnation serving the node, so it survives daemon
+// crashes — the role the node's local disk plays in application-initiated
+// checkpointing, where a restarted MESSENGERS daemon re-injects in-flight
+// agents from their last completed hop.
+//
+// Every mutation is a guarded transition keyed on the agent's hop number
+// (accept only Hop > last seen; retire a checkpoint only at the expected
+// hop), so any number of daemon incarnations — including "zombie" steps
+// of a killed incarnation still unwinding — can race on it safely: each
+// per-agent effect happens exactly once.
+type nodeState struct {
+	id     int
+	vars   *store
+	events *events
+
+	mu        sync.Mutex
+	ckpt      map[uint64]*checkpoint // agent ID → last completed hop boundary
+	lastHop   map[uint64]uint64      // agent ID → highest accepted hop (dedup)
+	nextAgent uint64                 // local agent ID allocator
+	arrivals  int64                  // accepted arrivals + injections (kill triggers)
+
+	// Mattern's four counters. Sent counts only acknowledged, accepted
+	// migrations; Received only deduplicated accepts — so duplicated and
+	// replayed frames never unbalance the termination snapshot.
+	created, finished, sent, received int64
+}
+
+// checkpoint is one agent's state at its last completed hop boundary. The
+// state is stored as gob bytes — a true snapshot, immune to the running
+// step mutating the live value afterwards.
+type checkpoint struct {
+	behavior string
+	hop      uint64
+	state    []byte
+}
+
+func newNodeState(id int) *nodeState {
+	return &nodeState{
+		id: id, vars: newStore(), events: newEvents(),
+		ckpt: map[uint64]*checkpoint{}, lastHop: map[uint64]uint64{},
+	}
+}
+
+// stateBox wraps an agent's carried state so a nil or interface-typed
+// value round-trips through gob.
+type stateBox struct{ V any }
+
+func encodeState(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&stateBox{V: v}); err != nil {
+		return nil, fmt.Errorf("wire: checkpoint encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeState(b []byte) (any, error) {
+	var box stateBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("wire: checkpoint decode: %w", err)
+	}
+	return box.V, nil
+}
+
+// newAgentID allocates a cluster-unique agent identity: origin node in
+// the high bits, a persistent per-node counter below, so IDs never repeat
+// even across daemon restarts.
+func (ns *nodeState) newAgentID() uint64 {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.nextAgent++
+	return uint64(ns.id)<<40 | ns.nextAgent
+}
+
+// inject records a newly created agent: counted created, checkpointed at
+// hop zero so a crash before its first step replays it. Returns the
+// node's accepted-arrival count (the kill trigger clock).
+func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
+	snap, err := encodeState(msg.State)
+	if err != nil {
+		return 0, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.created++
+	ns.arrivals++
+	ns.lastHop[msg.ID] = msg.Hop
+	ns.ckpt[msg.ID] = &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap}
+	return ns.arrivals, nil
+}
+
+// accept processes an arriving hop frame: duplicates (a hop number at or
+// below the highest already accepted for the agent) are reported without
+// side effects; fresh frames are counted, recorded in the dedup table,
+// and checkpointed before the caller dispatches the step.
+func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error) {
+	snap, err := encodeState(msg.State)
+	if err != nil {
+		return false, 0, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if last, seen := ns.lastHop[msg.ID]; seen && msg.Hop <= last {
+		return true, ns.arrivals, nil
+	}
+	if cur := ns.ckpt[msg.ID]; cur != nil && cur.hop < msg.Hop {
+		// The agent left this node and is now returning at a higher hop
+		// before the outbound hop's acknowledgement was processed. Its
+		// return proves the delivery was accepted downstream, so retire
+		// the stale checkpoint as a completed send here — the late ack's
+		// hop guard in ackDelivered will no longer match.
+		ns.sent++
+	}
+	ns.received++
+	ns.arrivals++
+	ns.lastHop[msg.ID] = msg.Hop
+	ns.ckpt[msg.ID] = &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap}
+	return false, ns.arrivals, nil
+}
+
+// rehop advances an agent's checkpoint across a free local hop (dst ==
+// current node): hop boundaries are checkpoint boundaries even when no
+// frame crosses the wire. It reports false — abandon the step — when the
+// agent's checkpoint has moved on, which means the caller is a zombie of
+// a killed incarnation racing its own replay.
+func (ns *nodeState) rehop(msg *agentMsg) bool {
+	snap, err := encodeState(msg.State)
+	if err != nil {
+		return false
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	cur := ns.ckpt[msg.ID]
+	if cur == nil || cur.hop != msg.Hop {
+		return false
+	}
+	msg.Hop++
+	ns.lastHop[msg.ID] = msg.Hop
+	ns.ckpt[msg.ID] = &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap}
+	return true
+}
+
+// ackDelivered retires an agent's checkpoint after the destination
+// acknowledged the hop out of prevHop, and counts the migration sent.
+// The guard makes the transition exactly-once: a crashed-and-replayed
+// sender that re-sends (and receives a duplicate ack) retires the
+// checkpoint on whichever acknowledgement arrives first.
+func (ns *nodeState) ackDelivered(id, prevHop uint64) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	cur := ns.ckpt[id]
+	if cur == nil || cur.hop != prevHop {
+		return false
+	}
+	delete(ns.ckpt, id)
+	ns.sent++
+	return true
+}
+
+// complete retires an agent that finished (Done) at hop. The same guard
+// as ackDelivered makes the finished count exactly-once under replay.
+func (ns *nodeState) complete(id, hop uint64) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	cur := ns.ckpt[id]
+	if cur == nil || cur.hop != hop {
+		return false
+	}
+	delete(ns.ckpt, id)
+	ns.finished++
+	return true
+}
+
+// counters reads the termination snapshot contribution.
+func (ns *nodeState) counters() counters {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return counters{Created: ns.created, Finished: ns.finished,
+		Sent: ns.sent, Received: ns.received}
+}
+
+// pendingCheckpoints reports how many agents are checkpointed here (in
+// flight or mid-step).
+func (ns *nodeState) pendingCheckpoints() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.ckpt)
+}
+
+// replayMessages reconstructs every checkpointed agent for re-injection
+// by a restarted daemon. Each message is decoded from the snapshot bytes,
+// so replayed agents never share state with zombie steps of the dead
+// incarnation.
+func (ns *nodeState) replayMessages() ([]*agentMsg, error) {
+	ns.mu.Lock()
+	entries := make(map[uint64]*checkpoint, len(ns.ckpt))
+	for id, c := range ns.ckpt {
+		entries[id] = c
+	}
+	ns.mu.Unlock()
+	msgs := make([]*agentMsg, 0, len(entries))
+	for id, c := range entries {
+		st, err := decodeState(c.state)
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, &agentMsg{ID: id, Hop: c.hop, Behavior: c.behavior, State: st})
+	}
+	return msgs, nil
+}

@@ -1,36 +1,179 @@
 package wire
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
+	"sync"
 	"time"
+
+	"repro/internal/fault"
+	"repro/internal/navp"
 )
 
+// Options configures a cluster's fault-tolerance layer. The zero value
+// gives a plain, fault-free cluster with conservative timeouts — the
+// behavior of NewCluster.
+type Options struct {
+	// Fault injects a deterministic chaos plan into every hop send:
+	// drops, duplicates, delays, and daemon kills. Nil injects nothing.
+	Fault *fault.Plan
+	// Recover enables heartbeat failure detection and automatic daemon
+	// restart with checkpoint replay. It is implied when Fault schedules
+	// kills; without it a dead daemon stays dead.
+	Recover bool
+	// AckTimeout is how long a sender waits for a hop acknowledgement
+	// before retrying (default 500ms).
+	AckTimeout time.Duration
+	// RetryBackoff is the initial resend backoff, doubling per attempt up
+	// to MaxRetryBackoff (defaults 5ms and 250ms).
+	RetryBackoff, MaxRetryBackoff time.Duration
+	// HeartbeatInterval is the monitor's ping period (default 25ms).
+	HeartbeatInterval time.Duration
+	// RestartDelay is how long a dead daemon stays down before the
+	// monitor restarts it (default: the fault plan's RestartDelay, or
+	// 50ms without a plan).
+	RestartDelay time.Duration
+	// Tracer, if non-nil, receives hop/drop/retry/kill/recover events
+	// with wall-clock timestamps in seconds since cluster start (it
+	// must be safe for concurrent use; internal/trace.Recorder is).
+	Tracer navp.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = v
+		}
+	}
+	def(&o.AckTimeout, 500*time.Millisecond)
+	def(&o.RetryBackoff, 5*time.Millisecond)
+	def(&o.MaxRetryBackoff, 250*time.Millisecond)
+	def(&o.HeartbeatInterval, 25*time.Millisecond)
+	if o.RestartDelay <= 0 {
+		if o.Fault != nil {
+			o.RestartDelay = secondsToDuration(o.Fault.RestartDelayOrDefault())
+		} else {
+			o.RestartDelay = 50 * time.Millisecond
+		}
+	}
+	if o.Fault != nil && len(o.Fault.Kills) > 0 {
+		o.Recover = true
+	}
+	return o
+}
+
+// traceSink stamps wire runtime events with wall-clock seconds since
+// cluster start and forwards them to the configured tracer.
+type traceSink struct {
+	tracer navp.Tracer
+	epoch  time.Time
+}
+
+func (ts *traceSink) record(kind navp.TraceKind, agent string, from, to int, bytes int64, label string) {
+	if ts == nil || ts.tracer == nil {
+		return
+	}
+	now := time.Since(ts.epoch).Seconds()
+	ts.tracer.Record(navp.TraceEvent{Kind: kind, Agent: agent, From: from, To: to,
+		Label: label, Bytes: bytes, Start: now, End: now})
+}
+
 // Cluster is a set of wire daemons on loopback TCP, plus the control
-// client that injects agents and detects quiescence. It plays the role
-// of the operator's shell in a MESSENGERS deployment.
+// client that injects agents, detects quiescence, and — when recovery is
+// enabled — supervises daemon health and restarts dead daemons from
+// their node-resident checkpoint stores. It plays the role of the
+// operator's shell in a MESSENGERS deployment.
 type Cluster struct {
-	daemons []*daemon
-	errs    chan error
-	ctl     []*ctlConn // one control connection per daemon
+	opts   Options
+	states []*nodeState // persistent node-resident state, one per node
+	peers  []string
+	errs   chan error
+	sink   *traceSink
+
+	mu      sync.Mutex
+	daemons []*daemon // current incarnations
+	ctl     []*ctlConn
+	closed  bool
+
+	monitorStop chan struct{}
+	monitorDone chan struct{}
 }
 
-// ctlConn is the coordinator's connection to one daemon.
+// ctlConn is the coordinator's lazily redialed connection to one daemon.
 type ctlConn struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
+	addr string
+	conn net.Conn
+	r    *bufio.Reader
 }
 
-// NewCluster starts n daemons listening on ephemeral loopback ports and
-// connects the control client to each.
-func NewCluster(n int) (*Cluster, error) {
+// roundTrip sends one control frame and reads the reply. Any failure
+// closes the connection so the next call redials (reaching the daemon's
+// current incarnation after a restart).
+func (c *ctlConn) roundTrip(env *envelope, timeout time.Duration) (*envelope, error) {
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+		c.r = bufio.NewReader(conn)
+	}
+	fail := func(err error) (*envelope, error) {
+		c.conn.Close()
+		c.conn, c.r = nil, nil
+		return nil, err
+	}
+	frame, err := encodeFrame(env)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fail(err)
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return fail(err)
+	}
+	reply, err := readFrame(c.r)
+	if err != nil {
+		return fail(err)
+	}
+	c.conn.SetDeadline(time.Time{})
+	return reply, nil
+}
+
+func (c *ctlConn) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// NewCluster starts n daemons listening on ephemeral loopback ports — a
+// plain cluster with no fault injection and no recovery.
+func NewCluster(n int) (*Cluster, error) { return NewClusterOpts(n, Options{}) }
+
+// NewClusterOpts starts a cluster with an explicit fault-tolerance
+// configuration.
+func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("wire: cluster size %d must be positive", n)
 	}
-	cl := &Cluster{errs: make(chan error, n)}
+	opts = opts.withDefaults()
+	if opts.Fault != nil {
+		for _, k := range opts.Fault.Kills {
+			if k.Node < 0 || k.Node >= n {
+				return nil, fmt.Errorf("wire: fault plan kills node %d of %d", k.Node, n)
+			}
+		}
+	}
+	cl := &Cluster{
+		opts: opts,
+		errs: make(chan error, n),
+		sink: &traceSink{tracer: opts.Tracer, epoch: time.Now()},
+	}
 	listeners := make([]net.Listener, n)
-	peers := make([]string, n)
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -38,50 +181,64 @@ func NewCluster(n int) (*Cluster, error) {
 			return nil, fmt.Errorf("wire: listen: %w", err)
 		}
 		listeners[i] = ln
-		peers[i] = ln.Addr().String()
+		cl.peers = append(cl.peers, ln.Addr().String())
+		cl.states = append(cl.states, newNodeState(i))
 	}
 	for i := 0; i < n; i++ {
-		d := newDaemon(i, peers, listeners[i], cl.errs)
+		d := newDaemon(i, cl.peers, listeners[i], cl.states[i], &cl.opts, cl.errs, cl.sink)
 		cl.daemons = append(cl.daemons, d)
+		cl.ctl = append(cl.ctl, &ctlConn{addr: cl.peers[i]})
 		go d.serve()
 	}
-	for i := 0; i < n; i++ {
-		conn, err := net.Dial("tcp", peers[i])
-		if err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("wire: control dial %d: %w", i, err)
-		}
-		cl.ctl = append(cl.ctl, &ctlConn{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)})
+	if opts.Recover {
+		cl.monitorStop = make(chan struct{})
+		cl.monitorDone = make(chan struct{})
+		go cl.monitor()
 	}
 	return cl, nil
 }
 
 // Size returns the number of daemons.
-func (cl *Cluster) Size() int { return len(cl.daemons) }
+func (cl *Cluster) Size() int { return len(cl.states) }
+
+// daemon returns node i's current incarnation.
+func (cl *Cluster) daemon(i int) *daemon {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.daemons[i]
+}
 
 // Inject starts an agent with the given registered behavior and
 // gob-encodable state on node id — the paper's command-line injection.
+// The agent is checkpointed before dispatch, so injection is durable
+// even if the target daemon is mid-crash.
 func (cl *Cluster) Inject(node int, behavior string, state any) {
-	cl.daemons[node].injectLocal(behavior, state)
+	cl.daemon(node).injectLocal(behavior, state)
 }
 
-// Set places a node variable on a daemon before (or between) runs —
-// the initial data distribution.
+// Set places a node variable on a node before (or between) runs — the
+// initial data distribution. Node variables live in the node-resident
+// state and survive daemon restarts.
 func (cl *Cluster) Set(node int, name string, v any) {
-	cl.daemons[node].store.set(name, v)
+	cl.states[node].vars.set(name, v)
 }
 
-// Get reads a node variable from a daemon (after Wait, for collecting
+// Get reads a node variable from a node (after Wait, for collecting
 // results).
 func (cl *Cluster) Get(node int, name string) any {
-	return cl.daemons[node].store.get(name)
+	return cl.states[node].vars.get(name)
 }
 
 // Wait blocks until the cluster is quiescent — every agent finished and
 // no migration in flight — using Mattern's four-counter termination
-// detection over the control connections: two consecutive identical
-// snapshots with created == finished and sent == received. It returns
-// the first daemon error, or an error on timeout.
+// detection: two consecutive identical snapshots with created ==
+// finished and sent == received. Because a daemon counts a migration
+// sent only when the receiver acknowledged checkpointing it, and counts
+// received only for deduplicated accepts, the detection stays correct
+// under dropped, duplicated, and replayed hops; and because an unfinished
+// agent always holds a checkpoint (created > finished), a dead daemon
+// holding agents keeps the snapshot unbalanced until recovery replays
+// them. It returns the first daemon error, or an error on timeout.
 func (cl *Cluster) Wait(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var prev counters
@@ -93,14 +250,11 @@ func (cl *Cluster) Wait(timeout time.Duration) error {
 		default:
 		}
 		if time.Now().After(deadline) {
-			cur, _ := cl.snapshot()
+			cur := cl.snapshot()
 			return fmt.Errorf("wire: termination timeout after %v (created %d, finished %d, sent %d, received %d)",
 				timeout, cur.Created, cur.Finished, cur.Sent, cur.Received)
 		}
-		cur, err := cl.snapshot()
-		if err != nil {
-			return err
-		}
+		cur := cl.snapshot()
 		balanced := cur.Created == cur.Finished && cur.Sent == cur.Received
 		if balanced && havePrev && cur == prev {
 			return nil
@@ -110,32 +264,135 @@ func (cl *Cluster) Wait(timeout time.Duration) error {
 	}
 }
 
-// snapshot polls every daemon's counters over its control connection and
-// sums them.
-func (cl *Cluster) snapshot() (counters, error) {
+// snapshot gathers every daemon's counters, over its control connection
+// when the daemon is reachable, directly from the node-resident store
+// when it is down (the store is what a restarted daemon would report
+// anyway, so the snapshot semantics are unchanged).
+func (cl *Cluster) snapshot() counters {
 	var total counters
-	for i, c := range cl.ctl {
-		if err := c.enc.Encode(&envelope{Kind: msgSnapshot}); err != nil {
-			return total, fmt.Errorf("wire: snapshot %d: %w", i, err)
+	for i := range cl.states {
+		if reply, err := cl.ctl[i].roundTrip(&envelope{Kind: msgSnapshot}, cl.opts.AckTimeout); err == nil && reply.Kind == msgCounters {
+			total.add(reply.Counters)
+			continue
 		}
-		var reply envelope
-		if err := c.dec.Decode(&reply); err != nil {
-			return total, fmt.Errorf("wire: snapshot reply %d: %w", i, err)
-		}
-		total.Created += reply.Counters.Created
-		total.Finished += reply.Counters.Finished
-		total.Sent += reply.Counters.Sent
-		total.Received += reply.Counters.Received
+		total.add(cl.states[i].counters())
 	}
-	return total, nil
+	return total
+}
+
+// monitor is the heartbeat loop: ping every daemon each interval and
+// restart the dead ones from their checkpoint stores.
+func (cl *Cluster) monitor() {
+	defer close(cl.monitorDone)
+	tick := time.NewTicker(cl.opts.HeartbeatInterval)
+	defer tick.Stop()
+	hb := make([]*ctlConn, len(cl.peers))
+	for i, addr := range cl.peers {
+		hb[i] = &ctlConn{addr: addr}
+	}
+	defer func() {
+		for _, c := range hb {
+			c.close()
+		}
+	}()
+	for {
+		select {
+		case <-cl.monitorStop:
+			return
+		case <-tick.C:
+		}
+		for i := range cl.peers {
+			select {
+			case <-cl.monitorStop:
+				return
+			default:
+			}
+			d := cl.daemon(i)
+			if !d.dead.Load() {
+				if reply, err := hb[i].roundTrip(&envelope{Kind: msgPing}, cl.opts.HeartbeatInterval*4); err == nil && reply.Kind == msgPong {
+					continue
+				}
+				// Unreachable: declare it dead. (terminate is idempotent,
+				// so racing an in-progress kill is harmless.)
+				d.terminate()
+			}
+			cl.restart(i)
+		}
+	}
+}
+
+// restart brings node i's daemon back after RestartDelay: rebind the
+// node's address, start a fresh incarnation on the shared node state,
+// and re-inject every checkpointed agent from its last completed hop —
+// the recovery half of application-initiated checkpointing.
+func (cl *Cluster) restart(i int) {
+	select {
+	case <-time.After(cl.opts.RestartDelay):
+	case <-cl.monitorStop:
+		return
+	}
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 400; attempt++ {
+		if ln, err = net.Listen("tcp", cl.peers[i]); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		select {
+		case cl.errs <- fmt.Errorf("wire: restart daemon %d: %w", i, err):
+		default:
+		}
+		return
+	}
+	d := newDaemon(i, cl.peers, ln, cl.states[i], &cl.opts, cl.errs, cl.sink)
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		ln.Close()
+		return
+	}
+	cl.daemons[i] = d
+	cl.mu.Unlock()
+	go d.serve()
+	msgs, err := cl.states[i].replayMessages()
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	cl.sink.record(navp.TraceRecover, "", i, i, 0, fmt.Sprintf("%d agents replayed", len(msgs)))
+	for _, msg := range msgs {
+		d.startStep(msg)
+	}
 }
 
 // Close shuts every daemon down and releases the sockets.
 func (cl *Cluster) Close() {
-	for _, c := range cl.ctl {
-		_ = c.enc.Encode(&envelope{Kind: msgShutdown})
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
 	}
-	for _, d := range cl.daemons {
-		d.shutdown()
+	cl.closed = true
+	daemons := append([]*daemon(nil), cl.daemons...)
+	ctl := append([]*ctlConn(nil), cl.ctl...)
+	cl.mu.Unlock()
+	if cl.monitorStop != nil {
+		close(cl.monitorStop)
+		<-cl.monitorDone
+	}
+	// Best-effort protocol shutdown over the control connections, then
+	// terminate in-process (covers daemons with broken control links).
+	for _, c := range ctl {
+		if c.conn != nil {
+			if frame, err := encodeFrame(&envelope{Kind: msgShutdown}); err == nil {
+				c.conn.Write(frame)
+			}
+		}
+		c.close()
+	}
+	for _, d := range daemons {
+		d.terminate()
 	}
 }

@@ -1,74 +1,56 @@
 package wire
 
 import (
-	"encoding/gob"
+	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/navp"
 )
 
-// Message kinds on the wire.
-const (
-	msgAgent    = "agent"    // a migrating computation's state
-	msgSnapshot = "snapshot" // coordinator polling a daemon's counters
-	msgCounters = "counters" // a daemon's reply
-	msgShutdown = "shutdown" // coordinator: quiesced, stop serving
-)
+// errKilled is the panic sentinel that unwinds a behavior step when its
+// daemon incarnation dies underneath it. The step's agent is checkpointed
+// at its last hop boundary, so the restarted daemon replays it; the
+// zombie unwinding here is silent.
+var errKilled = errors.New("wire: daemon incarnation killed")
 
-// envelope is the single wire format; unused fields stay zero.
-type envelope struct {
-	Kind string
-	// Agent migration.
-	Agent *agentMsg
-	// Termination detection (Mattern's four counters).
-	Counters counters
-}
-
-// agentMsg is a migrating computation between steps: the behavior name
-// (code is pre-installed) and the gob-encoded state.
-type agentMsg struct {
-	Behavior string
-	State    any
-}
-
-// counters is one daemon's contribution to the termination snapshot.
-type counters struct {
-	Created, Finished int64
-	Sent, Received    int64
-}
-
-// daemon is one node of the wire cluster: a TCP listener, a node-variable
-// store, node-local events, and a pool of running agent steps.
+// daemon is one incarnation of a node's MESSENGERS daemon: a TCP
+// listener, cached peer links, and a pool of running agent steps. The
+// durable node identity — variables, events, checkpoints, counters —
+// lives in the shared nodeState; a daemon incarnation is disposable and
+// a kill discards only what the checkpoint protocol can reconstruct.
 type daemon struct {
-	id     int
-	peers  []string // peer addresses, indexed by node id
-	ln     net.Listener
-	store  *store
-	events *events
+	id    int
+	peers []string // peer addresses, indexed by node id
+	ln    net.Listener
+	node  *nodeState
+	opts  *Options // cluster-wide knobs, read-only
+	errs  chan error
+	sink  *traceSink
 
-	created, finished int64 // agents started / completed here
-	sent, received    int64 // agent migrations out / in
-
-	encMu    sync.Mutex
-	encs     map[int]*gob.Encoder // lazily dialed peer connections
-	conns    []net.Conn
+	dead     atomic.Bool
+	linkMu   sync.Mutex
+	links    map[int]*link
+	inbound  map[net.Conn]struct{}
 	wg       sync.WaitGroup // running agent steps
 	stopped  chan struct{}
 	stopOnce sync.Once
-	errs     chan error
 }
 
-func newDaemon(id int, peers []string, ln net.Listener, errs chan error) *daemon {
+func newDaemon(id int, peers []string, ln net.Listener, node *nodeState, opts *Options, errs chan error, sink *traceSink) *daemon {
 	return &daemon{
-		id: id, peers: peers, ln: ln,
-		store: newStore(), events: newEvents(),
-		encs: map[int]*gob.Encoder{}, stopped: make(chan struct{}),
-		errs: errs,
+		id: id, peers: peers, ln: ln, node: node, opts: opts,
+		errs: errs, sink: sink,
+		links: map[int]*link{}, inbound: map[net.Conn]struct{}{},
+		stopped: make(chan struct{}),
 	}
 }
 
-// serve accepts connections until shutdown.
+// serve accepts connections until the incarnation terminates.
 func (d *daemon) serve() {
 	for {
 		conn, err := d.ln.Accept()
@@ -81,118 +63,388 @@ func (d *daemon) serve() {
 				return
 			}
 		}
-		d.encMu.Lock()
-		d.conns = append(d.conns, conn)
-		d.encMu.Unlock()
+		d.linkMu.Lock()
+		if d.dead.Load() {
+			d.linkMu.Unlock()
+			conn.Close()
+			return
+		}
+		d.inbound[conn] = struct{}{}
+		d.linkMu.Unlock()
 		go d.handle(conn)
 	}
 }
 
-// handle decodes envelopes from one connection.
+// handle serves one inbound connection. Any read or decode error drops
+// the connection: the peer redials and the retry protocol re-delivers
+// whatever was in flight.
 func (d *daemon) handle(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	r := bufio.NewReader(conn)
+	reply := func(env *envelope) bool {
+		frame, err := encodeFrame(env)
+		if err != nil {
+			d.fail(err)
+			return false
+		}
+		_, err = conn.Write(frame)
+		return err == nil
+	}
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			return // peer closed (normal at shutdown)
+		env, err := readFrame(r)
+		if err != nil {
+			return // peer closed, or a corrupt frame desynced the stream
 		}
 		switch env.Kind {
 		case msgAgent:
-			atomic.AddInt64(&d.received, 1)
-			d.startStep(env.Agent)
+			msg := env.Agent
+			dup, arrivals, err := d.node.accept(msg)
+			if err != nil {
+				d.fail(err)
+				return
+			}
+			acked := reply(&envelope{Kind: msgAck, Ack: ackMsg{ID: msg.ID, Hop: msg.Hop, Dup: dup}})
+			if dup {
+				// Already accepted earlier: the original acceptance
+				// dispatched the agent (or a checkpoint replay will), so a
+				// redelivery only needs the acknowledgement.
+				if !acked {
+					return
+				}
+				continue
+			}
+			if d.opts.Fault.KillNow(d.id, arrivals) {
+				d.kill()
+				return
+			}
+			// Dispatch even when the ack reply failed: a broken connection
+			// means the sender will retransmit and be told "duplicate" —
+			// but this daemon is alive and now owns the only dispatchable
+			// copy of the agent. Skipping dispatch here would orphan a
+			// checkpointed agent on a healthy node.
+			d.startStep(msg)
+			if !acked {
+				return
+			}
 		case msgSnapshot:
-			reply := envelope{Kind: msgCounters, Counters: counters{
-				Created:  atomic.LoadInt64(&d.created),
-				Finished: atomic.LoadInt64(&d.finished),
-				Sent:     atomic.LoadInt64(&d.sent),
-				Received: atomic.LoadInt64(&d.received),
-			}}
-			if err := enc.Encode(&reply); err != nil {
-				d.fail(fmt.Errorf("wire: daemon %d counters: %w", d.id, err))
+			if !reply(&envelope{Kind: msgCounters, Counters: d.node.counters()}) {
+				return
+			}
+		case msgPing:
+			if !reply(&envelope{Kind: msgPong}) {
 				return
 			}
 		case msgShutdown:
-			d.shutdown()
+			d.terminate()
 			return
 		}
 	}
 }
 
-// injectLocal starts a new agent on this daemon.
+// injectLocal starts a new agent on this daemon — injection is local, as
+// in MESSENGERS. The agent is checkpointed before dispatch, so injection
+// into a dying daemon is not lost: the restart replays it.
 func (d *daemon) injectLocal(behaviorName string, state any) {
-	atomic.AddInt64(&d.created, 1)
-	d.startStep(&agentMsg{Behavior: behaviorName, State: state})
+	msg := &agentMsg{ID: d.node.newAgentID(), Behavior: behaviorName, State: state}
+	arrivals, err := d.node.inject(msg)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	if d.opts.Fault.KillNow(d.id, arrivals) {
+		d.kill()
+		return
+	}
+	if d.dead.Load() {
+		return // the checkpoint replays on the next incarnation
+	}
+	d.startStep(msg)
 }
 
 // startStep runs one behavior step in its own goroutine; the step may
 // block on local events without stalling the daemon.
-func (d *daemon) startStep(ag *agentMsg) {
+func (d *daemon) startStep(msg *agentMsg) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
-				d.fail(fmt.Errorf("wire: behavior %q panicked on node %d: %v", ag.Behavior, d.id, r))
+				if r == errKilled {
+					return // killed mid-step; checkpoint replay redoes it
+				}
+				d.fail(fmt.Errorf("wire: behavior %q panicked on node %d: %v", msg.Behavior, d.id, r))
 			}
 		}()
-		b, err := behavior(ag.Behavior)
+		b, err := behavior(msg.Behavior)
 		if err != nil {
 			d.fail(err)
 			return
 		}
-		v := b(&Ctx{daemon: d, agent: ag})
+		v := b(&Ctx{daemon: d, agent: msg})
+		if d.dead.Load() {
+			return // zombie step of a killed incarnation; replay supersedes it
+		}
 		switch {
 		case v.stop:
-			atomic.AddInt64(&d.finished, 1)
+			d.node.complete(msg.ID, msg.Hop)
 		case v.hop && v.dst == d.id:
 			// Local hop: free, immediate re-dispatch (the daemon
-			// short-cut the paper relies on).
-			d.startStep(ag)
-		case v.hop:
-			if err := d.send(v.dst, envelope{Kind: msgAgent, Agent: ag}); err != nil {
-				d.fail(err)
-				return
+			// short-cut the paper relies on), but still a checkpoint
+			// boundary.
+			if d.node.rehop(msg) {
+				d.startStep(msg)
 			}
-			atomic.AddInt64(&d.sent, 1)
+		case v.hop:
+			prev := msg.Hop
+			out := &agentMsg{ID: msg.ID, Hop: msg.Hop + 1, Behavior: msg.Behavior, State: msg.State}
+			d.deliver(v.dst, out, prev)
 		default:
-			d.fail(fmt.Errorf("wire: behavior %q returned no verdict; use HopTo or Done", ag.Behavior))
+			d.fail(fmt.Errorf("wire: behavior %q returned no verdict; use HopTo or Done", msg.Behavior))
 		}
 	}()
 }
 
-// send ships an envelope to a peer over a (cached) connection.
-func (d *daemon) send(dst int, env envelope) error {
-	d.encMu.Lock()
-	defer d.encMu.Unlock()
-	enc, ok := d.encs[dst]
-	if !ok {
-		conn, err := net.Dial("tcp", d.peers[dst])
-		if err != nil {
-			return fmt.Errorf("wire: daemon %d dial %d: %w", d.id, dst, err)
-		}
-		d.conns = append(d.conns, conn)
-		enc = gob.NewEncoder(conn)
-		d.encs[dst] = enc
+// deliver ships one hop frame to a peer with at-least-once semantics:
+// retry with exponential backoff until the destination acknowledges that
+// it has checkpointed the agent, then retire our own checkpoint exactly
+// once. The fault injector sits right here — drops suppress the write,
+// duplicates repeat it, delays precede it — so every chaos scenario
+// exercises the same code path real network trouble would.
+func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
+	frame, err := encodeFrame(&envelope{Kind: msgAgent, Agent: msg})
+	if err != nil {
+		d.fail(err)
+		return
 	}
-	return enc.Encode(&env)
+	// Fold the agent identity into the fault-decision sequence number so
+	// a frame's fate is a pure function of what it carries.
+	seq := msg.ID<<16 ^ msg.Hop
+	backoff := d.opts.RetryBackoff
+	for attempt := uint64(0); ; attempt++ {
+		if d.dead.Load() {
+			return
+		}
+		dec := d.opts.Fault.Decide(d.id, dst, seq, attempt)
+		if dec.Delay > 0 {
+			if !d.sleep(secondsToDuration(dec.Delay)) {
+				return
+			}
+		}
+		var ackCh chan ackMsg
+		var l *link
+		if dec.Drop {
+			d.sink.record(navp.TraceDrop, msg.Behavior, d.id, dst, int64(len(frame)), "")
+		} else {
+			var err error
+			if l, err = d.link(dst); err == nil {
+				ackCh = l.expect(msg.ID, msg.Hop)
+				err = l.writeFrame(frame)
+				for i := 0; err == nil && i < dec.Dup; i++ {
+					err = l.writeFrame(frame)
+				}
+			}
+			if err != nil {
+				if l != nil {
+					l.cancel(msg.ID, msg.Hop)
+					d.dropLink(dst, l)
+				}
+				ackCh = nil
+			}
+		}
+		if ackCh != nil {
+			var acked bool
+			select {
+			case <-ackCh:
+				acked = true
+			case <-time.After(d.opts.AckTimeout):
+			case <-d.stopped:
+			}
+			l.cancel(msg.ID, msg.Hop)
+			if acked {
+				d.node.ackDelivered(msg.ID, prevHop)
+				d.sink.record(navp.TraceHop, msg.Behavior, d.id, dst, int64(len(frame)), "")
+				return
+			}
+			select {
+			case <-d.stopped:
+				return
+			default:
+			}
+		}
+		d.sink.record(navp.TraceRetry, msg.Behavior, d.id, dst, int64(len(frame)),
+			fmt.Sprintf("attempt %d", attempt+2))
+		if !d.sleep(backoff) {
+			return
+		}
+		if backoff *= 2; backoff > d.opts.MaxRetryBackoff {
+			backoff = d.opts.MaxRetryBackoff
+		}
+	}
 }
 
-func (d *daemon) shutdown() {
+// sleep waits for dur or until the incarnation terminates; it reports
+// whether the full duration elapsed.
+func (d *daemon) sleep(dur time.Duration) bool {
+	if dur <= 0 {
+		return !d.dead.Load()
+	}
+	select {
+	case <-time.After(dur):
+		return true
+	case <-d.stopped:
+		return false
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// link returns the cached outbound link to peer dst, dialing if needed.
+func (d *daemon) link(dst int) (*link, error) {
+	d.linkMu.Lock()
+	defer d.linkMu.Unlock()
+	if d.dead.Load() {
+		return nil, errKilled
+	}
+	if l, ok := d.links[dst]; ok {
+		return l, nil
+	}
+	conn, err := net.DialTimeout("tcp", d.peers[dst], d.opts.AckTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: daemon %d dial %d: %w", d.id, dst, err)
+	}
+	l := newLink(conn)
+	d.links[dst] = l
+	go l.readAcks()
+	return l, nil
+}
+
+// dropLink discards a failed link so the next attempt redials.
+func (d *daemon) dropLink(dst int, l *link) {
+	d.linkMu.Lock()
+	if d.links[dst] == l {
+		delete(d.links, dst)
+	}
+	d.linkMu.Unlock()
+	l.close()
+}
+
+// kill terminates this incarnation abruptly — the fault injector's
+// daemon crash. Running steps are abandoned mid-flight; everything they
+// would have contributed is reconstructed from the node's checkpoint
+// store when the cluster's monitor restarts the daemon.
+func (d *daemon) kill() {
+	alreadyDead := d.dead.Load()
+	d.terminate()
+	if !alreadyDead {
+		d.sink.record(navp.TraceKill, "", d.id, d.id, 0, "")
+	}
+}
+
+// terminate closes the listener and every connection and interrupts
+// blocked event waits. It is idempotent and serves both graceful
+// shutdown (cluster Close after quiescence) and kills.
+func (d *daemon) terminate() {
 	d.stopOnce.Do(func() {
+		d.dead.Store(true)
 		close(d.stopped)
 		d.ln.Close()
-		d.encMu.Lock()
-		for _, c := range d.conns {
-			c.Close()
+		d.linkMu.Lock()
+		for _, l := range d.links {
+			l.close()
 		}
-		d.encMu.Unlock()
+		for conn := range d.inbound {
+			conn.Close()
+		}
+		d.linkMu.Unlock()
+		// Wake blocked Ctx.Wait calls; they unwind via errKilled.
+		d.node.events.interruptAll()
 	})
 }
 
 func (d *daemon) fail(err error) {
+	if d.dead.Load() {
+		return
+	}
 	select {
 	case d.errs <- err:
 	default:
 	}
+}
+
+// link is one cached outbound connection: a serialized frame writer plus
+// a reader goroutine that routes acknowledgement frames back to the
+// sender goroutines waiting on them.
+type link struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	pmu     sync.Mutex
+	pending map[ackKey]chan ackMsg
+	closed  bool
+}
+
+type ackKey struct{ id, hop uint64 }
+
+func newLink(conn net.Conn) *link {
+	return &link{conn: conn, pending: map[ackKey]chan ackMsg{}}
+}
+
+func (l *link) writeFrame(frame []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	_, err := l.conn.Write(frame)
+	return err
+}
+
+// expect registers interest in the ack for (id, hop) and returns the
+// channel it will arrive on. Re-registering (a retry) reuses the pending
+// channel, so an ack for an earlier attempt satisfies a later one.
+func (l *link) expect(id, hop uint64) chan ackMsg {
+	key := ackKey{id, hop}
+	l.pmu.Lock()
+	defer l.pmu.Unlock()
+	ch, ok := l.pending[key]
+	if !ok {
+		ch = make(chan ackMsg, 1)
+		l.pending[key] = ch
+	}
+	return ch
+}
+
+func (l *link) cancel(id, hop uint64) {
+	l.pmu.Lock()
+	delete(l.pending, ackKey{id, hop})
+	l.pmu.Unlock()
+}
+
+// readAcks drains the link's inbound side, delivering acks to waiting
+// senders. Any error ends the loop; senders time out and redial.
+func (l *link) readAcks() {
+	r := bufio.NewReader(l.conn)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if env.Kind != msgAck {
+			continue
+		}
+		l.pmu.Lock()
+		ch := l.pending[ackKey{env.Ack.ID, env.Ack.Hop}]
+		l.pmu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- env.Ack:
+			default:
+			}
+		}
+	}
+}
+
+func (l *link) close() {
+	l.pmu.Lock()
+	l.closed = true
+	l.pmu.Unlock()
+	l.conn.Close()
 }

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message kinds on the wire.
+const (
+	msgAgent    = "agent"    // a migrating computation's state
+	msgAck      = "ack"      // receiver: hop frame durably checkpointed
+	msgSnapshot = "snapshot" // coordinator polling a daemon's counters
+	msgCounters = "counters" // a daemon's reply
+	msgPing     = "ping"     // coordinator heartbeat probe
+	msgPong     = "pong"     // a daemon's heartbeat reply
+	msgShutdown = "shutdown" // coordinator: quiesced, stop serving
+)
+
+// envelope is the single wire format; unused fields stay zero.
+type envelope struct {
+	Kind string
+	// Agent migration.
+	Agent *agentMsg
+	// Hop acknowledgement (the checkpoint/dedup handshake).
+	Ack ackMsg
+	// Termination detection (Mattern's four counters).
+	Counters counters
+}
+
+// agentMsg is a migrating computation between steps: the behavior name
+// (code is pre-installed), the gob-encoded state, and the identity that
+// makes delivery exactly-once under retries — a cluster-unique agent ID
+// and the count of hops the agent has completed. A receiver accepts a
+// frame only when Hop exceeds the highest hop it has recorded for ID;
+// anything else is a duplicate or a replay and is acknowledged but
+// discarded.
+type agentMsg struct {
+	ID       uint64
+	Hop      uint64
+	Behavior string
+	State    any
+}
+
+// ackMsg acknowledges one hop frame: the receiver has checkpointed the
+// agent (or already had it — Dup). On receipt the sender retires its own
+// checkpoint of the agent's previous hop and counts the send.
+type ackMsg struct {
+	ID  uint64
+	Hop uint64
+	Dup bool
+}
+
+// counters is one daemon's contribution to the termination snapshot.
+type counters struct {
+	Created, Finished int64
+	Sent, Received    int64
+}
+
+func (c *counters) add(o counters) {
+	c.Created += o.Created
+	c.Finished += o.Finished
+	c.Sent += o.Sent
+	c.Received += o.Received
+}
+
+// maxFrameBytes bounds a single frame; anything larger is rejected before
+// allocation, so a corrupted length prefix cannot exhaust memory.
+const maxFrameBytes = 64 << 20
+
+var (
+	errFrameTooLarge  = errors.New("wire: frame exceeds size limit")
+	errBadFramePrefix = errors.New("wire: malformed frame length prefix")
+)
+
+// encodeFrame renders an envelope as one self-contained frame: a uvarint
+// length prefix followed by a fresh gob stream. Self-contained frames —
+// rather than one long-lived gob stream per connection — are what make
+// the fault layer possible: a frame can be retransmitted or duplicated
+// byte-for-byte, a reconnect needs no stream state, and a corrupted frame
+// cannot desynchronize the decoder's type dictionary.
+func encodeFrame(env *envelope) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: encode frame: %w", err)
+	}
+	if body.Len() > maxFrameBytes {
+		return nil, errFrameTooLarge
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(body.Len()))
+	return append(hdr[:n], body.Bytes()...), nil
+}
+
+// readFrame reads one frame from a connection's buffered reader.
+func readFrame(r *bufio.Reader) (*envelope, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameBytes {
+		return nil, errFrameTooLarge
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodeBody(body)
+}
+
+// decodeFrame decodes one complete frame from a byte slice. It is the
+// network-facing decoder's core and the fuzz target: truncated or
+// corrupted input must yield an error, never a panic.
+func decodeFrame(data []byte) (*envelope, error) {
+	size, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errBadFramePrefix
+	}
+	if size > maxFrameBytes {
+		return nil, errFrameTooLarge
+	}
+	body := data[n:]
+	if uint64(len(body)) < size {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return decodeBody(body[:size])
+}
+
+// decodeBody gob-decodes a frame body. gob reports malformed input as an
+// error, but it decodes attacker-controlled bytes, so the recover is the
+// final guarantee that a hostile frame cannot take a daemon down.
+func decodeBody(body []byte) (env *envelope, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			env, err = nil, fmt.Errorf("wire: corrupt frame: %v", r)
+		}
+	}()
+	env = new(envelope)
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(env); err != nil {
+		return nil, fmt.Errorf("wire: decode frame: %w", err)
+	}
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// validate enforces the frame's semantic invariants after decoding.
+func (env *envelope) validate() error {
+	switch env.Kind {
+	case msgAgent:
+		if env.Agent == nil {
+			return errors.New("wire: agent frame without an agent")
+		}
+		if env.Agent.Behavior == "" {
+			return errors.New("wire: agent frame without a behavior name")
+		}
+	case msgAck, msgSnapshot, msgCounters, msgPing, msgPong, msgShutdown:
+	default:
+		return fmt.Errorf("wire: unknown frame kind %q", env.Kind)
+	}
+	return nil
+}

@@ -25,12 +25,27 @@
 // Cluster termination uses Mattern's four-counter method: a coordinator
 // gathers (created, finished, sent, received) from every daemon and
 // declares quiescence after two identical, balanced snapshots.
+//
+// # Fault tolerance
+//
+// The runtime survives crashed daemons, lost frames, and duplicated
+// frames (see DESIGN.md §8). Hop boundaries are checkpoint boundaries:
+// a daemon persists every arriving agent's state to its node-resident
+// checkpoint store before dispatch, acknowledges the sender, and a
+// restarted daemon re-injects checkpointed agents from their last
+// completed hop. Senders retry unacknowledged hops with exponential
+// backoff; receivers deduplicate by (agent ID, hop number). A behavior
+// step may therefore execute more than once after a crash — steps must
+// tolerate re-execution from their last hop boundary (idempotent node
+// variable writes; see Ctx.Wait for the event caveat). Chaos scenarios
+// are injected deterministically with a fault.Plan via NewClusterOpts.
 package wire
 
 import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Verdict is a behavior step's navigational decision.
@@ -90,6 +105,14 @@ func (c *Ctx) NodeID() int { return c.daemon.id }
 // Nodes returns the cluster size.
 func (c *Ctx) Nodes() int { return len(c.daemon.peers) }
 
+// AgentID returns the agent's cluster-unique identity, assigned at
+// injection and stable across hops, retries, and checkpoint replays.
+func (c *Ctx) AgentID() uint64 { return c.agent.ID }
+
+// HopCount returns the number of hop boundaries the agent has crossed
+// (local re-dispatches included).
+func (c *Ctx) HopCount() uint64 { return c.agent.Hop }
+
 // State returns the agent's carried state. Mutations to the returned
 // value (for pointer kinds) persist across hops.
 func (c *Ctx) State() any { return c.agent.State }
@@ -98,18 +121,28 @@ func (c *Ctx) State() any { return c.agent.State }
 func (c *Ctx) SetState(v any) { c.agent.State = v }
 
 // Get returns the node variable with the given name, or nil.
-func (c *Ctx) Get(name string) any { return c.daemon.store.get(name) }
+func (c *Ctx) Get(name string) any { return c.daemon.node.vars.get(name) }
 
-// Set assigns a node variable.
-func (c *Ctx) Set(name string, v any) { c.daemon.store.set(name, v) }
+// Set assigns a node variable. Node variables are node-resident state:
+// they survive daemon restarts, and a step replayed after a crash
+// re-assigns the same values, so writes should be idempotent.
+func (c *Ctx) Set(name string, v any) { c.daemon.node.vars.set(name, v) }
 
 // Wait blocks until the named node-local event has a pending signal,
 // then consumes it. Waiting blocks only this agent's step; the daemon
-// keeps serving other agents.
-func (c *Ctx) Wait(event string) { c.daemon.events.wait(event) }
+// keeps serving other agents. If the daemon is killed while the agent
+// waits, the step unwinds and is replayed from its last hop boundary
+// after recovery — note that a signal consumed *before* the crash is
+// consumed for good, so behaviors mixing Wait with crash-prone regions
+// should keep the wait adjacent to its hop boundary.
+func (c *Ctx) Wait(event string) {
+	if !c.daemon.node.events.wait(event, &c.daemon.dead) {
+		panic(errKilled)
+	}
+}
 
 // Signal posts one signal of the named node-local event.
-func (c *Ctx) Signal(event string) { c.daemon.events.signal(event) }
+func (c *Ctx) Signal(event string) { c.daemon.node.events.signal(event) }
 
 // Inject starts a new agent with the given behavior and state on this
 // node — injection is local, as in MESSENGERS.
@@ -173,14 +206,22 @@ func (e *events) state(name string) *eventState {
 	return st
 }
 
-func (e *events) wait(name string) {
+// wait consumes one signal of the named event, blocking until one is
+// available. It returns false without consuming anything when cancelled
+// becomes true (the waiting daemon incarnation was killed).
+func (e *events) wait(name string, cancelled *atomic.Bool) bool {
 	st := e.state(name)
 	e.mu.Lock()
 	for st.count == 0 {
+		if cancelled != nil && cancelled.Load() {
+			e.mu.Unlock()
+			return false
+		}
 		st.cond.Wait()
 	}
 	st.count--
 	e.mu.Unlock()
+	return true
 }
 
 func (e *events) signal(name string) {
@@ -189,4 +230,15 @@ func (e *events) signal(name string) {
 	st.count++
 	e.mu.Unlock()
 	st.cond.Signal()
+}
+
+// interruptAll wakes every waiter so those belonging to a killed daemon
+// incarnation can observe cancellation and unwind. Waiters of live
+// incarnations re-check their condition and keep waiting.
+func (e *events) interruptAll() {
+	e.mu.Lock()
+	for _, st := range e.m {
+		st.cond.Broadcast()
+	}
+	e.mu.Unlock()
 }
