@@ -1,0 +1,108 @@
+// Command navplint statically checks that the repository's NavP
+// programs obey the model the plan transformations assume. It runs four
+// analyzers (see internal/analysis): hopcheck (node references must not
+// survive a Hop), gobsafe (checkpointed agent state must round-trip
+// through gob), simsafe (simulation-domain code must stay
+// bit-reproducible), and planfootprint (plan items must declare the
+// footprint their bodies use).
+//
+// Usage:
+//
+//	navplint [-json] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 0 with no findings, 1 with findings, 2 on a load or usage
+// error. Diagnostics print as file:line:col: analyzer: message, or as a
+// JSON array with -json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// simDomain returns the package filter for simsafe: everything under
+// internal/ is simulation-domain except the wire runtime, which talks
+// to real sockets in wall-clock time by design. Real-backend files
+// inside sim-domain packages (navp, mp) carry //navplint:exempt
+// directives instead, so the exemption is visible at the code it
+// covers.
+func simDomain(modPath string) func(pkgPath string) bool {
+	prefix := modPath + "/internal/"
+	return func(pkgPath string) bool {
+		if !strings.HasPrefix(pkgPath, prefix) {
+			return false
+		}
+		return pkgPath != modPath+"/internal/wire"
+	}
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: navplint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fail(err)
+	}
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fail(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	analyzers := analysis.All()
+	for _, a := range analyzers {
+		if a.Name == "simsafe" {
+			a.Filter = simDomain(loader.ModulePath)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "navplint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "navplint:", err)
+	os.Exit(2)
+}

@@ -19,7 +19,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
@@ -62,11 +61,7 @@ func main() {
 		return ctx.Done()
 	})
 
-	rng := rand.New(rand.NewSource(17))
-	a := matrix.NewDense(n, n)
-	b := matrix.NewDense(n, n)
-	a.FillRandom(rng)
-	b.FillRandom(rng)
+	a, b := matrix.RandomPair(matrix.NewSeeded(17), n)
 
 	cl, err := wire.NewCluster(pes)
 	if err != nil {

@@ -1,0 +1,199 @@
+// Package analysis is a small stdlib-only static-analysis framework
+// (go/ast + go/parser + go/types — no x/tools dependency) plus the
+// navplint analyzers that prove NavP programs obey the model the plan
+// transformations assume:
+//
+//   - hopcheck: a *navp.Node reference must not survive a Hop — node
+//     data is only addressable from the node that holds it (the NavP
+//     locality rule; DESIGN.md §9.1).
+//   - gobsafe: every value that flows into the wire runtime's
+//     gob-encoded agent state must round-trip losslessly — unexported
+//     fields are silently dropped and chan/func fields fail at encode
+//     time, both of which corrupt checkpoint replay (§9.2).
+//   - simsafe: simulation-domain code must not consult wall clocks,
+//     global randomness, or spawn bare goroutines — only virtual time
+//     and seeded sources keep runs bit-reproducible (§9.3).
+//   - planfootprint: an execution plan item's body must agree with the
+//     Accesses footprint it declares, so core.Check's dependence
+//     verification cannot be lied to (§9.4).
+//
+// The cmd/navplint CLI runs all four over the module; each analyzer has
+// a `// want`-style golden suite under testdata/src.
+//
+// # Suppressing a finding
+//
+// A diagnostic can be silenced at three scopes:
+//
+//	//lint:ignore hopcheck <reason>      — this line or the next one
+//	//navplint:exempt simsafe            — the whole file, one analyzer
+//	//navplint:exempt all                — the whole file, all analyzers
+//
+// A reason is required on lint:ignore; an ignore comment naming no
+// analyzer is itself reported (it would otherwise rot silently).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one navplint rule.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the rule and the model
+	// invariant it encodes.
+	Doc string
+	// Run reports findings on one package through pass.Reportf.
+	Run func(pass *Pass)
+	// Filter, if non-nil, restricts the analyzer to packages whose
+	// import path it accepts (e.g. simsafe applies only to the
+	// simulation domain). Nil means every package.
+	Filter func(pkgPath string) bool
+}
+
+// All returns fresh instances of every navplint analyzer, in stable
+// order. Instances are fresh so callers may set Filter without
+// affecting other users.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NewHopCheck(),
+		NewGobSafe(),
+		NewSimSafe(),
+		NewPlanFootprint(),
+	}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e in the package's type info, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by position, with suppressed and duplicate findings
+// removed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		idx := newSuppressIndex(pkg)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.Filter != nil && !a.Filter(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		raw = append(raw, idx.malformed...)
+		for _, d := range raw {
+			if !idx.suppressed(d) {
+				all = append(all, d)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range all {
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// funcFor resolves the callee of a call expression to its *types.Func
+// (package function or method), or nil for builtins, conversions, and
+// calls through function-typed variables.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // generic instantiation: NodeVar[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name
+// or a method name on a type of pkgPath.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// namedIn reports whether t (after pointer dereference) is the named
+// type pkgPath.name.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

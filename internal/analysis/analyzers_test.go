@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each analyzer has a golden suite under testdata/src/<name>: bad.go
+// carries `// want` expectations, good.go is the true-negative fixture.
+
+func TestHopCheckFixtures(t *testing.T)      { RunWantTest(t, "hopcheck", NewHopCheck()) }
+func TestGobSafeFixtures(t *testing.T)       { RunWantTest(t, "gobsafe", NewGobSafe()) }
+func TestSimSafeFixtures(t *testing.T)       { RunWantTest(t, "simsafe", NewSimSafe()) }
+func TestPlanFootprintFixtures(t *testing.T) { RunWantTest(t, "planfootprint", NewPlanFootprint()) }
+
+// TestRepoPackagesClean self-applies every analyzer to the load-bearing
+// module packages the analyzers know about — the dogfood guarantee that
+// the repository obeys its own model. (cmd/navplint covers ./... in CI;
+// this narrower set keeps the unit test fast.)
+func TestRepoPackagesClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	analyzers := All()
+	for _, a := range analyzers {
+		if a.Name == "simsafe" {
+			a.Filter = func(pkgPath string) bool {
+				return strings.HasPrefix(pkgPath, loader.ModulePath+"/internal/") &&
+					pkgPath != loader.ModulePath+"/internal/wire"
+			}
+		}
+	}
+	for _, path := range []string{
+		"repro/internal/core",
+		"repro/internal/matmul",
+		"repro/internal/summa",
+		"repro/internal/stencil",
+		"repro/internal/gentleman",
+		"repro/internal/navp",
+		"repro/internal/wire",
+	} {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		assertNoFindings(t, Run([]*Package{pkg}, analyzers))
+	}
+}
+
+// TestExpandPatterns checks the CLI's pattern expansion against the
+// real module tree.
+func TestExpandPatterns(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	want := map[string]bool{
+		"repro":                   false, // module root has doc.go
+		"repro/internal/analysis": false,
+		"repro/internal/navp":     false,
+		"repro/cmd/navplint":      false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+		if strings.Contains(p, "testdata") {
+			t.Errorf("expansion leaked a testdata package: %s", p)
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("expansion missed %s (got %d packages)", p, len(paths))
+		}
+	}
+	single, err := loader.Expand([]string{"./internal/core"})
+	if err != nil {
+		t.Fatalf("expand single: %v", err)
+	}
+	if len(single) != 1 || single[0] != "repro/internal/core" {
+		t.Errorf("single-package pattern: got %v", single)
+	}
+}
+
+// TestSuppressionDirectives checks the malformed-directive finding and
+// file-level exemption behaviour directly.
+func TestSuppressionDirectives(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/suppress", "fixture/suppress")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{NewSimSafe()})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "navplint" ||
+		!strings.Contains(diags[0].Message, "malformed lint:ignore") {
+		t.Errorf("want exactly the malformed-directive finding, got %v", got)
+	}
+}

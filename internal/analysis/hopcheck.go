@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// navpPath is the import path of the NavP runtime the analyzers know.
+const navpPath = "repro/internal/navp"
+
+// NewHopCheck returns the hopcheck analyzer.
+//
+// The NavP locality rule: an agent may only touch data on the node it
+// currently occupies. A *navp.Node reference obtained before a Hop
+// therefore points at a *remote* node after the hop — on the simulation
+// and goroutine backends it still happens to work (one address space),
+// but on a wire-style runtime it is a remote access without navigation,
+// exactly the bug class the model forbids. hopcheck flags every read of
+// a *navp.Node-typed variable that was last bound before a Hop() the
+// agent has since performed.
+//
+// The analysis is intra-procedural and flow-ordered: each Hop call
+// opens a new "hop epoch"; binding a node variable records the current
+// epoch; using it in an older epoch reports. Loop bodies containing a
+// Hop are walked twice so a variable bound outside the loop and used
+// after the in-loop hop is caught on the simulated second iteration.
+// Function literals are analyzed against a copy of the state at their
+// creation point (an injected child starts on the node where Inject
+// ran; hops inside the literal do not advance the parent's epoch).
+func NewHopCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "hopcheck",
+		Doc: "flags *navp.Node references that survive a Hop — remote access " +
+			"without navigation, which the NavP locality model forbids",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				hc := &hopChecker{pass: pass, reported: map[string]bool{}}
+				hc.walkBody(fn.Body, newHopState())
+			}
+		}
+	}
+	return a
+}
+
+// hopState is the flow state at one program point.
+type hopState struct {
+	epoch int                // hops performed so far on this path
+	bind  map[*types.Var]int // node-typed var → epoch at last binding
+}
+
+func newHopState() *hopState {
+	return &hopState{bind: map[*types.Var]int{}}
+}
+
+func (s *hopState) clone() *hopState {
+	c := &hopState{epoch: s.epoch, bind: make(map[*types.Var]int, len(s.bind))}
+	for v, e := range s.bind {
+		c.bind[v] = e
+	}
+	return c
+}
+
+// merge folds another branch's exit state into s, conservatively: the
+// epoch advances if any branch hopped, and a variable's binding epoch is
+// the oldest across branches (so a use is flagged if it is stale on any
+// path).
+func (s *hopState) merge(o *hopState) {
+	if o.epoch > s.epoch {
+		s.epoch = o.epoch
+	}
+	for v, e := range o.bind {
+		if cur, ok := s.bind[v]; !ok || e < cur {
+			s.bind[v] = e
+		}
+	}
+}
+
+type hopChecker struct {
+	pass     *Pass
+	reported map[string]bool
+}
+
+// isNodeType reports whether t is *navp.Node (or navp.Node).
+func isNodeType(t types.Type) bool {
+	return t != nil && namedIn(t, navpPath, "Node")
+}
+
+// isHopCall reports whether call is (*navp.Agent).Hop.
+func (hc *hopChecker) isHopCall(call *ast.CallExpr) bool {
+	f := funcFor(hc.pass.Pkg.Info, call)
+	if !isPkgFunc(f, navpPath, "Hop") {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	return recv != nil && namedIn(recv.Type(), navpPath, "Agent")
+}
+
+// walkBody analyzes a statement list, mutating st in place.
+func (hc *hopChecker) walkBody(blk *ast.BlockStmt, st *hopState) {
+	for _, stmt := range blk.List {
+		hc.walkStmt(stmt, st)
+	}
+}
+
+func (hc *hopChecker) walkStmt(stmt ast.Stmt, st *hopState) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			hc.walkExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v := hc.varOf(id); v != nil && isNodeType(v.Type()) {
+					st.bind[v] = st.epoch
+					continue
+				}
+			}
+			hc.walkExpr(lhs, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					hc.walkExpr(val, st)
+				}
+				for _, name := range vs.Names {
+					if v := hc.varOf(name); v != nil && isNodeType(v.Type()) {
+						st.bind[v] = st.epoch
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		hc.walkExpr(s.X, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			hc.walkStmt(s.Init, st)
+		}
+		hc.walkExpr(s.Cond, st)
+		thenSt := st.clone()
+		hc.walkBody(s.Body, thenSt)
+		elseSt := st.clone()
+		if s.Else != nil {
+			hc.walkStmt(s.Else, elseSt)
+		}
+		*st = *thenSt
+		st.merge(elseSt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			hc.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			hc.walkExpr(s.Cond, st)
+		}
+		hc.walkLoopBody(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		hc.walkExpr(s.X, st)
+		hc.walkLoopBody(s.Body, nil, st)
+	case *ast.BlockStmt:
+		hc.walkBody(s, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			hc.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			hc.walkExpr(s.Tag, st)
+		}
+		hc.walkBranches(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			hc.walkStmt(s.Init, st)
+		}
+		hc.walkStmt(s.Assign, st)
+		hc.walkBranches(s.Body, st)
+	case *ast.SelectStmt:
+		hc.walkBranches(s.Body, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			hc.walkExpr(r, st)
+		}
+	case *ast.DeferStmt:
+		hc.walkExpr(s.Call, st.clone())
+	case *ast.GoStmt:
+		hc.walkExpr(s.Call, st.clone())
+	case *ast.SendStmt:
+		hc.walkExpr(s.Chan, st)
+		hc.walkExpr(s.Value, st)
+	case *ast.IncDecStmt:
+		hc.walkExpr(s.X, st)
+	case *ast.LabeledStmt:
+		hc.walkStmt(s.Stmt, st)
+	}
+}
+
+// walkBranches analyzes each case clause against a copy of the entry
+// state and merges the exits.
+func (hc *hopChecker) walkBranches(body *ast.BlockStmt, st *hopState) {
+	entry := st.clone()
+	for _, c := range body.List {
+		branch := entry.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				hc.walkExpr(e, branch)
+			}
+			for _, s := range cc.Body {
+				hc.walkStmt(s, branch)
+			}
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				hc.walkStmt(cc.Comm, branch)
+			}
+			for _, s := range cc.Body {
+				hc.walkStmt(s, branch)
+			}
+		}
+		st.merge(branch)
+	}
+}
+
+// walkLoopBody analyzes a loop body; if the body (or post statement)
+// performs a hop, it is walked a second time starting from the
+// first pass's exit state, which catches node references bound outside
+// the loop and used after the in-loop hop on iteration two.
+func (hc *hopChecker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, st *hopState) {
+	before := st.epoch
+	walkOnce := func() {
+		hc.walkBody(body, st)
+		if post != nil {
+			hc.walkStmt(post, st)
+		}
+	}
+	walkOnce()
+	if st.epoch > before {
+		walkOnce()
+	}
+}
+
+// walkExpr scans an expression in evaluation order: node-variable uses
+// are checked against the current epoch, and Hop calls advance it.
+func (hc *hopChecker) walkExpr(expr ast.Expr, st *hopState) {
+	if expr == nil {
+		return
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		hc.checkUse(e, st)
+	case *ast.CallExpr:
+		hc.walkExpr(e.Fun, st)
+		for _, arg := range e.Args {
+			hc.walkExpr(arg, st)
+		}
+		if hc.isHopCall(e) {
+			st.epoch++
+		}
+	case *ast.FuncLit:
+		// The literal may run later (Compute body, injected child): check
+		// captured node references against the state at creation, but do
+		// not let hops inside it advance the enclosing epoch.
+		hc.walkBody(e.Body, st.clone())
+	case *ast.SelectorExpr:
+		hc.walkExpr(e.X, st)
+	case *ast.IndexExpr:
+		hc.walkExpr(e.X, st)
+		hc.walkExpr(e.Index, st)
+	case *ast.IndexListExpr:
+		hc.walkExpr(e.X, st)
+		for _, i := range e.Indices {
+			hc.walkExpr(i, st)
+		}
+	case *ast.BinaryExpr:
+		hc.walkExpr(e.X, st)
+		hc.walkExpr(e.Y, st)
+	case *ast.UnaryExpr:
+		hc.walkExpr(e.X, st)
+	case *ast.StarExpr:
+		hc.walkExpr(e.X, st)
+	case *ast.ParenExpr:
+		hc.walkExpr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			hc.walkExpr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		hc.walkExpr(e.Key, st)
+		hc.walkExpr(e.Value, st)
+	case *ast.SliceExpr:
+		hc.walkExpr(e.X, st)
+		hc.walkExpr(e.Low, st)
+		hc.walkExpr(e.High, st)
+		hc.walkExpr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		hc.walkExpr(e.X, st)
+	}
+}
+
+// varOf resolves an identifier to the variable it names, or nil.
+func (hc *hopChecker) varOf(id *ast.Ident) *types.Var {
+	v, _ := hc.pass.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// checkUse reports a read of a node-typed variable bound in an earlier
+// hop epoch.
+func (hc *hopChecker) checkUse(id *ast.Ident, st *hopState) {
+	v, _ := hc.pass.Pkg.Info.Uses[id].(*types.Var)
+	if v == nil || !isNodeType(v.Type()) {
+		return
+	}
+	bound, tracked := st.bind[v]
+	if !tracked || bound >= st.epoch {
+		return
+	}
+	key := hc.pass.Pkg.Fset.Position(id.Pos()).String() + "/" + v.Name()
+	if hc.reported[key] {
+		return
+	}
+	hc.reported[key] = true
+	hc.pass.Reportf(id.Pos(),
+		"node reference %q crosses a Hop: it was bound before the agent navigated and now "+
+			"names a remote node; re-read it from ag.Node() after the hop (NavP locality rule)",
+		v.Name())
+}

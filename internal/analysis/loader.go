@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package with its syntax.
+type Package struct {
+	// Path is the import path ("repro/internal/navp", or a synthetic
+	// "fixture/..." path for testdata packages).
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing Go module from
+// source, with no dependency outside the standard library. Module
+// imports are resolved recursively from the module directory; standard
+// library imports are delegated to the stdlib source importer.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg  *Package
+	err  error
+	busy bool // import cycle guard
+}
+
+// NewLoader creates a loader rooted at the module containing dir (dir or
+// any parent must hold a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		ModulePath: modPath,
+		ModuleDir:  root,
+		fset:       fset,
+		std:        std,
+		cache:      map[string]*loadResult{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// inModule reports whether path names a package of the loaded module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// Load type-checks the package at the given module import path (or
+// returns the cached result).
+func (l *Loader) Load(path string) (*Package, error) {
+	if !l.inModule(path) {
+		return nil, fmt.Errorf("analysis: %s is not in module %s", path, l.ModulePath)
+	}
+	return l.load(path, l.dirFor(path))
+}
+
+// LoadDir type-checks the package in dir under a synthetic import path —
+// used for testdata fixture packages that live outside the module tree
+// proper.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	return l.load(asPath, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if r, ok := l.cache[path]; ok {
+		if r.busy {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return r.pkg, r.err
+	}
+	r := &loadResult{busy: true}
+	l.cache[path] = r
+	r.pkg, r.err = l.loadUncached(path, dir)
+	r.busy = false
+	return r.pkg, r.err
+}
+
+func (l *Loader) loadUncached(path, dir string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module packages
+// are loaded from module source, everything else (the standard library)
+// through the stdlib source importer.
+type loaderImporter Loader
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, im.ModuleDir, 0)
+}
+
+func (im *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(im)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.inModule(path) {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}
+
+// Expand resolves package patterns relative to the module root into
+// import paths. "./..." (or any path ending in "/...") walks
+// directories; other patterns name a single package directory. Vendor,
+// testdata, and hidden directories are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" {
+			pat = "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			if l.inModule(pat) {
+				dir = l.dirFor(pat)
+			} else {
+				dir = filepath.Join(l.ModuleDir, filepath.FromSlash(pat))
+			}
+		}
+		dir = filepath.Clean(dir)
+		if !recursive {
+			p, err := l.pathFor(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				p, err := l.pathFor(path)
+				if err != nil {
+					return err
+				}
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// pathFor maps a directory under the module root to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// corePath is the import path of the plan-transformation framework.
+const corePath = "repro/internal/core"
+
+// NewPlanFootprint returns the planfootprint analyzer.
+//
+// core.Check verifies that a transformed plan preserves the sequential
+// program's dependences — but only against the Accesses footprint each
+// item *declares*. A body that reads or writes cells its declaration
+// omits silently disarms the checker: DSC, Pipelining, and
+// Phase-shifting would be "verified safe" against the wrong dependence
+// graph. planfootprint cross-checks each core.Item composite literal
+// whose Fn is a function literal against its declared Accesses:
+//
+//   - an item with a body must declare a non-empty footprint;
+//   - every free index variable the body uses to address data (as an
+//     index expression or as an argument to a method on captured data)
+//     must appear in some declared Cell expression;
+//   - every variable a Cell expression mentions must be used by the
+//     body (an over-declared footprint produces phantom dependences
+//     that serialize legal parallelism);
+//   - a body that assigns through captured state must declare at least
+//     one Write access.
+//
+// The check is syntactic over the literal; items whose accesses are
+// computed elsewhere are out of scope (and out of warranty).
+func NewPlanFootprint() *Analyzer {
+	a := &Analyzer{
+		Name: "planfootprint",
+		Doc: "cross-checks a core.Item body's read/write index expressions " +
+			"against the Accesses footprint it declares to core.Check, so the " +
+			"dependence checker cannot be lied to",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(lit)
+				if t == nil || !namedIn(t, corePath, "Item") {
+					return true
+				}
+				checkItem(pass, lit)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkItem(pass *Pass, lit *ast.CompositeLit) {
+	var accesses ast.Expr
+	var fn *ast.FuncLit
+	var fnSet bool
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue // positional Item literals don't occur; skip
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Accesses":
+			accesses = kv.Value
+		case "Fn":
+			fnSet = true
+			fn, _ = ast.Unparen(kv.Value).(*ast.FuncLit)
+		}
+	}
+	if !fnSet || isNilExpr(fn, pass, lit) {
+		return // model-only item: nothing to cross-check
+	}
+	if fn == nil {
+		return // body computed elsewhere; out of syntactic scope
+	}
+	accLit, _ := ast.Unparen(accesses).(*ast.CompositeLit)
+	if accesses == nil || (accLit != nil && len(accLit.Elts) == 0) {
+		pass.Reportf(lit.Pos(),
+			"core.Item has a body but declares no Accesses: core.Check cannot see its "+
+				"footprint, so the plan transformations would be verified against a lie")
+		return
+	}
+	if accLit == nil {
+		return // accesses built elsewhere; can't cross-check syntactically
+	}
+
+	declared := declaredIndexVars(pass, accLit)
+	declaredWrite := declaresWrite(accLit)
+	body := bodyFootprint(pass, fn)
+
+	for _, v := range sortedVars(body.indexVars) {
+		if !declared[v] {
+			pass.Reportf(lit.Pos(),
+				"core.Item body indexes data with %q, but no declared Access cell mentions "+
+					"it: the dependence checker is blind to that footprint dimension",
+				v.Name())
+		}
+	}
+	for _, v := range sortedVars(declared) {
+		if !body.usedVars[v] {
+			pass.Reportf(lit.Pos(),
+				"core.Item declares an Access indexed by %q, but the body never uses it: "+
+					"the over-declared footprint creates phantom dependences",
+				v.Name())
+		}
+	}
+	if body.writes && !declaredWrite {
+		pass.Reportf(lit.Pos(),
+			"core.Item body writes through captured state, but no declared Access has "+
+				"Write: true — a conflicting reorder would pass core.Check")
+	}
+}
+
+// isNilExpr reports whether the Fn field value was the literal nil (fn
+// is nil in that case too, but so it is for non-literal expressions; we
+// re-scan the elements to distinguish).
+func isNilExpr(fn *ast.FuncLit, pass *Pass, lit *ast.CompositeLit) bool {
+	if fn != nil {
+		return false
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Fn" {
+			if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok && id.Name == "nil" {
+				return pass.ObjectOf(id) == types.Universe.Lookup("nil")
+			}
+		}
+	}
+	return false
+}
+
+// declaredIndexVars collects the integer-typed variables mentioned
+// anywhere inside the Accesses literal's cell expressions.
+func declaredIndexVars(pass *Pass, accLit *ast.CompositeLit) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(accLit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok && isIntVar(v) {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// declaresWrite reports whether any Access element sets Write: true.
+func declaresWrite(accLit *ast.CompositeLit) bool {
+	found := false
+	ast.Inspect(accLit, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Write" {
+			if val, ok := ast.Unparen(kv.Value).(*ast.Ident); ok && val.Name == "true" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// footprint is what a body actually touches.
+type footprint struct {
+	// indexVars are free integer variables used to address data: inside
+	// an index expression, or as an argument to a call on captured data.
+	indexVars map[*types.Var]bool
+	// usedVars are all free integer variables the body reads at all.
+	usedVars map[*types.Var]bool
+	// writes reports an assignment through captured state.
+	writes bool
+}
+
+// bodyFootprint extracts the footprint of an item's function literal.
+func bodyFootprint(pass *Pass, fn *ast.FuncLit) *footprint {
+	fp := &footprint{indexVars: map[*types.Var]bool{}, usedVars: map[*types.Var]bool{}}
+	free := func(id *ast.Ident) *types.Var {
+		v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || !isIntVar(v) {
+			return nil
+		}
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() {
+			return nil // declared inside the body: a local loop index
+		}
+		return v
+	}
+	markIndexUses := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v := free(id); v != nil {
+					fp.indexVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.Ident:
+			if v := free(node); v != nil {
+				fp.usedVars[v] = true
+			}
+		case *ast.IndexExpr:
+			// x[i]: only data indexing counts, not generic instantiation.
+			if _, isInst := pass.Pkg.Info.Instances[instIdent(node.X)]; !isInst {
+				markIndexUses(node.Index)
+			}
+		case *ast.CallExpr:
+			// method call on captured data (out.C.Block(mi, vj)): its
+			// integer arguments address remote cells.
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if _, isMethod := pass.Pkg.Info.Selections[sel]; isMethod && capturedRoot(pass, fn, sel.X) {
+					for _, arg := range node.Args {
+						markIndexUses(arg)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if writesCaptured(pass, fn, lhs) {
+					fp.writes = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesCaptured(pass, fn, node.X) {
+				fp.writes = true
+			}
+		}
+		return true
+	})
+	return fp
+}
+
+// instIdent digs the identifier out of a generic instantiation operand.
+func instIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// capturedRoot reports whether the expression's root identifier is a
+// variable captured from outside the function literal.
+func capturedRoot(pass *Pass, fn *ast.FuncLit, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := pass.Pkg.Info.Uses[x].(*types.Var)
+			return ok && !(v.Pos() >= fn.Pos() && v.Pos() < fn.End())
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return false
+		}
+	}
+}
+
+// writesCaptured reports whether lhs assigns through state reachable
+// from outside the literal (an indexed or field write rooted at a
+// captured variable).
+func writesCaptured(pass *Pass, fn *ast.FuncLit, lhs ast.Expr) bool {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+		return capturedRoot(pass, fn, lhs)
+	}
+	return false
+}
+
+func isIntVar(v *types.Var) bool {
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func sortedVars(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name() != out[j].Name() {
+			return out[i].Name() < out[j].Name()
+		}
+		return out[i].Pos() < out[j].Pos()
+	})
+	return out
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isPackageLevel reports whether fn is a package-level function (not a
+// method).
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// wallClockFuncs are the time functions that read or wait on the wall
+// clock. time.ParseDuration, constants, and arithmetic stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "Since": true, "Until": true,
+}
+
+// globalRandFuncs are the math/rand package-level draws that consult the
+// shared, unseeded global source. Constructing an explicit seeded
+// source (rand.New, rand.NewSource) stays legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+}
+
+// NewSimSafe returns the simsafe analyzer.
+//
+// The simulation domain's contract is bit-reproducibility: the same
+// seed must replay the same virtual-time schedule, byte for byte, or
+// the paper's tables (and the chaos suites' golden traces) cannot be
+// regenerated. Three things silently break that contract — reading the
+// wall clock, drawing from the global math/rand source, and spawning
+// goroutines outside the sim kernel's deterministic scheduler — and
+// simsafe forbids all three in sim-domain packages. Real-backend files
+// that legitimately touch wall time declare themselves with
+// //navplint:exempt simsafe.
+func NewSimSafe() *Analyzer {
+	a := &Analyzer{
+		Name: "simsafe",
+		Doc: "forbids wall-clock time, global math/rand, and bare go statements " +
+			"in simulation-domain code, where only virtual time and seeded " +
+			"sources keep runs bit-reproducible",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(node.Pos(),
+						"bare go statement in sim-domain code: goroutines outside the sim "+
+							"kernel's scheduler make virtual-time ordering nondeterministic; "+
+							"run concurrent work as sim processes instead")
+				case *ast.CallExpr:
+					fn := funcFor(pass.Pkg.Info, node)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					// Package-level functions only: methods on *rand.Rand or
+					// time.Time values are deterministic given their inputs.
+					switch fn.Pkg().Path() {
+					case "time":
+						if wallClockFuncs[fn.Name()] && isPackageLevel(fn) {
+							pass.Reportf(node.Pos(),
+								"time.%s reads the wall clock in sim-domain code; use the "+
+									"kernel's virtual clock (sim.Proc.Now/Sleep) so runs stay "+
+									"bit-reproducible", fn.Name())
+						}
+					case "math/rand", "math/rand/v2":
+						if globalRandFuncs[fn.Name()] && isPackageLevel(fn) {
+							pass.Reportf(node.Pos(),
+								"rand.%s draws from the global math/rand source in sim-domain "+
+									"code; inject a seeded *rand.Rand so data generation is "+
+									"reproducible", fn.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressIndex holds a package's suppression comments:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>  — suppresses the
+//	    named analyzers on the comment's own line and the next line;
+//	//navplint:exempt <analyzer>|all                   — suppresses the
+//	    analyzer (or everything) for the whole file.
+type suppressIndex struct {
+	// line["file:line"] → analyzer names suppressed there ("all" wildcard).
+	line map[string]map[string]bool
+	// file[filename] → analyzer names exempted file-wide.
+	file map[string]map[string]bool
+	// malformed ignore directives are themselves findings.
+	malformed []Diagnostic
+}
+
+func newSuppressIndex(pkg *Package) *suppressIndex {
+	idx := &suppressIndex{
+		line: map[string]map[string]bool{},
+		file: map[string]map[string]bool{},
+	}
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx.addComment(pkg.Fset, filename, c)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *suppressIndex) addComment(fset *token.FileSet, filename string, c *ast.Comment) {
+	text := strings.TrimPrefix(c.Text, "//")
+	switch {
+	case strings.HasPrefix(text, "lint:ignore"):
+		rest := strings.TrimPrefix(text, "lint:ignore")
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			idx.malformed = append(idx.malformed, Diagnostic{
+				Analyzer: "navplint",
+				Pos:      fset.Position(c.Pos()),
+				Message:  "malformed lint:ignore: need an analyzer name and a reason",
+			})
+			return
+		}
+		line := fset.Position(c.Pos()).Line
+		for _, name := range strings.Split(fields[0], ",") {
+			idx.addLine(filename, line, name)
+			idx.addLine(filename, line+1, name)
+		}
+	case strings.HasPrefix(text, "navplint:exempt"):
+		rest := strings.TrimSpace(strings.TrimPrefix(text, "navplint:exempt"))
+		if rest == "" {
+			idx.malformed = append(idx.malformed, Diagnostic{
+				Analyzer: "navplint",
+				Pos:      fset.Position(c.Pos()),
+				Message:  "malformed navplint:exempt: name an analyzer or \"all\"",
+			})
+			return
+		}
+		for _, name := range strings.Fields(rest) {
+			if idx.file[filename] == nil {
+				idx.file[filename] = map[string]bool{}
+			}
+			idx.file[filename][name] = true
+		}
+	}
+}
+
+func (idx *suppressIndex) addLine(filename string, line int, name string) {
+	key := lineKey(filename, line)
+	if idx.line[key] == nil {
+		idx.line[key] = map[string]bool{}
+	}
+	idx.line[key][name] = true
+}
+
+func lineKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}
+
+// suppressed reports whether d is silenced by an ignore or exempt
+// directive.
+func (idx *suppressIndex) suppressed(d Diagnostic) bool {
+	if d.Analyzer == "navplint" {
+		return false // directives about directives are never suppressed
+	}
+	if names := idx.file[d.Pos.Filename]; names != nil && (names[d.Analyzer] || names["all"]) {
+		return true
+	}
+	if names := idx.line[lineKey(d.Pos.Filename, d.Pos.Line)]; names != nil && (names[d.Analyzer] || names["all"]) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+// Package gobsafe exercises the gobsafe analyzer: agent state that gob
+// would truncate or reject must be caught before a checkpoint replays it.
+package gobsafe
+
+import (
+	"encoding/gob"
+
+	"repro/internal/wire"
+)
+
+// leakyState carries a field gob silently drops.
+type leakyState struct {
+	Visible int
+	hidden  []float64
+}
+
+// chanState carries a field gob refuses at encode time.
+type chanState struct {
+	Results chan int
+}
+
+// nested hides the problem one level down.
+type nested struct {
+	Inner inner
+}
+
+type inner struct {
+	ok bool
+	OK bool
+}
+
+func registerBad() {
+	wire.RegisterState(&leakyState{}) // want `field hidden of leakyState is unexported`
+	gob.Register(nested{})            // want `field Inner.ok of nested is unexported`
+}
+
+func injectBad(cl *wire.Cluster, ctx *wire.Ctx) {
+	cl.Inject(0, "b", chanState{})            // want `field Results of chanState has type chan int`
+	ctx.SetState(&leakyState{Visible: 1})     // want `field hidden of leakyState is unexported`
+	ctx.Inject("b", leakyState{})             // want `field hidden of leakyState is unexported`
+	_ = gob.NewEncoder(nil).Encode(&nested{}) // want `field Inner.ok of nested is unexported`
+}

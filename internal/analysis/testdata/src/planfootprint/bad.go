@@ -1,0 +1,42 @@
+// Package planfootprint exercises the planfootprint analyzer: a
+// core.Item body must agree with the Accesses footprint it declares.
+package planfootprint
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// missingIndex indexes on j and writes, but declares a read-only
+// footprint over i alone — core.Check would verify the wrong graph.
+func missingIndex(data []float64, i, j int) core.Item {
+	return core.Item{ // want `body indexes data with "j"` `no declared Access has Write`
+		ID:       "bad-missing",
+		Node:     0,
+		Accesses: []core.Access{{Cell: "row" + strconv.Itoa(i)}},
+		Fn:       func() { data[i*4+j] += 1 },
+	}
+}
+
+// phantom declares a cell indexed by k that the body never touches,
+// creating dependences that serialize legal parallelism.
+func phantom(out []float64, i, k int) core.Item {
+	return core.Item{ // want `declares an Access indexed by "k", but the body never uses it`
+		ID:   "bad-phantom",
+		Node: 0,
+		Accesses: []core.Access{
+			{Cell: "out" + strconv.Itoa(i), Write: true},
+			{Cell: "tmp" + strconv.Itoa(k)},
+		},
+		Fn: func() { out[i] = 1 },
+	}
+}
+
+// blind has a body but no footprint at all.
+func blind(total *float64) core.Item {
+	return core.Item{ // want `declares no Accesses`
+		ID: "bad-blind",
+		Fn: func() { *total += 1 },
+	}
+}

@@ -1,0 +1,40 @@
+package planfootprint
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+type grid struct{ cells [][]float64 }
+
+func (g *grid) Cell(i, j int) *float64 { return &g.cells[i][j] }
+
+// matched is the true-negative fixture: the declared footprint names
+// exactly the index variables the body addresses data with, and the
+// body's write is declared (commutative, as a reduction).
+func matched(g *grid, i, j int) core.Item {
+	return core.Item{
+		ID:   "good-matched",
+		Node: 0,
+		Accesses: []core.Access{
+			{Cell: "in" + strconv.Itoa(i)},
+			{Cell: "out(" + strconv.Itoa(i) + "," + strconv.Itoa(j) + ")", Write: true, Commutative: true},
+		},
+		Fn: func() {
+			for k := 0; k < 4; k++ {
+				*g.Cell(i, j) += float64(k)
+			}
+		},
+	}
+}
+
+// modelOnly has no body: cost-model items have nothing to cross-check.
+func modelOnly(i int) core.Item {
+	return core.Item{
+		ID:       "good-model",
+		Node:     i,
+		Accesses: []core.Access{{Cell: "in" + strconv.Itoa(i)}},
+		Fn:       nil,
+	}
+}

@@ -1,0 +1,26 @@
+// Package simsafe exercises the simsafe analyzer: wall clocks, global
+// randomness, and bare goroutines break bit-reproducibility.
+package simsafe
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Time {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Now()            // want `time.Now reads the wall clock`
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+func draws() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle draws from the global math/rand source`
+	return rand.Float64()              // want `rand.Float64 draws from the global math/rand source`
+}
+
+func spawns() {
+	go func() {}() // want `bare go statement`
+}

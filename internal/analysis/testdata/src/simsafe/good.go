@@ -1,0 +1,29 @@
+package simsafe
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded is the true-negative fixture: an injected seeded source is the
+// reproducible way to draw randomness.
+func seeded(rng *rand.Rand) float64 {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(42))
+	}
+	return rng.Float64()
+}
+
+// durations uses time for pure values only — parsing and arithmetic on
+// durations never touch the wall clock.
+func durations() time.Duration {
+	d, _ := time.ParseDuration("80us")
+	return d * 2
+}
+
+// suppressed exercises the escape hatch: a justified wall-clock read is
+// silenced with lint:ignore.
+func suppressed() time.Time {
+	//lint:ignore simsafe fixture exercises the suppression path
+	return time.Now()
+}

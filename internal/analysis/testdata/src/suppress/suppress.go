@@ -1,0 +1,17 @@
+// Package suppress exercises the suppression directives themselves:
+// the whole file is exempt from simsafe, and a malformed lint:ignore
+// (no analyzer name, no reason) is itself reported.
+//
+//navplint:exempt simsafe
+package suppress
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now() // exempted file-wide: no finding expected
+}
+
+//lint:ignore
+func malformed() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the expectation comments of a fixture file. Each
+// quoted string is a regular expression one diagnostic on that line
+// must match:
+//
+//	nd := ag.Node() // want `crosses a Hop` `second finding`
+var wantRe = regexp.MustCompile("// want((?: +`[^`]*`)+)")
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunWantTest loads the fixture package in testdata/src/<name>, runs the
+// analyzers over it, and compares the diagnostics against the fixture's
+// `// want` comments: every diagnostic must be expected on its exact
+// line, and every expectation must be matched by some diagnostic. A
+// fixture file with no want comments is a true-negative fixture — any
+// finding in it fails the test.
+func RunWantTest(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+
+	// Collect expectations from the fixture's comments.
+	want := map[string][]*expectation{} // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos)
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, arg[1], err)
+					}
+					want[key] = append(want[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range Run([]*Package{pkg}, analyzers) {
+		key := posKey(d.Pos)
+		exps := want[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, exps := range want {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// assertNoFindings is a helper for framework tests: it fails if any
+// diagnostic came out of the run.
+func assertNoFindings(t *testing.T, diags []Diagnostic) {
+	t.Helper()
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, d.String())
+	}
+	if len(lines) > 0 {
+		t.Errorf("unexpected findings:\n%s", strings.Join(lines, "\n"))
+	}
+}

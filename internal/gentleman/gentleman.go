@@ -25,7 +25,6 @@ package gentleman
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -182,12 +181,7 @@ func newState(v Variant, cfg Config) *state {
 
 // Inputs returns the dense inputs generated for cfg (for verification).
 func Inputs(cfg Config) (a, b *matrix.Dense) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	a = matrix.NewDense(cfg.N, cfg.N)
-	b = matrix.NewDense(cfg.N, cfg.N)
-	a.FillRandom(rng)
-	b.FillRandom(rng)
-	return a, b
+	return matrix.RandomPair(matrix.NewSeeded(cfg.Seed), cfg.N)
 }
 
 // local is one rank's working set: db×db algorithmic blocks of A, B, C.

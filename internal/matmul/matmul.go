@@ -24,7 +24,6 @@ package matmul
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 
 	"repro/internal/fault"
@@ -258,11 +257,7 @@ func (pr *problem) generateInputs() {
 		pr.B = matrix.NewBlocked(pr.cfg.N, pr.cfg.BS, true)
 		return
 	}
-	rng := rand.New(rand.NewSource(pr.cfg.Seed))
-	a := matrix.NewDense(pr.cfg.N, pr.cfg.N)
-	b := matrix.NewDense(pr.cfg.N, pr.cfg.N)
-	a.FillRandom(rng)
-	b.FillRandom(rng)
+	a, b := Inputs(pr.cfg)
 	pr.A = matrix.Partition(a, pr.cfg.BS)
 	pr.B = matrix.Partition(b, pr.cfg.BS)
 }
@@ -270,12 +265,7 @@ func (pr *problem) generateInputs() {
 // Inputs returns dense copies of the generated inputs for verification.
 // It panics on phantom runs.
 func Inputs(cfg Config) (a, b *matrix.Dense) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	a = matrix.NewDense(cfg.N, cfg.N)
-	b = matrix.NewDense(cfg.N, cfg.N)
-	a.FillRandom(rng)
-	b.FillRandom(rng)
-	return a, b
+	return matrix.RandomPair(matrix.NewSeeded(cfg.Seed), cfg.N)
 }
 
 // owner maps a virtual index to its PE chunk along one dimension.

@@ -1,0 +1,27 @@
+package matrix
+
+import "math/rand"
+
+// NewSeeded returns a deterministic random source for data generation.
+// The kernels thread one of these explicitly through every generation
+// path instead of touching the global math/rand source (which the
+// simsafe analyzer forbids in sim-domain code), so the same seed always
+// regenerates bit-identical inputs.
+func NewSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// RandomDense returns an r×c dense matrix filled from rng.
+func RandomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	m.FillRandom(rng)
+	return m
+}
+
+// RandomPair returns two n×n matrices drawn consecutively from rng —
+// the (A, B) input pair shared by the multiplication kernels. Drawing
+// both from one source keeps a kernel's inputs a single reproducible
+// stream: regenerating with the same seed yields the same pair.
+func RandomPair(rng *rand.Rand, n int) (a, b *Dense) {
+	a = RandomDense(rng, n, n)
+	b = RandomDense(rng, n, n)
+	return a, b
+}

@@ -1,3 +1,7 @@
+// This file is the real-concurrency backend: wall-clock time and bare
+// goroutines are its whole point, not a reproducibility bug.
+//
+//navplint:exempt simsafe
 package navp
 
 import (

@@ -65,6 +65,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.nextSeq++
 	k.live++
 	k.procs = append(k.procs, p)
+	//lint:ignore simsafe the kernel itself multiplexes procs onto parked goroutines; exactly one is ever runnable, so virtual-time order stays deterministic
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

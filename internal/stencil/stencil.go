@@ -32,7 +32,6 @@ package stencil
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 
 	"repro/internal/machine"
@@ -113,9 +112,7 @@ type Result struct {
 // InitialGrid returns the deterministic starting grid for cfg: random
 // interior, fixed hot top boundary.
 func InitialGrid(cfg Config) *matrix.Dense {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := matrix.NewDense(cfg.Rows, cfg.Cols)
-	g.FillRandom(rng)
+	g := matrix.RandomDense(matrix.NewSeeded(cfg.Seed), cfg.Rows, cfg.Cols)
 	for j := 0; j < cfg.Cols; j++ {
 		g.Set(0, j, 1.0) // hot top edge
 		g.Set(cfg.Rows-1, j, 0)

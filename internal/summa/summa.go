@@ -17,7 +17,6 @@ package summa
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/machine"
 	"repro/internal/matrix"
@@ -94,12 +93,7 @@ func Run(cfg Config) (*Result, error) {
 
 // Inputs returns the dense inputs generated for cfg (for verification).
 func Inputs(cfg Config) (a, b *matrix.Dense) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	a = matrix.NewDense(cfg.N, cfg.N)
-	b = matrix.NewDense(cfg.N, cfg.N)
-	a.FillRandom(rng)
-	b.FillRandom(rng)
-	return a, b
+	return matrix.RandomPair(matrix.NewSeeded(cfg.Seed), cfg.N)
 }
 
 type state struct {
