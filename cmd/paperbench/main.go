@@ -9,12 +9,15 @@
 //	paperbench -stagger            # §5(3) staggering phase counts
 //	paperbench -ablations          # pointer-swap / overlap / block-size
 //	paperbench -quick              # truncated tables (smoke test)
+//	paperbench -regress            # measure the fast data paths, write BENCH_*.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
@@ -27,13 +30,25 @@ func main() {
 	stagger := flag.Bool("stagger", false, "run the §5(3) staggering phase-count analysis")
 	ablations := flag.Bool("ablations", false, "run the ablation experiments")
 	report := flag.Bool("report", false, "emit the full markdown reproduction report (tables, staggering, ablations)")
+	regress := flag.Bool("regress", false, "benchmark the fast data paths and write BENCH_kernels.json + BENCH_wire.json")
+	regressOut := flag.String("regress-out", ".", "directory the -regress JSON files are written to")
 	flag.Parse()
 
-	if *table == "" && !*stagger && !*ablations && !*report {
+	if *table == "" && !*stagger && !*ablations && !*report && !*regress {
 		flag.Usage()
 		os.Exit(2)
 	}
 	opt := bench.Options{Quick: *quick}
+
+	if *regress {
+		if err := runRegress(*regressOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *table == "" && !*stagger && !*ablations && !*report {
+			return
+		}
+	}
 
 	if *report {
 		out, err := bench.Report(opt)
@@ -85,6 +100,35 @@ func main() {
 	if *ablations {
 		runAblations(opt)
 	}
+}
+
+// runRegress measures the fast data paths (with -quick: shrunken sizes
+// for CI smoke runs) and writes the machine-readable regression files.
+func runRegress(dir string, quick bool) error {
+	kernels := bench.RegressKernels(quick)
+	if err := writeRegressFile(filepath.Join(dir, "BENCH_kernels.json"), kernels); err != nil {
+		return err
+	}
+	if n, ratio, err := kernels.KernelSpeedup(); err == nil {
+		fmt.Printf("kernel vs naive at n=%d: %.2fx GFLOP/s\n", n, ratio)
+	}
+	wireFile, err := bench.RegressWire(quick)
+	if err != nil {
+		return err
+	}
+	return writeRegressFile(filepath.Join(dir, "BENCH_wire.json"), wireFile)
+}
+
+func writeRegressFile(path string, f *bench.RegressFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(f.Results))
+	return nil
 }
 
 func printComparison(t *bench.Table) {

@@ -34,25 +34,85 @@ func BenchmarkMulAdd(b *testing.B) {
 	}
 }
 
-// BenchmarkMulBlockedVsNaive compares the cache-blocked full multiply
-// against the straight triple loop.
-func BenchmarkMulBlockedVsNaive(b *testing.B) {
-	const n = 256
+// benchPair returns a seeded random n×n multiplicand pair.
+func benchPair(n int) (x, y *Dense) {
 	rng := rand.New(rand.NewSource(2))
-	x := NewDense(n, n)
-	y := NewDense(n, n)
+	x, y = NewDense(n, n), NewDense(n, n)
 	x.FillRandom(rng)
 	y.FillRandom(rng)
-	b.Run("naive", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			Mul(x, y)
-		}
-	})
-	b.Run("blocked64", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			MulBlocked(x, y, 64)
-		}
-	})
+	return x, y
+}
+
+func reportGflops(b *testing.B, n int) {
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkNaiveMul is the recorded baseline: the paper's Figure 2
+// i-j-k triple loop.
+func BenchmarkNaiveMul(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		n := n
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			x, y := benchPair(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mulNaive(x, y)
+			}
+			reportGflops(b, n)
+		})
+	}
+}
+
+// BenchmarkSaxpyMul is the intermediate i-k-j loop order (what loop
+// order alone buys over the naive baseline).
+func BenchmarkSaxpyMul(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		n := n
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			x, y := benchPair(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulSaxpy(x, y)
+			}
+			reportGflops(b, n)
+		})
+	}
+}
+
+// BenchmarkKernelMul is the packed serial kernel — the fast path behind
+// matrix.Mul and Block MulAdd, and the number the BENCH_kernels.json
+// regression gate watches.
+func BenchmarkKernelMul(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		n := n
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			x, y := benchPair(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Kernel{}.Mul(x, y)
+			}
+			reportGflops(b, n)
+		})
+	}
+}
+
+// BenchmarkKernelMulThreads scales the worker pool at n=1024. (On a
+// single-core host the threads>1 rows measure pool overhead, not
+// speedup — the JSON regression file records GOMAXPROCS alongside.)
+func BenchmarkKernelMulThreads(b *testing.B) {
+	const n = 1024
+	for _, threads := range []int{1, 2, 4} {
+		threads := threads
+		b.Run("t="+itoa(threads), func(b *testing.B) {
+			x, y := benchPair(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Kernel{Threads: threads}.Mul(x, y)
+			}
+			reportGflops(b, n)
+		})
+	}
 }
 
 // BenchmarkPartitionAssemble measures the blocked-view conversion.

@@ -85,19 +85,11 @@ func MulAdd(c, a, b *Block) {
 	if np != 0 {
 		panic("matrix: MulAdd mixes phantom and real blocks")
 	}
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
-		cr := c.Data[i*c.Cols : (i+1)*c.Cols]
-		for k, aik := range ar {
-			if aik == 0 {
-				continue
-			}
-			br := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bkj := range br {
-				cr[j] += aik * bkj
-			}
-		}
-	}
+	// The packed kernel has no data-dependent branch, so block timing is
+	// uniform across inputs — a requirement of the §5 stagger
+	// comparisons, where a mispredicted per-element skip would make
+	// phase times depend on matrix content.
+	Kernel{}.gemm(a.Rows, b.Cols, a.Cols, a.Data, a.Cols, b.Data, b.Cols, c.Data, c.Cols)
 }
 
 // Blocked is a square matrix partitioned into a grid of algorithmic

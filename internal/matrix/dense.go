@@ -100,10 +100,48 @@ func (m *Dense) MaxAbsDiff(n *Dense) float64 {
 	return max
 }
 
-// Mul returns a×b computed with the straightforward triple loop of the
-// paper's Figure 2. It is the correctness reference for every parallel
-// implementation in this repository.
+// Mul returns a×b through the packed serial kernel (kernel.go). Its
+// result agrees with the naive reference mulNaive to floating-point
+// reassociation tolerance; kernel_test.go holds the equivalence suite.
 func Mul(a, b *Dense) *Dense {
+	return Kernel{}.Mul(a, b)
+}
+
+// MulNaive returns a×b computed with the straightforward i-j-k triple
+// loop of the paper's Figure 2 — the sequential program the paper
+// incrementally parallelizes. It is the correctness oracle for every
+// kernel and parallel implementation in this repository, and the
+// recorded baseline the BENCH_kernels.json regression numbers are
+// measured against.
+func MulNaive(a, b *Dense) *Dense { return mulNaive(a, b) }
+
+// mulNaive is the unoptimized reference, kept loop-for-loop as the
+// paper wrote it (dot-product order, column-strided B access, no
+// data-dependent skip so timing is input independent).
+func mulNaive(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: inner dimension mismatch %d vs %d", a.Cols, b.Rows))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += arow[k] * b.Data[k*b.Stride+j]
+			}
+			crow[j] += s
+		}
+	}
+	return c
+}
+
+// MulSaxpy returns a×b with the cache-friendly i-k-j loop order (row
+// saxpy): the intermediate point between the paper's naive loop and the
+// packed kernel, recorded in BENCH_kernels.json so the perf trajectory
+// shows what loop order alone buys.
+func MulSaxpy(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: inner dimension mismatch %d vs %d", a.Cols, b.Rows))
 	}
@@ -113,9 +151,6 @@ func Mul(a, b *Dense) *Dense {
 		crow := c.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
 			brow := b.Row(k)
 			for j := range crow {
 				crow[j] += aik * brow[j]
@@ -125,36 +160,13 @@ func Mul(a, b *Dense) *Dense {
 	return c
 }
 
-// MulBlocked returns a×b computed block-by-block with the given
-// algorithmic block order, the sequential kernel the paper times. Shapes
-// need not be multiples of the block size.
+// MulBlocked returns a×b computed with the packed kernel using the
+// given algorithmic block size as its cache-blocking granule — the
+// sequential kernel the paper times. Shapes need not be multiples of
+// the block size.
 func MulBlocked(a, b *Dense, block int) *Dense {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("matrix: inner dimension mismatch %d vs %d", a.Cols, b.Rows))
-	}
 	if block <= 0 {
 		panic("matrix: block size must be positive")
 	}
-	c := NewDense(a.Rows, b.Cols)
-	for i0 := 0; i0 < a.Rows; i0 += block {
-		i1 := min(i0+block, a.Rows)
-		for j0 := 0; j0 < b.Cols; j0 += block {
-			j1 := min(j0+block, b.Cols)
-			for k0 := 0; k0 < a.Cols; k0 += block {
-				k1 := min(k0+block, a.Cols)
-				for i := i0; i < i1; i++ {
-					arow := a.Row(i)
-					crow := c.Row(i)
-					for k := k0; k < k1; k++ {
-						aik := arow[k]
-						brow := b.Row(k)
-						for j := j0; j < j1; j++ {
-							crow[j] += aik * brow[j]
-						}
-					}
-				}
-			}
-		}
-	}
-	return c
+	return Kernel{mc: block, kc: block}.Mul(a, b)
 }

@@ -1,0 +1,199 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Self-encoding gob payloads for the wire data path.
+//
+// Without these methods, gob serializes a Block's []float64 through its
+// reflection walker: one field tag plus one variable-length float
+// encoding per element, visited element by element. For the
+// block-carrying agents of the wire runtime that cost is paid on every
+// hop (frame encode) and every checkpoint (accept/inject/rehop). The
+// GobEncoder/GobDecoder implementations below replace the element walk
+// with a fixed header and one raw little-endian float64 slab — memcpy
+// speed, byte-exact round-trip (NaN payloads included).
+//
+// Wire compatibility: gob streams written before these methods existed
+// encode Block as a plain struct, which a GobDecoder type cannot read.
+// That is safe here because no pre-fast-path wire state carried a Block
+// (the golden-frame tests in internal/wire pin decode compatibility for
+// the state types that did exist); new recordings are pinned by the
+// slab golden test instead.
+
+// slabMagic guards against feeding a foreign gob payload into the slab
+// decoder; the version byte lets the layout evolve without ambiguity.
+const (
+	blockSlabMagic = 0xB1
+	denseSlabMagic = 0xD1
+	slabVersion    = 1
+)
+
+// maxSlabElems bounds decoded slab allocations (1 GiB of float64s), so
+// a corrupted header cannot exhaust memory — the same defense
+// wire.maxFrameBytes gives frames.
+const maxSlabElems = 1 << 27
+
+// appendUvarint appends v to b in binary uvarint form.
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// GobEncode implements gob.GobEncoder: header (magic, version, BR, BC,
+// Rows, Cols, phantom flag) followed by the element slab as raw
+// little-endian float64 bits.
+func (b *Block) GobEncode() ([]byte, error) {
+	phantom := uint64(0)
+	if b.Phantom() {
+		phantom = 1
+	}
+	out := make([]byte, 0, 2+5*binary.MaxVarintLen64+8*len(b.Data))
+	out = append(out, blockSlabMagic, slabVersion)
+	out = appendUvarint(out, uint64(b.BR))
+	out = appendUvarint(out, uint64(b.BC))
+	out = appendUvarint(out, uint64(b.Rows))
+	out = appendUvarint(out, uint64(b.Cols))
+	out = appendUvarint(out, phantom)
+	if phantom == 1 {
+		return out, nil
+	}
+	if len(b.Data) != b.Rows*b.Cols {
+		return nil, fmt.Errorf("matrix: Block %d×%d has %d elements", b.Rows, b.Cols, len(b.Data))
+	}
+	return appendFloatSlab(out, b.Data), nil
+}
+
+// GobDecode implements gob.GobDecoder for the layout GobEncode writes.
+func (b *Block) GobDecode(data []byte) error {
+	r := slabReader{buf: data, what: "Block"}
+	r.magic(blockSlabMagic)
+	br := r.uvarint()
+	bc := r.uvarint()
+	rows := r.uvarint()
+	cols := r.uvarint()
+	phantom := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	if rows*cols > maxSlabElems {
+		return fmt.Errorf("matrix: Block slab %d×%d exceeds size limit", rows, cols)
+	}
+	b.BR, b.BC, b.Rows, b.Cols = int(br), int(bc), int(rows), int(cols)
+	if phantom == 1 {
+		b.Data = nil
+		return nil
+	}
+	b.Data = r.floatSlab(int(rows * cols))
+	return r.err
+}
+
+// GobEncode implements gob.GobEncoder for Dense: shape header then the
+// rows as one compact (stride == Cols) little-endian slab.
+func (m *Dense) GobEncode() ([]byte, error) {
+	out := make([]byte, 0, 2+2*binary.MaxVarintLen64+8*m.Rows*m.Cols)
+	out = append(out, denseSlabMagic, slabVersion)
+	out = appendUvarint(out, uint64(m.Rows))
+	out = appendUvarint(out, uint64(m.Cols))
+	if m.Stride == m.Cols {
+		return appendFloatSlab(out, m.Data), nil
+	}
+	for i := 0; i < m.Rows; i++ {
+		out = appendFloatSlab(out, m.Row(i))
+	}
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder for the layout GobEncode writes;
+// the decoded matrix is always compact.
+func (m *Dense) GobDecode(data []byte) error {
+	r := slabReader{buf: data, what: "Dense"}
+	r.magic(denseSlabMagic)
+	rows := r.uvarint()
+	cols := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	if rows == 0 || cols == 0 || rows*cols > maxSlabElems {
+		return fmt.Errorf("matrix: Dense slab %d×%d out of range", rows, cols)
+	}
+	m.Rows, m.Cols, m.Stride = int(rows), int(cols), int(cols)
+	m.Data = r.floatSlab(int(rows * cols))
+	return r.err
+}
+
+// appendFloatSlab appends vals as raw little-endian float64 bits.
+func appendFloatSlab(out []byte, vals []float64) []byte {
+	off := len(out)
+	out = append(out, make([]byte, 8*len(vals))...)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[off+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// slabReader is a cursor over an encoded slab with sticky error
+// handling: any malformed read poisons subsequent ones, so decoders can
+// read a full header and check err once.
+type slabReader struct {
+	buf  []byte
+	what string
+	err  error
+}
+
+func (r *slabReader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("matrix: corrupt %s slab: %s", r.what, msg)
+	}
+}
+
+func (r *slabReader) magic(want byte) {
+	if len(r.buf) < 2 {
+		r.fail("truncated header")
+		return
+	}
+	if r.buf[0] != want {
+		r.fail("bad magic byte")
+		return
+	}
+	if r.buf[1] != slabVersion {
+		r.fail(fmt.Sprintf("unknown version %d", r.buf[1]))
+		return
+	}
+	r.buf = r.buf[2:]
+}
+
+func (r *slabReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// floatSlab decodes n raw little-endian float64s, which must exactly
+// exhaust the remaining payload.
+func (r *slabReader) floatSlab(n int) []float64 {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) != 8*n {
+		r.fail(fmt.Sprintf("payload is %d bytes, want %d", len(r.buf), 8*n))
+		return nil
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[8*i:]))
+	}
+	r.buf = nil
+	return vals
+}

@@ -1,0 +1,179 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blockSlabGolden is the checked-in GobEncode image of a 2×3 Block at
+// coordinates (1,2) holding {1, -0.5, +Inf, 2.75, NaN(payload 0xabc),
+// 0}. It pins the slab wire layout: if encoding drifts, recorded wire
+// frames and checkpoints stop decoding, and this test fails first.
+const blockSlabGolden = "b1010102020300000000000000f03f000000000000e0bf000000000000f07f0000000000000640bc0a00000000f87f0000000000000000"
+
+// denseSlabGolden pins the Dense layout: 2×2 {1, 2, 3, 4.5}.
+const denseSlabGolden = "d1010202000000000000f03f000000000000004000000000000008400000000000001240"
+
+func goldenBlock() *Block {
+	b := NewBlock(1, 2, 2, 3)
+	copy(b.Data, []float64{1, -0.5, math.Inf(1), 2.75, math.Float64frombits(0x7ff8000000000abc), 0})
+	return b
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBlockSlabGolden(t *testing.T) {
+	want := goldenBlock()
+	enc, err := want.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(enc); got != blockSlabGolden {
+		t.Fatalf("slab layout drifted:\n got %s\nwant %s", got, blockSlabGolden)
+	}
+	raw, err := hex.DecodeString(blockSlabGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Block
+	if err := got.GobDecode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.BR != 1 || got.BC != 2 || got.Rows != 2 || got.Cols != 3 {
+		t.Fatalf("decoded shape %+v", got)
+	}
+	if !sameBits(got.Data, want.Data) {
+		t.Fatalf("decoded data %v, want bit-exact %v", got.Data, want.Data)
+	}
+}
+
+func TestDenseSlabGolden(t *testing.T) {
+	want := NewDense(2, 2)
+	copy(want.Data, []float64{1, 2, 3, 4.5})
+	enc, err := want.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(enc); got != denseSlabGolden {
+		t.Fatalf("slab layout drifted:\n got %s\nwant %s", got, denseSlabGolden)
+	}
+	raw, _ := hex.DecodeString(denseSlabGolden)
+	var got Dense
+	if err := got.GobDecode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 2 || got.Cols != 2 || got.Stride != 2 || !sameBits(got.Data, want.Data) {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestBlockSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBlock(3, 4, 17, 9)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	b.Data[5] = math.NaN()
+	b.Data[40] = math.Inf(-1)
+	enc, err := b.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Block
+	if err := got.GobDecode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.BR != b.BR || got.BC != b.BC || got.Rows != b.Rows || got.Cols != b.Cols {
+		t.Fatalf("shape drifted: %+v", got)
+	}
+	if !sameBits(got.Data, b.Data) {
+		t.Fatal("element bits not preserved")
+	}
+}
+
+func TestPhantomBlockSlabRoundTrip(t *testing.T) {
+	p := NewPhantomBlock(2, 5, 300, 400)
+	enc, err := p.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Block
+	if err := got.GobDecode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Phantom() || got.Rows != 300 || got.Cols != 400 || got.BR != 2 || got.BC != 5 {
+		t.Fatalf("phantom round trip: %+v", got)
+	}
+}
+
+// TestDenseSlabCompactsViews checks that a strided view (stride > cols)
+// encodes its logical elements only and decodes compact.
+func TestDenseSlabCompactsViews(t *testing.T) {
+	base := NewDense(4, 4)
+	for i := range base.Data {
+		base.Data[i] = float64(i)
+	}
+	view := &Dense{Rows: 2, Cols: 2, Stride: 4, Data: base.Data[5:]}
+	enc, err := view.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dense
+	if err := got.GobDecode(enc); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 9, 10}
+	if got.Stride != 2 || !sameBits(got.Data, want) {
+		t.Fatalf("decoded view %+v, want %v compact", got, want)
+	}
+}
+
+func TestSlabDecodeRejectsCorruption(t *testing.T) {
+	valid, err := goldenBlock().GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      append([]byte{0xEE}, valid[1:]...),
+		"bad version":    append([]byte{blockSlabMagic, 99}, valid[2:]...),
+		"truncated hdr":  valid[:3],
+		"short payload":  valid[:len(valid)-8],
+		"trailing bytes": append(append([]byte(nil), valid...), 0),
+		"dense as block": func() []byte { d, _ := NewDense(2, 2).GobEncode(); return d }(),
+	}
+	for name, data := range cases {
+		var b Block
+		if err := b.GobDecode(data); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+	// Oversize header claim must be rejected before allocating.
+	huge := []byte{blockSlabMagic, slabVersion}
+	huge = appendUvarint(huge, 0)
+	huge = appendUvarint(huge, 0)
+	huge = appendUvarint(huge, 1<<30) // rows
+	huge = appendUvarint(huge, 1<<30) // cols
+	huge = appendUvarint(huge, 0)
+	var b Block
+	if err := b.GobDecode(huge); err == nil {
+		t.Error("oversize slab header accepted")
+	}
+	var d Dense
+	if err := d.GobDecode(bytes.Clone(valid)); err == nil {
+		t.Error("block slab accepted as Dense")
+	}
+}

@@ -1,0 +1,333 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the repository's GEMM fast path: a cache-aware, packed,
+// register-blocked multiply kernel in the BLIS/GotoBLAS style, kept in
+// pure stdlib Go so the reproduction builds anywhere the go toolchain
+// does (see DESIGN.md §10 for the layout diagram and measurements).
+//
+// The driver walks three cache-blocking loops (jc over C columns, pc
+// over the inner dimension, ic over C rows). Each (pc, jc) iteration
+// packs a kc×nc panel of B into contiguous nr-wide micro-panels; each
+// (ic) iteration packs an mc×kc panel of A into mr-tall micro-panels.
+// The innermost loops then sweep an mr×nr register-blocked micro-kernel
+// over the packed panels, so the hot loop reads two sequential streams
+// and writes one small C tile — no strided access, no data-dependent
+// branches, edge tiles handled by zero padding.
+
+// Micro-kernel register block: mr×nr accumulators.
+const (
+	mr = 4
+	nr = 4
+)
+
+// Default cache-blocking parameters. kc×nr and mr×kc micro-panels are
+// sized so a B panel slice and an A panel slice sit in L1 together;
+// mc×kc A panels target L2.
+const (
+	defaultMC = 256
+	defaultKC = 256
+	defaultNC = 2048
+)
+
+// smallGemmFlops is the problem size (m·n·k) below which packing
+// overhead exceeds its cache benefit and the kernel falls back to a
+// direct unpacked loop.
+const smallGemmFlops = 24 * 24 * 24
+
+// Kernel is a configurable GEMM driver. The zero value is the serial
+// fast path used by Mul, MulBlocked, and Block MulAdd. Threads > 1
+// additionally spreads row panels of C over a worker pool (real OS
+// concurrency — see parallel.go for why this stays outside the
+// simulation domain).
+type Kernel struct {
+	// Threads is the number of row-panel workers; 0 and 1 both mean
+	// serial.
+	Threads int
+
+	// Cache-blocking overrides used by tests to force panel edges with
+	// small inputs; zero means the tuned defaults.
+	mc, kc, nc int
+}
+
+func (k Kernel) params() (mc, kc, nc int) {
+	mc, kc, nc = k.mc, k.kc, k.nc
+	if mc <= 0 {
+		mc = defaultMC
+	}
+	if kc <= 0 {
+		kc = defaultKC
+	}
+	if nc <= 0 {
+		nc = defaultNC
+	}
+	// Panels must hold whole micro-tiles.
+	mc = roundUp(mc, mr)
+	nc = roundUp(nc, nr)
+	return mc, kc, nc
+}
+
+func roundUp(v, q int) int { return (v + q - 1) / q * q }
+
+// Mul returns a×b through the packed kernel.
+func (k Kernel) Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: inner dimension mismatch %d vs %d", a.Cols, b.Rows))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	k.MulAdd(c, a, b)
+	return c
+}
+
+// MulAdd computes c += a×b through the packed kernel.
+func (k Kernel) MulAdd(c, a, b *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulAdd shape mismatch: c %d×%d, a %d×%d, b %d×%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k.gemm(a.Rows, b.Cols, a.Cols, a.Data, a.Stride, b.Data, b.Stride, c.Data, c.Stride)
+}
+
+// gemm computes C += A·B for row-major operands with explicit leading
+// dimensions. It is the single entry point every public multiply routes
+// through.
+func (k Kernel) gemm(m, n, kk int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if m == 0 || n == 0 || kk == 0 {
+		return
+	}
+	if m*n*kk <= smallGemmFlops {
+		gemmDirect(m, n, kk, a, lda, b, ldb, c, ldc)
+		return
+	}
+	mc, kc, nc := k.params()
+	ncMax := roundUp(min(nc, n), nr)
+	bp := getPackBuf(kc * ncMax)
+	defer putPackBuf(bp)
+	for jc := 0; jc < n; jc += nc {
+		ncc := min(nc, n-jc)
+		for pc := 0; pc < kk; pc += kc {
+			kcc := min(kc, kk-pc)
+			packB(bp.s, kcc, ncc, b[pc*ldb+jc:], ldb)
+			if k.Threads > 1 {
+				k.rowPanels(m, mc, kcc, ncc, a[pc:], lda, bp.s, c[jc:], ldc)
+				continue
+			}
+			ap := getPackBuf(mc * kc)
+			for ic := 0; ic < m; ic += mc {
+				mcc := min(mc, m-ic)
+				packA(ap.s, mcc, kcc, a[ic*lda+pc:], lda)
+				macroKernel(mcc, ncc, kcc, ap.s, bp.s, c[ic*ldc+jc:], ldc)
+			}
+			putPackBuf(ap)
+		}
+	}
+}
+
+// macroKernel sweeps the micro-kernel over one packed A panel (mcc×kcc)
+// and one packed B panel (kcc×ncc), updating the C tile at c (leading
+// dimension ldc).
+func macroKernel(mcc, ncc, kcc int, ap, bp []float64, c []float64, ldc int) {
+	for jr := 0; jr < ncc; jr += nr {
+		nrr := min(nr, ncc-jr)
+		bpanel := bp[(jr/nr)*kcc*nr:]
+		for ir := 0; ir < mcc; ir += mr {
+			mrr := min(mr, mcc-ir)
+			apanel := ap[(ir/mr)*kcc*mr:]
+			if mrr == mr && nrr == nr {
+				r0 := (ir+0)*ldc + jr
+				r1 := (ir+1)*ldc + jr
+				r2 := (ir+2)*ldc + jr
+				r3 := (ir+3)*ldc + jr
+				kern4x4(kcc, apanel, bpanel,
+					c[r0:r0+nr], c[r1:r1+nr], c[r2:r2+nr], c[r3:r3+nr])
+				continue
+			}
+			// Edge tile: accumulate into a zeroed scratch tile (the
+			// packed panels are zero padded, so the extra lanes compute
+			// harmless zeros), then fold the valid region into C.
+			var scratch [mr * nr]float64
+			kern4x4(kcc, apanel, bpanel,
+				scratch[0:4], scratch[4:8], scratch[8:12], scratch[12:16])
+			for i := 0; i < mrr; i++ {
+				crow := c[(ir+i)*ldc+jr : (ir+i)*ldc+jr+nrr]
+				srow := scratch[i*nr : i*nr+nrr]
+				for j := range crow {
+					crow[j] += srow[j]
+				}
+			}
+		}
+	}
+}
+
+// kern4x4 is the micro-kernel: a 4×4 C tile accumulated over kcc steps
+// of the packed panels, computed as two register-blocked 2×4 halves.
+// Two halves rather than one 16-accumulator body because amd64 has 16
+// XMM registers: 8 accumulators plus operands stay register resident,
+// 16 spill to the stack every iteration (measured: the split kernel is
+// ~1.7× the monolithic one). The nr-wide B micro-panel is only
+// kc×nr×8 bytes, so the second pass reads it from L1.
+func kern4x4(kcc int, ap, bp []float64, c0, c1, c2, c3 []float64) {
+	half2x4(kcc, 0, ap, bp, c0, c1)
+	half2x4(kcc, 2, ap, bp, c2, c3)
+}
+
+// half2x4 accumulates rows off and off+1 of a 4×4 tile: a 2×4 register
+// block with the k-loop unrolled by four. ap holds kcc groups of mr
+// column values of A; bp holds kcc groups of nr row values of B; both
+// are read sequentially (A at stride mr with offset off).
+func half2x4(kcc, off int, ap, bp []float64, c0, c1 []float64) {
+	var (
+		c00, c01, c02, c03 float64
+		c10, c11, c12, c13 float64
+	)
+	p := 0
+	for ; p+4 <= kcc; p += 4 {
+		a := ap[mr*p+off : mr*p+off+3*mr+2 : mr*p+off+3*mr+2]
+		b := bp[nr*p : nr*p+4*nr : nr*p+4*nr]
+		a0, a1 := a[0], a[1]
+		c00 += a0 * b[0]
+		c01 += a0 * b[1]
+		c02 += a0 * b[2]
+		c03 += a0 * b[3]
+		c10 += a1 * b[0]
+		c11 += a1 * b[1]
+		c12 += a1 * b[2]
+		c13 += a1 * b[3]
+		a0, a1 = a[4], a[5]
+		c00 += a0 * b[4]
+		c01 += a0 * b[5]
+		c02 += a0 * b[6]
+		c03 += a0 * b[7]
+		c10 += a1 * b[4]
+		c11 += a1 * b[5]
+		c12 += a1 * b[6]
+		c13 += a1 * b[7]
+		a0, a1 = a[8], a[9]
+		c00 += a0 * b[8]
+		c01 += a0 * b[9]
+		c02 += a0 * b[10]
+		c03 += a0 * b[11]
+		c10 += a1 * b[8]
+		c11 += a1 * b[9]
+		c12 += a1 * b[10]
+		c13 += a1 * b[11]
+		a0, a1 = a[12], a[13]
+		c00 += a0 * b[12]
+		c01 += a0 * b[13]
+		c02 += a0 * b[14]
+		c03 += a0 * b[15]
+		c10 += a1 * b[12]
+		c11 += a1 * b[13]
+		c12 += a1 * b[14]
+		c13 += a1 * b[15]
+	}
+	for ; p < kcc; p++ {
+		a := ap[mr*p+off : mr*p+off+2 : mr*p+off+2]
+		b := bp[nr*p : nr*p+nr : nr*p+nr]
+		a0, a1 := a[0], a[1]
+		c00 += a0 * b[0]
+		c01 += a0 * b[1]
+		c02 += a0 * b[2]
+		c03 += a0 * b[3]
+		c10 += a1 * b[0]
+		c11 += a1 * b[1]
+		c12 += a1 * b[2]
+		c13 += a1 * b[3]
+	}
+	c0[0] += c00
+	c0[1] += c01
+	c0[2] += c02
+	c0[3] += c03
+	c1[0] += c10
+	c1[1] += c11
+	c1[2] += c12
+	c1[3] += c13
+}
+
+// packA copies an mcc×kcc panel of A (leading dimension lda) into dst
+// as mr-tall micro-panels: micro-panel i holds columns of rows
+// [i·mr, i·mr+mr) interleaved k-major, so the micro-kernel reads its
+// four A operands from consecutive memory. Rows past mcc are zero
+// padded.
+func packA(dst []float64, mcc, kcc int, a []float64, lda int) {
+	di := 0
+	for ir := 0; ir < mcc; ir += mr {
+		rows := min(mr, mcc-ir)
+		for p := 0; p < kcc; p++ {
+			for i := 0; i < rows; i++ {
+				dst[di+i] = a[(ir+i)*lda+p]
+			}
+			for i := rows; i < mr; i++ {
+				dst[di+i] = 0
+			}
+			di += mr
+		}
+	}
+}
+
+// packB copies a kcc×ncc panel of B (leading dimension ldb) into dst as
+// nr-wide micro-panels: micro-panel j holds rows of columns
+// [j·nr, j·nr+nr) interleaved k-major. Columns past ncc are zero
+// padded.
+func packB(dst []float64, kcc, ncc int, b []float64, ldb int) {
+	di := 0
+	for jr := 0; jr < ncc; jr += nr {
+		cols := min(nr, ncc-jr)
+		for p := 0; p < kcc; p++ {
+			row := b[p*ldb+jr : p*ldb+jr+cols]
+			for j := 0; j < cols; j++ {
+				dst[di+j] = row[j]
+			}
+			for j := cols; j < nr; j++ {
+				dst[di+j] = 0
+			}
+			di += nr
+		}
+	}
+}
+
+// gemmDirect is the unpacked fallback for problems too small to repay
+// packing: the plain i-k-j saxpy order, with no data-dependent branch
+// so timing stays input independent.
+func gemmDirect(m, n, kk int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+kk]
+		crow := c[i*ldc : i*ldc+n]
+		for p, aik := range arow {
+			brow := b[p*ldb : p*ldb+n]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// packBuf is a pooled packing buffer. Pools hand back buffers of
+// whatever capacity was last stored, so get re-slices or reallocates as
+// needed; buffers beyond maxPooledPanel floats are left for the GC
+// rather than parked in the pool.
+type packBuf struct{ s []float64 }
+
+const maxPooledPanel = defaultKC * defaultNC
+
+var packPool = sync.Pool{New: func() any { return &packBuf{} }}
+
+func getPackBuf(n int) *packBuf {
+	pb := packPool.Get().(*packBuf)
+	if cap(pb.s) < n {
+		pb.s = make([]float64, n)
+	}
+	pb.s = pb.s[:n]
+	return pb
+}
+
+func putPackBuf(pb *packBuf) {
+	if cap(pb.s) > maxPooledPanel {
+		pb.s = nil
+	}
+	packPool.Put(pb)
+}

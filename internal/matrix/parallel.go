@@ -1,0 +1,48 @@
+//navplint:exempt simsafe
+//
+// This file is the one place the matrix substrate uses real OS
+// concurrency: the GEMM driver's row-panel worker pool. The simsafe
+// rule ("no bare goroutines in sim-domain code") exists to keep
+// virtual-time schedules bit-reproducible; the kernel workers are
+// outside that concern by construction — they partition disjoint row
+// panels of C, share only read-only packed operands, and join before
+// the driver returns, so the arithmetic result is independent of
+// scheduling and no sim-kernel event ever observes the interleaving.
+
+package matrix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// rowPanels distributes one (pc, jc) iteration's ic loop — disjoint
+// mc-tall row panels of C — over k.Threads workers. The packed B panel
+// bp is shared read-only; each worker packs its own A panels from a
+// pooled buffer. Workers pull panel indices from an atomic counter so a
+// straggler panel (cache-cold edge, preempted CPU) cannot unbalance the
+// others.
+func (k Kernel) rowPanels(m, mc, kcc, ncc int, a []float64, lda int, bp []float64, c []float64, ldc int) {
+	panels := (m + mc - 1) / mc
+	workers := min(k.Threads, panels)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ap := getPackBuf(mc * kcc)
+			defer putPackBuf(ap)
+			for {
+				ic := int(next.Add(1)-1) * mc
+				if ic >= m {
+					return
+				}
+				mcc := min(mc, m-ic)
+				packA(ap.s, mcc, kcc, a[ic*lda:], lda)
+				macroKernel(mcc, ncc, kcc, ap.s, bp, c[ic*ldc:], ldc)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"strconv"
 	"testing"
 	"time"
+
+	"repro/internal/matrix"
 )
 
 type benchState struct{ Remaining int }
@@ -31,6 +34,104 @@ func BenchmarkWireHop(b *testing.B) {
 	cl.Inject(0, "bench-ring", &benchState{Remaining: b.N})
 	if err := cl.Wait(5 * time.Minute); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchBlockState is the data-path payload shape: a carried matrix
+// block plus a little bookkeeping, like the distributed matmul agents.
+type benchBlockState struct {
+	Row int
+	Blk *matrix.Block
+}
+
+func init() { RegisterState(&benchBlockState{}) }
+
+func benchBlockStateN(n int) *benchBlockState {
+	blk := matrix.NewBlock(0, 0, n, n)
+	for i := range blk.Data {
+		blk.Data[i] = float64(i%7) + 0.5
+	}
+	return &benchBlockState{Row: 3, Blk: blk}
+}
+
+// codecStates are the payloads the codec benchmarks sweep: control-size
+// state and block-carrying states at two sizes.
+func codecStates() []struct {
+	name  string
+	state any
+} {
+	return []struct {
+		name  string
+		state any
+	}{
+		{"small", &benchState{Remaining: 12}},
+		{"block=" + strconv.Itoa(64), benchBlockStateN(64)},
+		{"block=" + strconv.Itoa(256), benchBlockStateN(256)},
+	}
+}
+
+// BenchmarkEncodeFrame measures the pooled frame encoder — the per-hop
+// serialization cost, and a BENCH_wire.json regression gate.
+func BenchmarkEncodeFrame(b *testing.B) {
+	for _, c := range codecStates() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			n, err := BenchEncodeFrame(c.state)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BenchEncodeFrame(c.state); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeFrame measures the frame decoder over the same payloads.
+func BenchmarkDecodeFrame(b *testing.B) {
+	for _, c := range codecStates() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			data, err := BenchFrameBytes(c.state)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := BenchDecodeFrame(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointState measures the hop-boundary checkpoint
+// snapshot (encodeState) — paid on every accept, inject, and rehop.
+func BenchmarkCheckpointState(b *testing.B) {
+	for _, c := range codecStates() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			n, err := BenchEncodeState(c.state)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BenchEncodeState(c.state); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -124,15 +124,16 @@ func (c *ctlConn) roundTrip(env *envelope, timeout time.Duration) (*envelope, er
 		c.conn, c.r = nil, nil
 		return nil, err
 	}
-	frame, err := encodeFrame(env)
+	f, err := encodeFrame(env)
 	if err != nil {
 		return nil, err
 	}
+	defer f.release()
 	deadline := time.Now().Add(timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return fail(err)
 	}
-	if _, err := c.conn.Write(frame); err != nil {
+	if _, err := c.conn.Write(f.bytes()); err != nil {
 		return fail(err)
 	}
 	reply, err := readFrame(c.r)
@@ -386,8 +387,9 @@ func (cl *Cluster) Close() {
 	// terminate in-process (covers daemons with broken control links).
 	for _, c := range ctl {
 		if c.conn != nil {
-			if frame, err := encodeFrame(&envelope{Kind: msgShutdown}); err == nil {
-				c.conn.Write(frame)
+			if f, err := encodeFrame(&envelope{Kind: msgShutdown}); err == nil {
+				c.conn.Write(f.bytes())
+				f.release()
 			}
 		}
 		c.close()

@@ -81,12 +81,13 @@ func (d *daemon) serve() {
 func (d *daemon) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	reply := func(env *envelope) bool {
-		frame, err := encodeFrame(env)
+		f, err := encodeFrame(env)
 		if err != nil {
 			d.fail(err)
 			return false
 		}
-		_, err = conn.Write(frame)
+		_, err = conn.Write(f.bytes())
+		f.release()
 		return err == nil
 	}
 	for {
@@ -210,11 +211,15 @@ func (d *daemon) startStep(msg *agentMsg) {
 // duplicates repeat it, delays precede it — so every chaos scenario
 // exercises the same code path real network trouble would.
 func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
-	frame, err := encodeFrame(&envelope{Kind: msgAgent, Agent: msg})
+	f, err := encodeFrame(&envelope{Kind: msgAgent, Agent: msg})
 	if err != nil {
 		d.fail(err)
 		return
 	}
+	// The frame is retained across retries (retransmissions are
+	// byte-for-byte) and recycled when delivery ends either way.
+	defer f.release()
+	frame := f.bytes()
 	// Fold the agent identity into the fault-decision sequence number so
 	// a frame's fate is a pure function of what it carries.
 	seq := msg.ID<<16 ^ msg.Hop

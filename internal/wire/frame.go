@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Message kinds on the wire.
@@ -77,26 +78,119 @@ var (
 	errBadFramePrefix = errors.New("wire: malformed frame length prefix")
 )
 
+// headerReserve is the space kept at the front of a frame buffer for
+// the uvarint length prefix: the prefix is written backwards into the
+// reservation once the body length is known, so header and body leave
+// the encoder as one contiguous, copy-free byte slice.
+const headerReserve = binary.MaxVarintLen64
+
+// frame is one encoded wire frame backed by a pooled buffer. bytes()
+// is valid until release(); a released frame's storage is recycled for
+// later encodes, which is what keeps steady-state hop traffic free of
+// per-frame buffer allocations.
+type frame struct {
+	buf *bytes.Buffer
+	off int // start of the uvarint header inside buf.Bytes()
+}
+
+// bytes returns the wire representation: uvarint length prefix followed
+// by the gob body, one contiguous slice with no copy.
+func (f *frame) bytes() []byte { return f.buf.Bytes()[f.off:] }
+
+// size returns the on-wire frame length in bytes.
+func (f *frame) size() int { return f.buf.Len() - f.off }
+
+// release recycles the frame's buffer. The frame (and any slice
+// obtained from bytes()) must not be used afterwards.
+func (f *frame) release() {
+	putFrameBuf(f.buf)
+	f.buf = nil
+}
+
+// maxPooledBuf bounds what the buffer pools retain: buffers that grew
+// beyond it (a huge agent state, a burst frame) are dropped for the GC
+// instead of parked, so the pools cannot ratchet up to peak size
+// forever.
+const maxPooledBuf = 1 << 20
+
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getFrameBuf() *bytes.Buffer {
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putFrameBuf(buf *bytes.Buffer) {
+	if buf == nil || buf.Cap() > maxPooledBuf {
+		return
+	}
+	frameBufPool.Put(buf)
+}
+
+var headerPad [headerReserve]byte
+
 // encodeFrame renders an envelope as one self-contained frame: a uvarint
 // length prefix followed by a fresh gob stream. Self-contained frames —
 // rather than one long-lived gob stream per connection — are what make
 // the fault layer possible: a frame can be retransmitted or duplicated
 // byte-for-byte, a reconnect needs no stream state, and a corrupted frame
 // cannot desynchronize the decoder's type dictionary.
-func encodeFrame(env *envelope) ([]byte, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+//
+// The fast path: the gob body is encoded directly into a pooled buffer
+// after a reserved header region, and the prefix is then written
+// backwards into the tail of that reservation — no append copy of the
+// body, no per-frame buffer allocation. Callers release() the frame
+// once written.
+func encodeFrame(env *envelope) (*frame, error) {
+	buf := getFrameBuf()
+	buf.Write(headerPad[:])
+	if err := gob.NewEncoder(buf).Encode(env); err != nil {
+		putFrameBuf(buf)
 		return nil, fmt.Errorf("wire: encode frame: %w", err)
 	}
-	if body.Len() > maxFrameBytes {
+	bodyLen := buf.Len() - headerReserve
+	if bodyLen > maxFrameBytes {
+		putFrameBuf(buf)
 		return nil, errFrameTooLarge
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(body.Len()))
-	return append(hdr[:n], body.Bytes()...), nil
+	var hdr [headerReserve]byte
+	n := binary.PutUvarint(hdr[:], uint64(bodyLen))
+	off := headerReserve - n
+	copy(buf.Bytes()[off:headerReserve], hdr[:n])
+	return &frame{buf: buf, off: off}, nil
 }
 
-// readFrame reads one frame from a connection's buffered reader.
+// bodyPool recycles readFrame's body buffers for frames up to
+// maxPooledBuf; oversized bodies stay one-shot allocations returned to
+// the GC, so the pool's footprint is bounded no matter what the peer
+// sends.
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBodyBuf(n int) *[]byte {
+	if n > maxPooledBuf {
+		b := make([]byte, n)
+		return &b
+	}
+	bp := bodyPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBodyBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	bodyPool.Put(bp)
+}
+
+// readFrame reads one frame from a connection's buffered reader. The
+// body is staged in a pooled buffer: gob copies everything it decodes
+// (and GobDecode implementations must not retain their input), so the
+// buffer is safe to recycle as soon as decoding finishes.
 func readFrame(r *bufio.Reader) (*envelope, error) {
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -105,14 +199,15 @@ func readFrame(r *bufio.Reader) (*envelope, error) {
 	if size > maxFrameBytes {
 		return nil, errFrameTooLarge
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
+	bp := getBodyBuf(int(size))
+	defer putBodyBuf(bp)
+	if _, err := io.ReadFull(r, *bp); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
 	}
-	return decodeBody(body)
+	return decodeBody(*bp)
 }
 
 // decodeFrame decodes one complete frame from a byte slice. It is the

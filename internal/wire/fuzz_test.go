@@ -19,11 +19,12 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		{Kind: msgPing},
 		{Kind: msgShutdown},
 	} {
-		frame, err := encodeFrame(env)
+		f, err := encodeFrame(env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		seeds = append(seeds, frame)
+		seeds = append(seeds, append([]byte(nil), f.bytes()...))
+		f.release()
 	}
 	valid := seeds[0]
 	seeds = append(seeds,
@@ -64,20 +65,23 @@ func FuzzDecodeFrame(f *testing.F) {
 		// depends on). State payloads of unregistered types are the one
 		// legitimate exception gob cannot re-encode.
 		if env.Kind != msgAgent || env.Agent.State == nil {
-			if _, rerr := encodeFrame(env); rerr != nil {
+			f, rerr := encodeFrame(env)
+			if rerr != nil {
 				t.Fatalf("decoded frame does not re-encode: %v", rerr)
 			}
+			f.release()
 		}
 	})
 }
 
 func TestDecodeFrameRoundTrip(t *testing.T) {
 	env := &envelope{Kind: msgAgent, Agent: &agentMsg{ID: 42, Hop: 5, Behavior: "dot"}}
-	frame, err := encodeFrame(env)
+	f, err := encodeFrame(env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeFrame(frame)
+	defer f.release()
+	got, err := decodeFrame(f.bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +99,12 @@ func TestDecodeFrameRejectsOversizePrefix(t *testing.T) {
 }
 
 func TestDecodeFrameRejectsTruncation(t *testing.T) {
-	frame, err := encodeFrame(&envelope{Kind: msgPing})
+	f, err := encodeFrame(&envelope{Kind: msgPing})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.release()
+	frame := f.bytes()
 	for cut := 0; cut < len(frame); cut++ {
 		if _, err := decodeFrame(frame[:cut]); err == nil {
 			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(frame))
@@ -107,21 +113,23 @@ func TestDecodeFrameRejectsTruncation(t *testing.T) {
 }
 
 func TestDecodeFrameRejectsUnknownKind(t *testing.T) {
-	frame, err := encodeFrame(&envelope{Kind: "gremlin"})
+	f, err := encodeFrame(&envelope{Kind: "gremlin"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := decodeFrame(frame); err == nil {
+	defer f.release()
+	if _, err := decodeFrame(f.bytes()); err == nil {
 		t.Fatal("unknown frame kind accepted")
 	}
 }
 
 func TestDecodeFrameRejectsAgentWithoutBehavior(t *testing.T) {
-	frame, err := encodeFrame(&envelope{Kind: msgAgent, Agent: &agentMsg{ID: 1}})
+	f, err := encodeFrame(&envelope{Kind: msgAgent, Agent: &agentMsg{ID: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := decodeFrame(frame); err == nil {
+	defer f.release()
+	if _, err := decodeFrame(f.bytes()); err == nil {
 		t.Fatal("agent frame without behavior accepted")
 	}
 }

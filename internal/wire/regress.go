@@ -1,0 +1,66 @@
+package wire
+
+// Exported entry points for the BENCH_wire.json regression harness
+// (internal/bench). The frame and checkpoint codecs are unexported by
+// design — nothing outside this package should touch wire framing — so
+// these thin wrappers expose exactly the operations the harness times:
+// frame encode (pooled fast path), frame decode, and the checkpoint
+// state snapshot both ways. They are also usable from external tests
+// that need a wire-identical byte image of a frame.
+
+// benchEnvelope wraps state in the canonical agent envelope the codec
+// benchmarks measure — the frame shape that dominates hop traffic.
+func benchEnvelope(state any) *envelope {
+	return &envelope{Kind: msgAgent, Agent: &agentMsg{
+		ID: 7<<40 | 42, Hop: 3, Behavior: "bench", State: state,
+	}}
+}
+
+// BenchEncodeFrame encodes one agent frame carrying state through the
+// pooled fast path and releases it, returning the on-wire size.
+func BenchEncodeFrame(state any) (int, error) {
+	f, err := encodeFrame(benchEnvelope(state))
+	if err != nil {
+		return 0, err
+	}
+	n := f.size()
+	f.release()
+	return n, nil
+}
+
+// BenchFrameBytes returns a standalone copy of the encoded frame for
+// state — input for BenchDecodeFrame and for golden-frame fixtures.
+func BenchFrameBytes(state any) ([]byte, error) {
+	f, err := encodeFrame(benchEnvelope(state))
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), f.bytes()...)
+	f.release()
+	return out, nil
+}
+
+// BenchDecodeFrame decodes one complete frame image.
+func BenchDecodeFrame(data []byte) error {
+	_, err := decodeFrame(data)
+	return err
+}
+
+// BenchEncodeState snapshots v through the checkpoint codec (the
+// per-hop encodeState call), returning the snapshot size.
+func BenchEncodeState(v any) (int, error) {
+	b, err := encodeState(v)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// BenchStateBytes returns the checkpoint snapshot of v.
+func BenchStateBytes(v any) ([]byte, error) { return encodeState(v) }
+
+// BenchDecodeState restores a checkpoint snapshot.
+func BenchDecodeState(data []byte) error {
+	_, err := decodeState(data)
+	return err
+}
