@@ -11,6 +11,7 @@
 //	navpmm -stage seq -n 9216 -block 128 -paged        # Table 2's thrashing run
 //	navpmm -stage pipe2d -n 384 -block 128 -p 3 -trace # space-time diagram
 //	navpmm -stage phase2d -n 1536 -block 128 -p 3 -chaos 'seed=7,drop=0.05,kill=4@3' -trace
+//	navpmm -stage phase2d -n 384 -block 128 -p 3 -perfetto run.json -metrics -
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/matmul"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/navp"
 	"repro/internal/summa"
 	"repro/internal/trace"
@@ -48,6 +50,8 @@ func main() {
 	paged := flag.Bool("paged", false, "route sequential block accesses through the LRU pager")
 	traceFlag := flag.Bool("trace", false, "print a space-time diagram (NavP stages only)")
 	csvPath := flag.String("csv", "", "write the raw trace events to this CSV file (NavP stages only)")
+	perfettoPath := flag.String("perfetto", "", "write the trace as Chrome/Perfetto JSON to this file (NavP stages only)")
+	metricsPath := flag.String("metrics", "", "write a runtime metrics snapshot as JSON to this file, or - for stdout (NavP stages only)")
 	chaos := flag.String("chaos", "", "seeded fault plan, e.g. 'seed=7,drop=0.01,dup=2,delay=0.1,maxdelay=2ms,kill=1@3' (NavP stages only)")
 	seed := flag.Int64("seed", 42, "input generator seed")
 	flag.Parse()
@@ -106,9 +110,14 @@ func main() {
 			HW: hw, NavP: navp.DefaultConfig(), Seed: *seed, Fault: plan,
 		}
 		var rec *trace.Recorder
-		if *traceFlag || *csvPath != "" || plan != nil {
+		if *traceFlag || *csvPath != "" || *perfettoPath != "" || plan != nil {
 			rec = trace.New()
 			cfg.Tracer = rec
+		}
+		var reg *metrics.Registry
+		if *metricsPath != "" {
+			reg = metrics.NewRegistry()
+			cfg.Metrics = reg
 		}
 		res, err := matmul.Run(st, cfg)
 		fail(err)
@@ -134,6 +143,24 @@ func main() {
 				fail(rec.WriteCSV(f))
 				fail(f.Close())
 				fmt.Printf("trace events written to %s\n", *csvPath)
+			}
+			if *perfettoPath != "" {
+				f, err := os.Create(*perfettoPath)
+				fail(err)
+				fail(rec.WritePerfetto(f, res.PEs))
+				fail(f.Close())
+				fmt.Printf("perfetto trace written to %s (load in ui.perfetto.dev)\n", *perfettoPath)
+			}
+		}
+		if reg != nil {
+			if *metricsPath == "-" {
+				fail(reg.Snapshot().WriteJSON(os.Stdout))
+			} else {
+				f, err := os.Create(*metricsPath)
+				fail(err)
+				fail(reg.Snapshot().WriteJSON(f))
+				fail(f.Close())
+				fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
 			}
 		}
 	}

@@ -32,11 +32,22 @@ func main() {
 	report := flag.Bool("report", false, "emit the full markdown reproduction report (tables, staggering, ablations)")
 	regress := flag.Bool("regress", false, "benchmark the fast data paths and write BENCH_kernels.json + BENCH_wire.json")
 	regressOut := flag.String("regress-out", ".", "directory the -regress JSON files are written to")
+	observe := flag.String("observe", "", "run a small deterministic chaos sim and write Perfetto + metrics artifacts into this directory")
 	flag.Parse()
 
-	if *table == "" && !*stagger && !*ablations && !*report && !*regress {
+	if *table == "" && !*stagger && !*ablations && !*report && !*regress && *observe == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *observe != "" {
+		if err := bench.Observe(*observe); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *table == "" && !*stagger && !*ablations && !*report && !*regress {
+			return
+		}
 	}
 	opt := bench.Options{Quick: *quick}
 

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/matmul"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Observe runs a small, fully deterministic chaos run of the 2-D phase
+// stage on the sim backend and writes its observability artifacts into
+// dir:
+//
+//	observe_perfetto.json — the trace as Chrome/Perfetto trace_event JSON
+//	observe_metrics.json  — the run's metrics registry snapshot
+//
+// Everything feeding the artifacts lives in virtual time, so the files
+// are byte-identical across machines and runs — CI uploads them as
+// browsable evidence that the observability layer still works end to
+// end.
+func Observe(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	plan, err := fault.Parse("seed=11,drop=0.05,dup=0.5,kill=2@4")
+	if err != nil {
+		return err
+	}
+	rec := trace.New()
+	reg := metrics.NewRegistry()
+	opt := Options{}.fill()
+	res, err := matmul.Run(matmul.Phase2D, matmul.Config{
+		N: 384, BS: 128, P: 3, Phantom: true, HW: opt.HW, NavP: opt.NavP,
+		Tracer: rec, Metrics: reg, Fault: plan,
+	})
+	if err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "observe_perfetto.json"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WritePerfetto(pf, res.PEs); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, "observe_metrics.json"))
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Printf("observe: phase2d N=384 on %d PEs under %s — %d hops, %d drops, %d kills; artifacts in %s\n",
+		res.PEs, plan, st.Hops, st.Drops, st.Kills, dir)
+	return nil
+}

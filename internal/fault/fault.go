@@ -119,6 +119,20 @@ func mix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Seq folds a message identity — agent ID and hop number — into one
+// fault-decision sequence number without losing bits. The obvious
+// `id<<16 ^ hop` is lossy: the wire runtime packs the origin node into
+// the ID's high bits (bit 40 up), and the shift pushes everything above
+// bit 47 off the top of the word, so agents born on nodes whose IDs
+// differ only in those bits collide onto the same fault sequence and
+// suffer identical (rather than independent) chaos decisions. A
+// splitmix64 pass over the ID first spreads every input bit across the
+// word, making the subsequent fold collision-resistant, and the outer
+// pass decorrelates consecutive hops of the same agent.
+func Seq(id, hop uint64) uint64 {
+	return mix(mix(id) ^ hop)
+}
+
 // uniform derives a uniform [0,1) variate from the plan seed and the
 // transmission's identity.
 func (p *Plan) uniform(salt uint64, src, dst int, seq, attempt uint64) float64 {

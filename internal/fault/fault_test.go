@@ -143,3 +143,41 @@ func TestParseRejectsGarbage(t *testing.T) {
 		t.Errorf("empty spec: %v %+v", err, p)
 	}
 }
+
+// TestSeqKeepsOriginBits is the regression for the wire runtime's old
+// lossy fold (`id<<16 ^ hop`): agent IDs carrying the origin node in
+// bit 40 and up must map to distinct fault sequences, so chaos
+// decisions for agents born on different nodes stay independent.
+func TestSeqKeepsOriginBits(t *testing.T) {
+	id := func(node, counter uint64) uint64 { return node<<40 | counter }
+	lossy := func(id, hop uint64) uint64 { return id<<16 ^ hop }
+
+	// Nodes 0 and 256 with the same per-node counter collide under the
+	// lossy fold (node bits 8+ shift past bit 63)...
+	if lossy(id(0, 1), 3) != lossy(id(256, 1), 3) {
+		t.Fatal("test premise wrong: lossy fold no longer collides")
+	}
+	// ...and must not collide under Seq.
+	if Seq(id(0, 1), 3) == Seq(id(256, 1), 3) {
+		t.Fatal("Seq collides for distinct origin nodes")
+	}
+
+	// Spot-check broader collision resistance over a small grid.
+	seen := map[uint64][2]uint64{}
+	for node := uint64(0); node < 64; node++ {
+		for counter := uint64(1); counter <= 64; counter++ {
+			for hop := uint64(0); hop < 4; hop++ {
+				s := Seq(id(node, counter), hop)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("Seq collision: (%d,%d) vs %v", id(node, counter), hop, prev)
+				}
+				seen[s] = [2]uint64{id(node, counter), hop}
+			}
+		}
+	}
+
+	// Determinism: Seq is a pure function.
+	if Seq(42, 7) != Seq(42, 7) {
+		t.Fatal("Seq not deterministic")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/navp"
 )
 
@@ -100,6 +101,9 @@ type Config struct {
 	NavP navp.Config
 	// Tracer, if non-nil, receives hop/compute/wait events.
 	Tracer navp.Tracer
+	// Metrics, if non-nil, receives the NavP-layer and sim-kernel
+	// counters (hops, injects, event waits, dispatches, time horizon).
+	Metrics *metrics.Registry
 	// TuneCluster, if non-nil, adjusts the simulated hardware after
 	// construction (e.g. machine.Cluster.SetCPURate for heterogeneous
 	// experiments). Ignored on the real backend.
@@ -240,6 +244,9 @@ func newProblem(stage Stage, cfg Config) *problem {
 	}
 	if cfg.Tracer != nil {
 		pr.sys.SetTracer(cfg.Tracer)
+	}
+	if cfg.Metrics != nil {
+		pr.sys.SetMetrics(cfg.Metrics)
 	}
 	if cfg.TuneCluster != nil && !cfg.Real {
 		cfg.TuneCluster(pr.sys.Cluster())

@@ -1,0 +1,259 @@
+// Package metrics is the runtime's cluster-wide instrumentation
+// substrate: lock-free counters and gauges, bounded histograms, and a
+// named registry that renders deterministic JSON snapshots.
+//
+// The package is stdlib-only and deliberately small. Hot paths hold a
+// pre-resolved *Counter/*Gauge/*Histogram and pay one atomic operation
+// per event; the registry's map and mutex are touched only at
+// registration and snapshot time. Nothing here reads a clock or spawns
+// a goroutine, so the package is usable from simulation-domain code
+// (navplint simsafe) as well as from the wall-clock wire runtime:
+// callers that want time-valued metrics observe durations they measured
+// themselves, in whatever clock their domain uses.
+//
+// Snapshots are deterministic: names are emitted in sorted order and
+// every value is an integer, so two runs that perform the same work
+// produce byte-identical snapshots (the property the sim-backend
+// metrics tests pin down).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event count. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d, which must be non-negative for the counter to stay
+// monotone (not enforced; gauges are the signed kind).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a signed instantaneous value (a table size, a horizon).
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution: observations are counted
+// into the first bucket whose upper bound is >= the value, with one
+// overflow bucket above the last bound. Bounds are set at registration
+// and never change, so Observe is a binary search plus two atomic adds
+// — safe for concurrent use and cheap enough for per-frame paths.
+type Histogram struct {
+	bounds  []int64 // sorted upper bounds, inclusive
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// ExponentialBounds builds n histogram bounds starting at start and
+// growing by factor (rounded to integers, deduplicated): the usual
+// latency-bucket ladder.
+func ExponentialBounds(start int64, factor float64, n int) []int64 {
+	bounds := make([]int64, 0, n)
+	v := float64(start)
+	for i := 0; i < n; i++ {
+		b := int64(v)
+		if len(bounds) == 0 || b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+		v *= factor
+	}
+	return bounds
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups are
+// mutex-guarded; the returned metric objects are lock-free. A nil
+// *Registry is a valid no-op sink: its lookup methods return shared
+// throwaway metrics, so instrumented code never branches on whether
+// observability is enabled.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// discard receives metrics of nil registries; values written to it are
+// never read.
+var discard = struct {
+	c Counter
+	g Gauge
+	h *Histogram
+}{h: newHistogram(nil)}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &discard.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &discard.g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Later calls return the existing histogram and
+// ignore bounds — bounds belong to the first registration. Counters,
+// gauges, and histograms live in separate namespaces.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return discard.h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's state: parallel Bounds/Counts
+// slices with one extra overflow count beyond the last bound.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-marshalable with
+// deterministic (sorted) key order.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. encoding/json sorts
+// map keys, so the output is deterministic for deterministic values.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: marshal snapshot: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Counter returns the named counter's value, or 0 — snapshot assertions
+// in tests read through this.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's value, or 0.
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("a.size")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 || s.Sum != 5122 {
+		t.Fatalf("count/sum = %d/%d, want 5/5122", s.Count, s.Sum)
+	}
+	// Buckets: <=10 gets {1,10}; <=100 gets {11,100}; <=1000 none; overflow {5000}.
+	want := []int64{2, 2, 0, 1}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(50, 2, 5)
+	want := []int64{50, 100, 200, 400, 800}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	// Sub-integer growth deduplicates instead of repeating a bound.
+	if b := ExponentialBounds(1, 1.2, 4); len(b) >= 4 {
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("bounds not strictly increasing: %v", b)
+			}
+		}
+	}
+}
+
+func TestNilRegistryIsNoOpSink(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Histogram("z", []int64{1}).Observe(2)
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("z").Set(-4)
+	r.Histogram("h", []int64{5, 50}).Observe(7)
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("snapshots differ:\n%s\n%s", buf1.String(), buf2.String())
+	}
+	// Round-trips as JSON with the expected shape.
+	var back Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if back.Counters["a"] != 1 || back.Counters["b"] != 2 || back.Gauges["z"] != -4 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if h := back.Histograms["h"]; h.Count != 1 || len(h.Counts) != len(h.Bounds)+1 {
+		t.Fatalf("histogram shape wrong: %+v", h)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []int64{10}).Observe(int64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("c") != 8000 || s.Gauge("g") != 8000 {
+		t.Fatalf("counter/gauge = %d/%d, want 8000/8000", s.Counter("c"), s.Gauge("g"))
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Histograms["h"].Count)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -127,6 +128,8 @@ type System struct {
 	nodes   []*Node
 	backend backend
 	tracer  Tracer
+	metrics *metrics.Registry
+	met     *navpMetrics
 	pending []pendingInject
 	ran     bool
 }
@@ -254,6 +257,9 @@ func (s *System) Run() error {
 		return fmt.Errorf("navp: Run called twice")
 	}
 	s.ran = true
+	// Staged injections are counted here rather than in Inject, so a
+	// registry installed after staging still sees them.
+	s.met.injects.Add(int64(len(s.pending)))
 	return s.backend.run(s)
 }
 
@@ -343,6 +349,7 @@ func (ag *Agent) Hop(dst int) {
 	if dst < 0 || dst >= len(ag.sys.nodes) {
 		panic(fmt.Sprintf("navp: agent %q hop to node %d of %d", ag.name, dst, len(ag.sys.nodes)))
 	}
+	ag.sys.met.hops.Inc()
 	ag.sys.backend.hop(ag, dst)
 }
 
@@ -358,17 +365,20 @@ func (ag *Agent) Compute(flops float64, fn func()) {
 // pending signal, then consumes it (counting semantics; signals are never
 // lost).
 func (ag *Agent) WaitEvent(event string) {
+	ag.sys.met.waits.Inc()
 	ag.sys.backend.wait(ag, event)
 }
 
 // SignalEvent posts one signal of the named event on the current node.
 func (ag *Agent) SignalEvent(event string) {
+	ag.sys.met.signals.Inc()
 	ag.sys.backend.signal(ag, event)
 }
 
 // Inject spawns a new computation on the agent's current node — "all
 // injections happen locally". The child starts with no agent variables.
 func (ag *Agent) Inject(name string, fn func(*Agent)) {
+	ag.sys.met.injects.Inc()
 	ag.sys.backend.inject(ag, name, fn)
 }
 

@@ -43,7 +43,7 @@ type realEvent struct {
 func NewReal(cfg Config, n int) *System {
 	b := &realBackend{cpus: make([]sync.Mutex, n)}
 	b.events.m = map[string]*realEvent{}
-	s := &System{cfg: cfg, backend: b}
+	s := &System{cfg: cfg, backend: b, met: newNavpMetrics(nil)}
 	for i := 0; i < n; i++ {
 		s.nodes = append(s.nodes, newNode(i))
 	}

@@ -21,7 +21,7 @@ type simBackend struct {
 func NewSim(cfg Config, hw machine.Config, n int) *System {
 	k := sim.New()
 	b := &simBackend{kernel: k, cluster: machine.NewCluster(k, hw, n)}
-	s := &System{cfg: cfg, backend: b}
+	s := &System{cfg: cfg, backend: b, met: newNavpMetrics(nil)}
 	for i := 0; i < n; i++ {
 		s.nodes = append(s.nodes, newNode(i))
 	}

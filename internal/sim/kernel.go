@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Time is virtual time in seconds.
@@ -39,11 +41,16 @@ type Kernel struct {
 	yielded chan struct{}
 	failure error
 	running bool
+
+	metDispatched *metrics.Counter
+	metHorizon    *metrics.Gauge
 }
 
 // New returns an empty kernel at virtual time zero.
 func New() *Kernel {
-	return &Kernel{yielded: make(chan struct{})}
+	k := &Kernel{yielded: make(chan struct{})}
+	k.SetMetrics(nil) // no-op sinks until SetMetrics is called for real
+	return k
 }
 
 // Now reports the current virtual time. It may be called between Run
@@ -139,6 +146,7 @@ func (k *Kernel) Run() error {
 				return fmt.Errorf("sim: timer in the past (%.9f < %.9f)", t, k.now)
 			}
 			k.now = t
+			k.metHorizon.Set(int64(t * 1e6))
 			for k.timers.Len() > 0 && k.timers.peek().at == t {
 				k.ready(k.timers.pop().p)
 			}
@@ -147,6 +155,7 @@ func (k *Kernel) Run() error {
 		p := k.runq[0]
 		k.runq = k.runq[1:]
 		p.state = procRunning
+		k.metDispatched.Inc()
 		p.resume <- struct{}{}
 		<-k.yielded
 	}

@@ -1,0 +1,22 @@
+package sim
+
+import "repro/internal/metrics"
+
+// Metric names exposed by the kernel.
+const (
+	// Process dispatches: every time the scheduler hands the virtual CPU
+	// to a runnable process.
+	MetricEventsDispatched = "sim.events.dispatched"
+	// The virtual-time horizon in microseconds: how far the clock has
+	// advanced through timed wakeups.
+	MetricTimeHorizonUS = "sim.time.horizon_us"
+)
+
+// SetMetrics points the kernel's instrumentation at r. Call it before
+// Run; a nil registry (the default) discards all updates. The metrics
+// are pure functions of the deterministic schedule, so the same program
+// yields the same values on every run.
+func (k *Kernel) SetMetrics(r *metrics.Registry) {
+	k.metDispatched = r.Counter(MetricEventsDispatched)
+	k.metHorizon = r.Gauge(MetricTimeHorizonUS)
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/navp"
+	"repro/internal/sim"
+)
+
+// perfettoEvent is one Chrome trace_event entry. The exported subset —
+// metadata ("M"), complete spans ("X"), and instants ("i") — is what
+// Perfetto and chrome://tracing render without a schema. Timestamps and
+// durations are microseconds; Pid groups the run, Tid is the PE track.
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+const perfettoPid = 1
+
+// usec converts a trace timestamp (seconds — virtual on the sim backend,
+// wall since start on the real and wire runtimes) to microseconds.
+func usec(t sim.Time) float64 { return float64(t) * 1e6 }
+
+// WritePerfetto exports the recorded events as Chrome trace_event JSON,
+// loadable in ui.perfetto.dev or chrome://tracing. Each PE gets one
+// named track; compute and wait events become duration spans, hops
+// become spans on the *destination* PE (where the transfer time is
+// spent), and the fault-layer events — drops, retries, kills,
+// recoveries — become instant markers. Event order within the file
+// follows recording order, so the export is deterministic for
+// deterministic traces.
+func (r *Recorder) WritePerfetto(w io.Writer, pes int) error {
+	out := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	for pe := 0; pe < pes; pe++ {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: "thread_name", Phase: "M", Pid: perfettoPid, Tid: pe,
+			Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)},
+		})
+	}
+	span := func(name, cat string, tid int, start, end sim.Time, args map[string]any) perfettoEvent {
+		d := usec(end) - usec(start)
+		return perfettoEvent{Name: name, Phase: "X", Cat: cat,
+			TS: usec(start), Dur: &d, Pid: perfettoPid, Tid: tid, Args: args}
+	}
+	instant := func(name, cat string, tid int, at sim.Time, args map[string]any) perfettoEvent {
+		return perfettoEvent{Name: name, Phase: "i", Cat: cat, Scope: "t",
+			TS: usec(at), Pid: perfettoPid, Tid: tid, Args: args}
+	}
+	clampTid := func(pe int) int {
+		if pe < 0 {
+			return 0
+		}
+		if pe >= pes {
+			return pes - 1
+		}
+		return pe
+	}
+	for _, ev := range r.Events() {
+		agent := map[string]any{"agent": ev.Agent}
+		switch ev.Kind {
+		case navp.TraceCompute:
+			out.TraceEvents = append(out.TraceEvents,
+				span("compute", "compute", clampTid(ev.From), ev.Start, ev.End, agent))
+		case navp.TraceWait:
+			out.TraceEvents = append(out.TraceEvents,
+				span("wait:"+ev.Label, "wait", clampTid(ev.From), ev.Start, ev.End, agent))
+		case navp.TraceHop:
+			args := map[string]any{"agent": ev.Agent, "from": ev.From, "to": ev.To, "bytes": ev.Bytes}
+			if ev.End > ev.Start {
+				out.TraceEvents = append(out.TraceEvents,
+					span("hop", "hop", clampTid(ev.To), ev.Start, ev.End, args))
+			} else {
+				out.TraceEvents = append(out.TraceEvents,
+					instant("hop", "hop", clampTid(ev.To), ev.Start, args))
+			}
+		case navp.TraceSignal:
+			out.TraceEvents = append(out.TraceEvents,
+				instant("signal:"+ev.Label, "event", clampTid(ev.From), ev.Start, agent))
+		case navp.TraceInject:
+			out.TraceEvents = append(out.TraceEvents,
+				instant("inject:"+ev.Label, "event", clampTid(ev.From), ev.Start, agent))
+		case navp.TraceDrop:
+			args := map[string]any{"agent": ev.Agent, "to": ev.To, "bytes": ev.Bytes}
+			out.TraceEvents = append(out.TraceEvents,
+				instant("drop", "fault", clampTid(ev.From), ev.Start, args))
+		case navp.TraceRetry:
+			args := map[string]any{"agent": ev.Agent, "to": ev.To, "attempt": ev.Label}
+			out.TraceEvents = append(out.TraceEvents,
+				instant("retry", "fault", clampTid(ev.From), ev.Start, args))
+		case navp.TraceKill:
+			out.TraceEvents = append(out.TraceEvents,
+				instant("kill", "fault", clampTid(ev.From), ev.Start, nil))
+		case navp.TraceRecover:
+			args := map[string]any{"replayed": ev.Label}
+			if ev.End > ev.Start {
+				out.TraceEvents = append(out.TraceEvents,
+					span("recover", "fault", clampTid(ev.From), ev.Start, ev.End, args))
+			} else {
+				out.TraceEvents = append(out.TraceEvents,
+					instant("recover", "fault", clampTid(ev.From), ev.Start, args))
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}

@@ -199,6 +199,24 @@ func (r *Recorder) SpaceTime(pes, height int) string {
 			continue
 		}
 		sym(ev.Agent)
+		if ev.End <= ev.Start {
+			// Zero-width compute span (the real backend stamps Start ==
+			// End): credit an epsilon of occupancy at its bucket, clamped
+			// at the last row for spans on the finish boundary, so the
+			// agent still appears instead of silently vanishing.
+			row := int(ev.Start / bucket)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			if occupancy[row][ev.From] == nil {
+				occupancy[row][ev.From] = map[string]sim.Time{}
+			}
+			occupancy[row][ev.From][ev.Agent] += bucket * 1e-12
+			continue
+		}
 		for row := int(ev.Start / bucket); row < height; row++ {
 			lo := sim.Time(row) * bucket
 			hi := lo + bucket

@@ -24,6 +24,8 @@ type nodeState struct {
 	id     int
 	vars   *store
 	events *events
+	met    *wireMetrics
+	retain int // dedup high-water mark (Options.DedupRetain)
 
 	mu        sync.Mutex
 	ckpt      map[uint64]*checkpoint // agent ID → last completed hop boundary
@@ -31,11 +33,22 @@ type nodeState struct {
 	nextAgent uint64                 // local agent ID allocator
 	arrivals  int64                  // accepted arrivals + injections (kill triggers)
 
+	// retired is the FIFO of dedup entries whose agents are no longer
+	// resident (hopped away or finished), awaiting high-water eviction;
+	// retiredHead indexes its oldest live element. See retireDedup.
+	retired     []dedupRetired
+	retiredHead int
+
 	// Mattern's four counters. Sent counts only acknowledged, accepted
 	// migrations; Received only deduplicated accepts — so duplicated and
 	// replayed frames never unbalance the termination snapshot.
 	created, finished, sent, received int64
 }
+
+// dedupRetired marks one retired dedup entry: the eviction is applied
+// only if lastHop still holds exactly this value when the entry reaches
+// the head of the queue (the agent has not been re-accepted since).
+type dedupRetired struct{ id, hop uint64 }
 
 // checkpoint is one agent's state at its last completed hop boundary. The
 // state is stored as gob bytes — a true snapshot, immune to the running
@@ -46,10 +59,91 @@ type checkpoint struct {
 	state    []byte
 }
 
-func newNodeState(id int) *nodeState {
+func newNodeState(id int, met *wireMetrics, retain int) *nodeState {
 	return &nodeState{
-		id: id, vars: newStore(), events: newEvents(),
+		id: id, vars: newStore(), events: newEvents(), met: met, retain: retain,
 		ckpt: map[uint64]*checkpoint{}, lastHop: map[uint64]uint64{},
+	}
+}
+
+// setLastHop records hop as the highest accepted hop for id, keeping
+// the cluster-wide dedup size gauge current. Callers hold ns.mu.
+func (ns *nodeState) setLastHop(id, hop uint64) {
+	if _, ok := ns.lastHop[id]; !ok {
+		ns.met.dedupSize.Add(1)
+	}
+	ns.lastHop[id] = hop
+}
+
+// putCkpt installs or replaces an agent's checkpoint, keeping the
+// checkpoint-store size gauge current. Callers hold ns.mu.
+func (ns *nodeState) putCkpt(id uint64, c *checkpoint) {
+	if _, ok := ns.ckpt[id]; !ok {
+		ns.met.ckptSize.Add(1)
+	}
+	ns.ckpt[id] = c
+}
+
+// delCkpt removes an agent's checkpoint. Callers hold ns.mu.
+func (ns *nodeState) delCkpt(id uint64) {
+	if _, ok := ns.ckpt[id]; ok {
+		ns.met.ckptSize.Add(-1)
+		delete(ns.ckpt, id)
+	}
+}
+
+// retireDedup queues agent id's dedup entry for eviction now that its
+// checkpoint here is gone (the agent hopped away or finished), and
+// evicts the oldest queued entries beyond the high-water mark. Callers
+// hold ns.mu.
+//
+// Safety under duplicate redelivery — why evicting an entry cannot
+// break dedup:
+//
+//  1. Duplicate copies of hop frame (id, h) exist only while the
+//     sender's deliver loop for (id, h) is running: retransmissions
+//     and fault-injected duplicate copies are all written before the
+//     loop exits, and the loop exits on the first acknowledgement —
+//     the ack this node sent when it accepted (id, h) and created the
+//     very dedup entry being protected. Every duplicate is therefore
+//     in flight no later than one ack round-trip after the entry is
+//     created, and TCP delivers it within the lifetime of its
+//     connection, whose buffered frames the daemon drains continuously.
+//  2. Eviction happens only after `retain` further retirements at this
+//     node, each of which itself required a full accept/ack cycle on
+//     the same transport. A duplicate would have to stay undelivered
+//     across that many completed round-trips to outlive its entry.
+//  3. Defense in depth: if a duplicate of a *non-terminal* hop were
+//     nevertheless re-accepted, the model contract already makes it
+//     harmless — steps tolerate re-execution from their hop boundary
+//     (the checkpoint-replay contract), and the termination counters
+//     re-balance because the zombie's received++ is compensated by the
+//     sent++ its re-hop earns when the downstream dup-ack retires the
+//     recreated checkpoint. Only a *terminal* hop's duplicate could
+//     skew `finished`; its entry is the youngest in the queue at
+//     complete() time and survives a further `retain` retirements —
+//     the widest window the protocol has.
+//  4. An entry whose agent was re-accepted here at a higher hop (a
+//     revisit in a cyclic itinerary) is not evicted: the queued
+//     (id, hop) pair no longer matches the table, so the stale queue
+//     entry is skipped and the newer retirement governs.
+func (ns *nodeState) retireDedup(id, hop uint64) {
+	ns.retired = append(ns.retired, dedupRetired{id: id, hop: hop})
+	for len(ns.retired)-ns.retiredHead > ns.retain {
+		e := ns.retired[ns.retiredHead]
+		ns.retiredHead++
+		if cur, ok := ns.lastHop[e.id]; ok && cur == e.hop {
+			delete(ns.lastHop, e.id)
+			ns.met.dedupSize.Add(-1)
+			ns.met.dedupEvicted.Inc()
+		}
+	}
+	// Compact the drained prefix once it dominates the slice, so the
+	// queue's footprint stays proportional to the high-water mark.
+	if ns.retiredHead > ns.retain {
+		n := copy(ns.retired, ns.retired[ns.retiredHead:])
+		ns.retired = ns.retired[:n]
+		ns.retiredHead = 0
 	}
 }
 
@@ -95,8 +189,9 @@ func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
 	defer ns.mu.Unlock()
 	ns.created++
 	ns.arrivals++
-	ns.lastHop[msg.ID] = msg.Hop
-	ns.ckpt[msg.ID] = &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap}
+	ns.met.agentsInjected.Inc()
+	ns.setLastHop(msg.ID, msg.Hop)
+	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap})
 	return ns.arrivals, nil
 }
 
@@ -124,8 +219,8 @@ func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error)
 	}
 	ns.received++
 	ns.arrivals++
-	ns.lastHop[msg.ID] = msg.Hop
-	ns.ckpt[msg.ID] = &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap}
+	ns.setLastHop(msg.ID, msg.Hop)
+	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap})
 	return false, ns.arrivals, nil
 }
 
@@ -146,8 +241,8 @@ func (ns *nodeState) rehop(msg *agentMsg) bool {
 		return false
 	}
 	msg.Hop++
-	ns.lastHop[msg.ID] = msg.Hop
-	ns.ckpt[msg.ID] = &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap}
+	ns.setLastHop(msg.ID, msg.Hop)
+	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap})
 	return true
 }
 
@@ -163,8 +258,11 @@ func (ns *nodeState) ackDelivered(id, prevHop uint64) bool {
 	if cur == nil || cur.hop != prevHop {
 		return false
 	}
-	delete(ns.ckpt, id)
+	ns.delCkpt(id)
 	ns.sent++
+	// The agent is now owned downstream; its dedup entry here starts
+	// its high-water retirement countdown.
+	ns.retireDedup(id, prevHop)
 	return true
 }
 
@@ -177,8 +275,14 @@ func (ns *nodeState) complete(id, hop uint64) bool {
 	if cur == nil || cur.hop != hop {
 		return false
 	}
-	delete(ns.ckpt, id)
+	ns.delCkpt(id)
 	ns.finished++
+	ns.met.agentsCompleted.Inc()
+	// Terminal retirement: the finished agent's dedup entry is queued
+	// for eviction rather than deleted outright, so late duplicates of
+	// its final inbound hop are still recognized for a further `retain`
+	// retirements (see retireDedup's safety argument).
+	ns.retireDedup(id, hop)
 	return true
 }
 
@@ -196,6 +300,14 @@ func (ns *nodeState) pendingCheckpoints() int {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	return len(ns.ckpt)
+}
+
+// dedupSize reports the dedup table's live entry count (tests and the
+// soak suite read it directly; production code watches the gauge).
+func (ns *nodeState) dedupSize() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.lastHop)
 }
 
 // replayMessages reconstructs every checkpointed agent for re-injection

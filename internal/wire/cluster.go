@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/navp"
 )
 
@@ -38,6 +39,15 @@ type Options struct {
 	// with wall-clock timestamps in seconds since cluster start (it
 	// must be safe for concurrent use; internal/trace.Recorder is).
 	Tracer navp.Tracer
+	// Metrics, if non-nil, receives the runtime's counters, gauges, and
+	// histograms (see metrics.go for the names). Nil creates a private
+	// registry, readable via Cluster.Metrics — instrumentation is always
+	// on; it costs one atomic op per event.
+	Metrics *metrics.Registry
+	// DedupRetain is the per-node high-water mark for retired dedup
+	// entries: how many (agent, hop) pairs a node keeps after their
+	// checkpoints retire before evicting the oldest (default 1024).
+	DedupRetain int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +69,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Fault != nil && len(o.Fault.Kills) > 0 {
 		o.Recover = true
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
+	if o.DedupRetain <= 0 {
+		o.DedupRetain = 1024
 	}
 	return o
 }
@@ -174,6 +190,7 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 		errs: make(chan error, n),
 		sink: &traceSink{tracer: opts.Tracer, epoch: time.Now()},
 	}
+	met := newWireMetrics(opts.Metrics)
 	listeners := make([]net.Listener, n)
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -183,7 +200,7 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 		}
 		listeners[i] = ln
 		cl.peers = append(cl.peers, ln.Addr().String())
-		cl.states = append(cl.states, newNodeState(i))
+		cl.states = append(cl.states, newNodeState(i, met, opts.DedupRetain))
 	}
 	for i := 0; i < n; i++ {
 		d := newDaemon(i, cl.peers, listeners[i], cl.states[i], &cl.opts, cl.errs, cl.sink)
@@ -201,6 +218,11 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 
 // Size returns the number of daemons.
 func (cl *Cluster) Size() int { return len(cl.states) }
+
+// Metrics returns the cluster's metric registry (Options.Metrics, or the
+// private registry created when none was supplied). Snapshot it any time
+// — during a run or after Wait.
+func (cl *Cluster) Metrics() *metrics.Registry { return cl.opts.Metrics }
 
 // daemon returns node i's current incarnation.
 func (cl *Cluster) daemon(i int) *daemon {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/navp"
 )
 
@@ -71,6 +72,7 @@ func (d *daemon) serve() {
 		}
 		d.inbound[conn] = struct{}{}
 		d.linkMu.Unlock()
+		d.node.met.inboundConns.Add(1)
 		go d.handle(conn)
 	}
 }
@@ -79,6 +81,17 @@ func (d *daemon) serve() {
 // the connection: the peer redials and the retry protocol re-delivers
 // whatever was in flight.
 func (d *daemon) handle(conn net.Conn) {
+	// Deregister on exit: a long-lived daemon must not accumulate dead
+	// net.Conns in d.inbound. The delete races an in-progress terminate
+	// harmlessly — both run under linkMu, deleting a missing key is a
+	// no-op, and closing a closed conn just returns an error.
+	defer func() {
+		d.linkMu.Lock()
+		delete(d.inbound, conn)
+		d.linkMu.Unlock()
+		conn.Close()
+		d.node.met.inboundConns.Add(-1)
+	}()
 	r := bufio.NewReader(conn)
 	reply := func(env *envelope) bool {
 		f, err := encodeFrame(env)
@@ -222,7 +235,8 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 	frame := f.bytes()
 	// Fold the agent identity into the fault-decision sequence number so
 	// a frame's fate is a pure function of what it carries.
-	seq := msg.ID<<16 ^ msg.Hop
+	seq := fault.Seq(msg.ID, msg.Hop)
+	met := d.node.met
 	backoff := d.opts.RetryBackoff
 	for attempt := uint64(0); ; attempt++ {
 		if d.dead.Load() {
@@ -236,15 +250,26 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 		}
 		var ackCh chan ackMsg
 		var l *link
+		var sentAt time.Time
 		if dec.Drop {
+			met.framesDropped.Inc()
 			d.sink.record(navp.TraceDrop, msg.Behavior, d.id, dst, int64(len(frame)), "")
 		} else {
 			var err error
 			if l, err = d.link(dst); err == nil {
 				ackCh = l.expect(msg.ID, msg.Hop)
+				sentAt = time.Now()
 				err = l.writeFrame(frame)
+				if err == nil {
+					met.framesSent.Inc()
+					met.bytesSent.Add(int64(len(frame)))
+				}
 				for i := 0; err == nil && i < dec.Dup; i++ {
 					err = l.writeFrame(frame)
+					if err == nil {
+						met.framesSent.Inc()
+						met.bytesSent.Add(int64(len(frame)))
+					}
 				}
 			}
 			if err != nil {
@@ -256,15 +281,22 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 			}
 		}
 		if ackCh != nil {
-			var acked bool
+			var acked, linkDown bool
 			select {
 			case <-ackCh:
 				acked = true
+			case <-l.done:
+				// The link died under us (peer reset, redial elsewhere).
+				// There is no ack coming on this connection; waiting out
+				// the full AckTimeout would just stall the hop.
+				linkDown = true
 			case <-time.After(d.opts.AckTimeout):
 			case <-d.stopped:
 			}
 			l.cancel(msg.ID, msg.Hop)
 			if acked {
+				met.framesAcked.Inc()
+				met.ackLatency.Observe(time.Since(sentAt).Microseconds())
 				d.node.ackDelivered(msg.ID, prevHop)
 				d.sink.record(navp.TraceHop, msg.Behavior, d.id, dst, int64(len(frame)), "")
 				return
@@ -274,7 +306,15 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 				return
 			default:
 			}
+			if linkDown {
+				d.dropLink(dst, l)
+				met.framesRetried.Inc()
+				d.sink.record(navp.TraceRetry, msg.Behavior, d.id, dst, int64(len(frame)),
+					fmt.Sprintf("attempt %d", attempt+2))
+				continue // retry immediately over a fresh dial
+			}
 		}
+		met.framesRetried.Inc()
 		d.sink.record(navp.TraceRetry, msg.Behavior, d.id, dst, int64(len(frame)),
 			fmt.Sprintf("attempt %d", attempt+2))
 		if !d.sleep(backoff) {
@@ -282,6 +322,7 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 		}
 		if backoff *= 2; backoff > d.opts.MaxRetryBackoff {
 			backoff = d.opts.MaxRetryBackoff
+			met.backoffCeiling.Inc()
 		}
 	}
 }
@@ -320,6 +361,7 @@ func (d *daemon) link(dst int) (*link, error) {
 	}
 	l := newLink(conn)
 	d.links[dst] = l
+	d.node.met.linkDials.Inc()
 	go l.readAcks()
 	return l, nil
 }
@@ -374,6 +416,9 @@ func (d *daemon) fail(err error) {
 	select {
 	case d.errs <- err:
 	default:
+		// The cluster error channel is full; the error vanishes. Count
+		// it so a silent failure at least leaves a fingerprint.
+		d.node.met.errorsDropped.Inc()
 	}
 }
 
@@ -386,13 +431,18 @@ type link struct {
 
 	pmu     sync.Mutex
 	pending map[ackKey]chan ackMsg
-	closed  bool
+
+	// done is closed when the link dies, releasing senders parked in
+	// deliver's ack wait so they redial immediately instead of burning
+	// the full AckTimeout on a connection that can never answer.
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 type ackKey struct{ id, hop uint64 }
 
 func newLink(conn net.Conn) *link {
-	return &link{conn: conn, pending: map[ackKey]chan ackMsg{}}
+	return &link{conn: conn, pending: map[ackKey]chan ackMsg{}, done: make(chan struct{})}
 }
 
 func (l *link) writeFrame(frame []byte) error {
@@ -424,8 +474,10 @@ func (l *link) cancel(id, hop uint64) {
 }
 
 // readAcks drains the link's inbound side, delivering acks to waiting
-// senders. Any error ends the loop; senders time out and redial.
+// senders. Any error ends the loop and marks the link dead, so parked
+// senders wake and redial instead of waiting out their ack timeout.
 func (l *link) readAcks() {
+	defer l.close()
 	r := bufio.NewReader(l.conn)
 	for {
 		env, err := readFrame(r)
@@ -448,8 +500,6 @@ func (l *link) readAcks() {
 }
 
 func (l *link) close() {
-	l.pmu.Lock()
-	l.closed = true
-	l.pmu.Unlock()
+	l.closeOnce.Do(func() { close(l.done) })
 	l.conn.Close()
 }

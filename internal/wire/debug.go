@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns an HTTP handler exposing the cluster's live
+// observability surface:
+//
+//	/metrics        current metrics snapshot as indented JSON
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// The mux is built explicitly rather than via net/http/pprof's
+// DefaultServeMux side effects, so importing this package never mutates
+// global state.
+func (cl *Cluster) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := cl.Metrics().Snapshot().WriteJSON(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. "127.0.0.1:0") and
+// returns the bound address and a stop function. The server lives until
+// stop is called; it is independent of the cluster's lifecycle so a
+// wedged cluster can still be inspected.
+func (cl *Cluster) ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: cl.DebugHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), ln.Close, nil
+}

@@ -1,0 +1,86 @@
+package wire
+
+import "repro/internal/metrics"
+
+// Metric names exposed by the wire runtime (see DESIGN.md §11). All
+// values are cluster-wide aggregates over every node and daemon
+// incarnation.
+const (
+	// Frames written to peer links, including fault-injected duplicate
+	// copies and retransmissions; and their payload bytes.
+	MetricFramesSent = "wire.frames.sent"
+	MetricBytesSent  = "wire.bytes.sent"
+	// Hop deliveries acknowledged by the destination.
+	MetricFramesAcked = "wire.frames.acked"
+	// Retry attempts after a missed acknowledgement.
+	MetricFramesRetried = "wire.frames.retried"
+	// Transmissions suppressed by the fault injector.
+	MetricFramesDropped = "wire.frames.dropped"
+	// Wall-clock microseconds from frame write to acknowledgement.
+	MetricAckLatencyUS = "wire.ack.latency_us"
+	// Times the exponential resend backoff was clamped at MaxRetryBackoff.
+	MetricBackoffCeiling = "wire.backoff.ceiling_hits"
+	// Outbound link dials (the first dial and every redial after a
+	// link failure).
+	MetricLinkDials = "wire.links.dials"
+	// Daemon errors discarded because the cluster error channel was full.
+	MetricErrorsDropped = "wire.errors.dropped"
+	// Live entries in the hop dedup tables, and entries evicted by the
+	// high-water retirement scheme.
+	MetricDedupSize    = "wire.dedup.size"
+	MetricDedupEvicted = "wire.dedup.evicted"
+	// Agents currently checkpointed (in flight or mid-step).
+	MetricCheckpoints = "wire.checkpoints.size"
+	// Inbound connections currently registered with a daemon.
+	MetricInboundConns = "wire.conns.inbound"
+	// Agents injected and agents that reached a terminal Done.
+	MetricAgentsInjected  = "wire.agents.injected"
+	MetricAgentsCompleted = "wire.agents.completed"
+)
+
+// wireMetrics holds the pre-resolved metric handles shared by every
+// node state and daemon incarnation of a cluster, so hot paths pay one
+// atomic operation per event and never touch the registry's map.
+type wireMetrics struct {
+	framesSent      *metrics.Counter
+	bytesSent       *metrics.Counter
+	framesAcked     *metrics.Counter
+	framesRetried   *metrics.Counter
+	framesDropped   *metrics.Counter
+	ackLatency      *metrics.Histogram
+	backoffCeiling  *metrics.Counter
+	linkDials       *metrics.Counter
+	errorsDropped   *metrics.Counter
+	dedupEvicted    *metrics.Counter
+	agentsInjected  *metrics.Counter
+	agentsCompleted *metrics.Counter
+	dedupSize       *metrics.Gauge
+	ckptSize        *metrics.Gauge
+	inboundConns    *metrics.Gauge
+}
+
+// ackLatencyBounds ladders from 50µs to ~1.6s; loopback acks land in
+// the early buckets, retry-delayed ones spread up the tail.
+var ackLatencyBounds = metrics.ExponentialBounds(50, 2, 16)
+
+// newWireMetrics resolves every wire metric in r. A nil registry yields
+// valid no-op handles, so instrumented code never branches.
+func newWireMetrics(r *metrics.Registry) *wireMetrics {
+	return &wireMetrics{
+		framesSent:      r.Counter(MetricFramesSent),
+		bytesSent:       r.Counter(MetricBytesSent),
+		framesAcked:     r.Counter(MetricFramesAcked),
+		framesRetried:   r.Counter(MetricFramesRetried),
+		framesDropped:   r.Counter(MetricFramesDropped),
+		ackLatency:      r.Histogram(MetricAckLatencyUS, ackLatencyBounds),
+		backoffCeiling:  r.Counter(MetricBackoffCeiling),
+		linkDials:       r.Counter(MetricLinkDials),
+		errorsDropped:   r.Counter(MetricErrorsDropped),
+		dedupEvicted:    r.Counter(MetricDedupEvicted),
+		agentsInjected:  r.Counter(MetricAgentsInjected),
+		agentsCompleted: r.Counter(MetricAgentsCompleted),
+		dedupSize:       r.Gauge(MetricDedupSize),
+		ckptSize:        r.Gauge(MetricCheckpoints),
+		inboundConns:    r.Gauge(MetricInboundConns),
+	}
+}
