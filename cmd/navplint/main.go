@@ -28,17 +28,21 @@ import (
 
 // simDomain returns the package filter for simsafe: everything under
 // internal/ is simulation-domain except the wire runtime, which talks
-// to real sockets in wall-clock time by design. Real-backend files
+// to real sockets in wall-clock time by design, and the scheduler
+// serving layer on top of it, which measures wall-clock latencies and
+// runs wall-clock deadlines (cmd/, including cmd/navpserve, is outside
+// internal/ and so outside the domain already). Real-backend files
 // inside sim-domain packages (navp, mp) carry //navplint:exempt
 // directives instead, so the exemption is visible at the code it
 // covers.
 func simDomain(modPath string) func(pkgPath string) bool {
 	prefix := modPath + "/internal/"
+	realDomain := map[string]bool{
+		modPath + "/internal/wire":  true,
+		modPath + "/internal/sched": true,
+	}
 	return func(pkgPath string) bool {
-		if !strings.HasPrefix(pkgPath, prefix) {
-			return false
-		}
-		return pkgPath != modPath+"/internal/wire"
+		return strings.HasPrefix(pkgPath, prefix) && !realDomain[pkgPath]
 	}
 }
 

@@ -1,0 +1,112 @@
+// Command navpserve is the NavP serving daemon: a wire cluster, the
+// multi-tenant job scheduler, and the HTTP serving API on one listener.
+//
+// Usage:
+//
+//	navpserve                                  # 4 PEs, :8080
+//	navpserve -nodes 8 -workers 16 -queue 128
+//	navpserve -placement least-loaded
+//	navpserve -fault 'seed=7,drop=0.02,kill=1@100'   # serve under chaos
+//
+// The API (see DESIGN.md §12 and the README's Serving section):
+//
+//	POST /jobs             submit a job (JSON body)
+//	GET  /jobs             list retained jobs
+//	GET  /jobs/{id}        job status
+//	GET  /jobs/{id}/result result, exactly once
+//	POST /jobs/{id}/cancel cancel/evict
+//	GET  /metrics          wire.* + sched.* registry snapshot
+//	     /debug/pprof/...  pprof
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, queued jobs are
+// evicted, running jobs finish, then the cluster shuts down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster size (PEs)")
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	workers := flag.Int("workers", 8, "concurrent jobs")
+	queue := flag.Int("queue", 64, "admission queue depth (backpressure beyond it)")
+	placement := flag.String("placement", "round-robin", "placement policy: round-robin or least-loaded")
+	chaos := flag.String("fault", "", "fault plan spec, e.g. 'seed=7,drop=0.02,dup=1,kill=1@100'")
+	flag.Parse()
+
+	if err := run(*nodes, *addr, *workers, *queue, *placement, *chaos); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes int, addr string, workers, queue int, placement, chaos string) error {
+	var plan *fault.Plan
+	if chaos != "" {
+		var err error
+		if plan, err = fault.Parse(chaos); err != nil {
+			return err
+		}
+	}
+	pol, err := sched.NewPlacement(placement)
+	if err != nil {
+		return err
+	}
+	cl, err := wire.NewClusterOpts(nodes, wire.Options{Fault: plan})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	s, err := sched.New(sched.Config{
+		Cluster: cl, Workers: workers, QueueDepth: queue, Placement: pol,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := cl.DebugHandler()
+	sched.NewServer(s).Register(mux)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	errs := make(chan error, 1)
+	go func() { errs <- srv.Serve(ln) }()
+	fmt.Printf("navpserve: %d PEs, %d workers, queue %d, placement %s, listening on http://%s\n",
+		nodes, workers, queue, pol.Name(), ln.Addr())
+	if plan != nil {
+		fmt.Printf("navpserve: serving under fault plan %v\n", plan)
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("navpserve: %v — draining\n", sig)
+	case err := <-errs:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+	}
+	// Drain order: stop accepting HTTP first, then let the scheduler
+	// evict queued work and finish running jobs, then stop the cluster.
+	// Cluster.Close is idempotent, so racing the deferred Close (or a
+	// second signal's impatient operator) is safe.
+	srv.Close()
+	s.Close()
+	cl.Close()
+	fmt.Println("navpserve: drained")
+	return nil
+}

@@ -10,17 +10,23 @@
 //	paperbench -ablations          # pointer-swap / overlap / block-size
 //	paperbench -quick              # truncated tables (smoke test)
 //	paperbench -regress            # measure the fast data paths, write BENCH_*.json
+//	paperbench -serve              # closed-loop serving load test, write BENCH_sched.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -31,13 +37,24 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation experiments")
 	report := flag.Bool("report", false, "emit the full markdown reproduction report (tables, staggering, ablations)")
 	regress := flag.Bool("regress", false, "benchmark the fast data paths and write BENCH_kernels.json + BENCH_wire.json")
-	regressOut := flag.String("regress-out", ".", "directory the -regress JSON files are written to")
+	regressOut := flag.String("regress-out", ".", "directory the -regress and -serve JSON files are written to")
 	observe := flag.String("observe", "", "run a small deterministic chaos sim and write Perfetto + metrics artifacts into this directory")
+	serve := flag.Bool("serve", false, "run the closed-loop serving load test (clean + chaos) and write BENCH_sched.json")
 	flag.Parse()
 
-	if *table == "" && !*stagger && !*ablations && !*report && !*regress && *observe == "" {
+	if *table == "" && !*stagger && !*ablations && !*report && !*regress && !*serve && *observe == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *serve {
+		if err := runServe(*regressOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *table == "" && !*stagger && !*ablations && !*report && !*regress {
+			return
+		}
 	}
 
 	if *observe != "" {
@@ -128,6 +145,92 @@ func runRegress(dir string, quick bool) error {
 		return err
 	}
 	return writeRegressFile(filepath.Join(dir, "BENCH_wire.json"), wireFile)
+}
+
+// serveScenario measures one load-generation run against a freshly
+// assembled serving stack: cluster (with the scenario's fault plan),
+// scheduler, HTTP API on the cluster's debug mux, all torn down before
+// the next scenario so measurements do not bleed into each other.
+func serveScenario(nodes, workers, queue int, faultSpec string, lg sched.LoadGenConfig) (sched.LoadGenResult, error) {
+	var none sched.LoadGenResult
+	var plan *fault.Plan
+	if faultSpec != "" {
+		var err error
+		if plan, err = fault.Parse(faultSpec); err != nil {
+			return none, err
+		}
+	}
+	cl, err := wire.NewClusterOpts(nodes, wire.Options{Fault: plan})
+	if err != nil {
+		return none, err
+	}
+	defer cl.Close()
+	s, err := sched.New(sched.Config{Cluster: cl, Workers: workers, QueueDepth: queue})
+	if err != nil {
+		return none, err
+	}
+	defer s.Close()
+	mux := cl.DebugHandler()
+	sched.NewServer(s).Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return none, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	lg.BaseURL = "http://" + ln.Addr().String()
+	res, err := sched.RunLoadGen(lg)
+	if err != nil {
+		return none, err
+	}
+	return *res, nil
+}
+
+// runServe drives the serving stack closed-loop — clean and under a
+// chaos plan — and records throughput and latency percentiles in
+// BENCH_sched.json.
+func runServe(dir string, quick bool) error {
+	const nodes, workers, queue = 4, 8, 32
+	clients, jobs := 8, 8
+	if quick {
+		clients, jobs = 4, 4
+	}
+	f := bench.NewServeFile(nodes, workers, queue, quick)
+	scenarios := []struct {
+		name, kind, fault string
+		req               sched.SubmitRequest
+	}{
+		{"wirematmul-clean", "wirematmul", "",
+			sched.SubmitRequest{Kind: "wirematmul", N: 8, Retries: 2}},
+		{"wirematmul-chaos", "wirematmul", "seed=33,drop=0.03,dup=1,kill=1@40",
+			sched.SubmitRequest{Kind: "wirematmul", N: 8, Retries: 3}},
+		{"sim-matmul", "matmul", "",
+			sched.SubmitRequest{Kind: "matmul", Stage: 2, N: 64, BS: 16, P: 2}},
+	}
+	for _, sc := range scenarios {
+		res, err := serveScenario(nodes, workers, queue, sc.fault,
+			sched.LoadGenConfig{Clients: clients, JobsPerClient: jobs, Request: sc.req})
+		if err != nil {
+			return fmt.Errorf("serve scenario %s: %w", sc.name, err)
+		}
+		if res.Done == 0 {
+			return fmt.Errorf("serve scenario %s: no job finished (%+v)", sc.name, res)
+		}
+		fmt.Printf("%-18s %6.1f jobs/s  p50 %6.1fms  p99 %6.1fms  (%d done, %d failed, %d evicted, %d rejects)\n",
+			sc.name, res.JobsPerSec, res.P50MS, res.P99MS, res.Done, res.Failed, res.Evicted, res.Rejects)
+		f.Add(sc.name, sc.kind, sc.fault, res)
+	}
+	path := filepath.Join(dir, "BENCH_sched.json")
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d scenarios)\n", path, len(f.Scenarios))
+	return nil
 }
 
 func writeRegressFile(path string, f *bench.RegressFile) error {

@@ -27,7 +27,8 @@ func TestRepoPackagesClean(t *testing.T) {
 		if a.Name == "simsafe" {
 			a.Filter = func(pkgPath string) bool {
 				return strings.HasPrefix(pkgPath, loader.ModulePath+"/internal/") &&
-					pkgPath != loader.ModulePath+"/internal/wire"
+					pkgPath != loader.ModulePath+"/internal/wire" &&
+					pkgPath != loader.ModulePath+"/internal/sched"
 			}
 		}
 	}
@@ -39,6 +40,7 @@ func TestRepoPackagesClean(t *testing.T) {
 		"repro/internal/gentleman",
 		"repro/internal/navp",
 		"repro/internal/wire",
+		"repro/internal/sched",
 	} {
 		pkg, err := loader.Load(path)
 		if err != nil {

@@ -1,0 +1,73 @@
+package bench
+
+// The BENCH_sched.json schema: closed-loop serving measurements from
+// the scheduler load generator, rendered machine-readable so CI and
+// later sessions can diff serving throughput and latency percentiles
+// the same way they diff the kernel and codec numbers.
+//
+// This file stays simsafe: the wall-clock measurement happens inside
+// sched.RunLoadGen (real domain); here the numbers are only assembled
+// into the file schema.
+
+import (
+	"runtime"
+
+	"repro/internal/sched"
+)
+
+// ServeScenario is one load-generation run against a serving stack.
+type ServeScenario struct {
+	// Name identifies the scenario, e.g. "wirematmul-clean".
+	Name string `json:"name"`
+	// Kind is the job kind submitted (SubmitRequest.Kind).
+	Kind string `json:"kind"`
+	// Chaos records whether a fault plan was active on the cluster.
+	Chaos bool `json:"chaos"`
+	// Fault is the chaos plan's spec string, empty without one.
+	Fault string `json:"fault,omitempty"`
+	// Result carries the measured throughput and latency percentiles.
+	Result sched.LoadGenResult `json:"result"`
+}
+
+// ServeFile is the schema of BENCH_sched.json.
+type ServeFile struct {
+	Schema     int             `json:"schema"`
+	Suite      string          `json:"suite"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Quick      bool            `json:"quick"`
+	Nodes      int             `json:"nodes"`
+	Workers    int             `json:"workers"`
+	QueueDepth int             `json:"queue_depth"`
+	Scenarios  []ServeScenario `json:"scenarios"`
+}
+
+// NewServeFile starts an empty serving-measurement file recording the
+// stack's shape and the host fingerprint.
+func NewServeFile(nodes, workers, queueDepth int, quick bool) *ServeFile {
+	return &ServeFile{
+		Schema: 1, Suite: "sched",
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick,
+		Nodes: nodes, Workers: workers, QueueDepth: queueDepth,
+	}
+}
+
+// Add appends one measured scenario.
+func (f *ServeFile) Add(name, kind, faultSpec string, r sched.LoadGenResult) {
+	f.Scenarios = append(f.Scenarios, ServeScenario{
+		Name: name, Kind: kind, Chaos: faultSpec != "", Fault: faultSpec, Result: r,
+	})
+}
+
+// FindScenario returns the named scenario, or nil.
+func (f *ServeFile) FindScenario(name string) *ServeScenario {
+	for i := range f.Scenarios {
+		if f.Scenarios[i].Name == name {
+			return &f.Scenarios[i]
+		}
+	}
+	return nil
+}

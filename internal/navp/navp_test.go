@@ -1,6 +1,7 @@
 package navp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -239,18 +240,49 @@ func TestInjectIsLocal(t *testing.T) {
 	})
 }
 
-func TestInjectAfterRunPanics(t *testing.T) {
+func TestInjectAfterRunReturnsErrSystemDone(t *testing.T) {
 	s := newSimSys(1)
-	s.Inject(0, "a", func(ag *Agent) {})
+	if err := s.Inject(0, "a", func(ag *Agent) {}); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on Inject after Run")
+	if err := s.Inject(0, "late", func(ag *Agent) {}); !errors.Is(err, ErrSystemDone) {
+		t.Fatalf("Inject after Run returned %v, want ErrSystemDone", err)
+	}
+	if err := s.Run(); !errors.Is(err, ErrSystemDone) {
+		t.Fatalf("second Run returned %v, want ErrSystemDone", err)
+	}
+	if err := s.Reset(); err == nil {
+		t.Fatal("Reset succeeded on the sim backend; its kernel cannot re-run")
+	}
+}
+
+func TestRealSystemReset(t *testing.T) {
+	s := NewReal(DefaultConfig(), 2)
+	runs := 0
+	program := func() {
+		if err := s.Inject(0, "a", func(ag *Agent) {
+			ag.Hop(1)
+			ag.SignalEvent("done")
+			runs++
+		}); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	s.Inject(0, "late", func(ag *Agent) {})
+		// A signal left pending on node 1; Reset must clear it.
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	program()
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	program()
+	if runs != 2 {
+		t.Fatalf("program ran %d times across Reset, want 2", runs)
+	}
 }
 
 func TestComputeChargesModelTime(t *testing.T) {

@@ -150,6 +150,15 @@ func (b *realBackend) inject(parent *Agent, name string, fn func(*Agent)) {
 
 func (b *realBackend) touch(ag *Agent, key string, bytes int64) {}
 
+// reset clears pending event signals so a reused System starts its next
+// program without stale synchronization state. Run left no goroutines
+// behind (it waits on the group), so there is nothing else to unwind.
+func (b *realBackend) reset() {
+	b.events.mu.Lock()
+	b.events.m = map[string]*realEvent{}
+	b.events.mu.Unlock()
+}
+
 func (b *realBackend) elapsed() sim.Time { return time.Since(b.started).Seconds() }
 
 func (b *realBackend) now(ag *Agent) sim.Time { return b.elapsed() }

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadGenConfig drives a closed-loop load test against a serving
+// endpoint: Clients concurrent clients, each submitting, polling to a
+// terminal state, and retrieving the result before submitting its next
+// job — so offered load adapts to the system's actual capacity, and
+// admission rejects (429) exercise the backpressure path with a brief
+// backoff instead of failing the run.
+type LoadGenConfig struct {
+	// BaseURL is the serving root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the closed-loop concurrency (default 4).
+	Clients int
+	// JobsPerClient is each client's job count (default 8).
+	JobsPerClient int
+	// Request is the job template every client submits.
+	Request SubmitRequest
+	// PollInterval is the status poll period (default 5ms).
+	PollInterval time.Duration
+	// Timeout bounds one job's submit-to-terminal wait (default 60s).
+	Timeout time.Duration
+}
+
+// LoadGenResult aggregates a load run. Latencies are per job,
+// submission to observed terminal state.
+type LoadGenResult struct {
+	Jobs       int     `json:"jobs"`
+	Done       int     `json:"done"`
+	Failed     int     `json:"failed"`
+	Evicted    int     `json:"evicted"`
+	Rejects    int     `json:"rejects"` // 429s absorbed by backoff
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P90MS      float64 `json:"p90_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// RunLoadGen executes the closed loop and aggregates the outcome. It
+// returns an error only when the run itself cannot proceed (transport
+// failure, malformed replies); job failures and evictions are counted,
+// not fatal — under a chaos plan they are part of the measurement.
+func RunLoadGen(cfg LoadGenConfig) (*LoadGenResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.JobsPerClient <= 0 {
+		cfg.JobsPerClient = 8
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		res       LoadGenResult
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < cfg.JobsPerClient; k++ {
+				lat, state, rejects, err := runOne(client, cfg)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				res.Jobs++
+				res.Rejects += rejects
+				switch state {
+				case "done":
+					res.Done++
+					latencies = append(latencies, lat.Seconds()*1e3)
+				case "failed":
+					res.Failed++
+				case "evicted":
+					res.Evicted++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Seconds = time.Since(start).Seconds()
+	if res.Seconds > 0 {
+		res.JobsPerSec = float64(res.Jobs) / res.Seconds
+	}
+	sort.Float64s(latencies)
+	res.P50MS = percentile(latencies, 0.50)
+	res.P90MS = percentile(latencies, 0.90)
+	res.P99MS = percentile(latencies, 0.99)
+	return &res, nil
+}
+
+// runOne submits one job, waits for a terminal state, and retrieves the
+// result of a done job (completing the exactly-once contract).
+func runOne(client *http.Client, cfg LoadGenConfig) (lat time.Duration, state string, rejects int, err error) {
+	body, err := json.Marshal(cfg.Request)
+	if err != nil {
+		return 0, "", 0, err
+	}
+	var id uint64
+	submitted := time.Now()
+	for {
+		resp, err := client.Post(cfg.BaseURL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", rejects, err
+		}
+		code := resp.StatusCode
+		if code == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rejects++
+			time.Sleep(cfg.PollInterval)
+			if time.Since(submitted) > cfg.Timeout {
+				return 0, "", rejects, fmt.Errorf("loadgen: backpressured past the timeout")
+			}
+			continue
+		}
+		var sub SubmitResponse
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			return 0, "", rejects, err
+		}
+		if code != http.StatusAccepted {
+			return 0, "", rejects, fmt.Errorf("loadgen: submit status %d", code)
+		}
+		id = sub.ID
+		submitted = time.Now()
+		break
+	}
+	deadline := submitted.Add(cfg.Timeout)
+	for {
+		var st Status
+		if err := getJSON(client, fmt.Sprintf("%s/jobs/%d", cfg.BaseURL, id), &st); err != nil {
+			return 0, "", rejects, err
+		}
+		switch st.State {
+		case "done":
+			lat = time.Since(submitted)
+			var out map[string]any
+			if err := getJSON(client, fmt.Sprintf("%s/jobs/%d/result", cfg.BaseURL, id), &out); err != nil {
+				return 0, "", rejects, fmt.Errorf("loadgen: job %d done but result unavailable: %w", id, err)
+			}
+			return lat, "done", rejects, nil
+		case "failed", "evicted":
+			return time.Since(submitted), st.State, rejects, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, "", rejects, fmt.Errorf("loadgen: job %d stuck in %q past the timeout", id, st.State)
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// percentile returns the pth quantile of sorted (ascending) values, by
+// nearest-rank; 0 for an empty slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Metric names exposed by the scheduler (DESIGN.md §12). They live in
+// the same registry as the wire runtime's wire.* metrics, so one
+// /metrics scrape covers the whole serving stack.
+const (
+	// Jobs waiting in the admission queue right now.
+	MetricQueueDepth = "sched.queue.depth"
+	// Submissions rejected because the queue was at capacity — the
+	// backpressure counter.
+	MetricAdmitRejected = "sched.admit.rejected"
+	// Jobs currently in each lifecycle state; terminal-state gauges
+	// only grow. One gauge per state: sched.jobs.queued, .placed,
+	// .running, .done, .failed, .evicted.
+	MetricJobsPrefix = "sched.jobs."
+	// Attempt retries spent across all jobs (the retry budget in use).
+	MetricRetries = "sched.retries"
+	// End-to-end latency, submission to terminal state, microseconds.
+	MetricE2ELatencyUS = "sched.job.e2e_latency_us"
+	// Per-node load: jobs whose base PE is node i, sched.node.load.<i>.
+	// The least-loaded placement policy reads these.
+	MetricNodeLoadPrefix = "sched.node.load."
+)
+
+// MetricJobState returns the gauge name for one lifecycle state.
+func MetricJobState(s State) string { return MetricJobsPrefix + s.String() }
+
+// MetricNodeLoad returns the load gauge name for node i.
+func MetricNodeLoad(i int) string { return fmt.Sprintf("%s%d", MetricNodeLoadPrefix, i) }
+
+// e2eLatencyBounds ladders from 1ms to ~17min: queue-through latencies
+// of quick sim jobs land early, chaotic wire jobs spread up the tail.
+var e2eLatencyBounds = metrics.ExponentialBounds(1000, 2, 20)
+
+// schedMetrics holds the scheduler's pre-resolved handles, one atomic
+// op per event on the hot paths.
+type schedMetrics struct {
+	queueDepth    *metrics.Gauge
+	admitRejected *metrics.Counter
+	retries       *metrics.Counter
+	e2eLatency    *metrics.Histogram
+	states        map[State]*metrics.Gauge
+	nodeLoad      []*metrics.Gauge
+}
+
+func newSchedMetrics(r *metrics.Registry, nodes int) *schedMetrics {
+	m := &schedMetrics{
+		queueDepth:    r.Gauge(MetricQueueDepth),
+		admitRejected: r.Counter(MetricAdmitRejected),
+		retries:       r.Counter(MetricRetries),
+		e2eLatency:    r.Histogram(MetricE2ELatencyUS, e2eLatencyBounds),
+		states:        map[State]*metrics.Gauge{},
+	}
+	for _, s := range States {
+		m.states[s] = r.Gauge(MetricJobState(s))
+	}
+	for i := 0; i < nodes; i++ {
+		m.nodeLoad = append(m.nodeLoad, r.Gauge(MetricNodeLoad(i)))
+	}
+	return m
+}
+
+// transition moves the state gauges: one job leaves from, one enters to.
+func (m *schedMetrics) transition(from, to State) {
+	m.states[from].Add(-1)
+	m.states[to].Add(1)
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Placement chooses a base PE for a job about to run. The base anchors
+// the job's data distribution and injection points; wire works rotate
+// their agents from it ((base+i) mod n), so jobs with different bases
+// overlap on the cluster instead of all hammering PE 0.
+type Placement interface {
+	// Place returns the base PE for the next job on an n-node cluster.
+	Place(n int) int
+	// Name identifies the policy in status output.
+	Name() string
+}
+
+// RoundRobin cycles the base PE through the cluster in placement order.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// Place returns successive PEs modulo n.
+func (p *RoundRobin) Place(n int) int { return int((p.next.Add(1) - 1) % uint64(n)) }
+
+// Name implements Placement.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// LeastLoaded picks the PE currently anchoring the fewest running jobs,
+// read from the scheduler's sched.node.load.<i> gauges; ties break to
+// the lowest id. The gauges move when jobs start and finish, so the
+// policy tracks live load, not placement history — a burst of short
+// jobs drains and frees its PE for the next placement.
+type LeastLoaded struct {
+	met *schedMetrics
+}
+
+// Place implements Placement.
+func (p *LeastLoaded) Place(n int) int {
+	best, bestLoad := 0, int64(1)<<62
+	for i := 0; i < n && i < len(p.met.nodeLoad); i++ {
+		if v := p.met.nodeLoad[i].Value(); v < bestLoad {
+			best, bestLoad = i, v
+		}
+	}
+	return best
+}
+
+// Name implements Placement.
+func (p *LeastLoaded) Name() string { return "least-loaded" }
+
+// NewPlacement builds a policy by name: "round-robin" (the default for
+// empty input) or "least-loaded". The scheduler binds LeastLoaded to
+// its own load gauges at construction.
+func NewPlacement(name string) (Placement, error) {
+	switch name {
+	case "", "round-robin", "rr":
+		return &RoundRobin{}, nil
+	case "least-loaded", "ll":
+		return &LeastLoaded{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown placement policy %q (want round-robin or least-loaded)", name)
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import "container/heap"
+
+// jobQueue is the bounded admission queue: a priority heap ordered by
+// (priority desc, submission seq asc), so high-priority jobs overtake
+// but equal priorities stay FIFO. Capacity enforcement lives in the
+// scheduler's Submit (which owns the lock and the reject metric); the
+// queue itself is plain storage.
+type jobQueue struct {
+	items []*job
+}
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.spec.Priority != b.spec.Priority {
+		return a.spec.Priority > b.spec.Priority
+	}
+	return a.id < b.id
+}
+
+func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*job)) }
+
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *jobQueue) push(j *job) { heap.Push(q, j) }
+
+// pop removes and returns the best queued job, or nil when empty.
+func (q *jobQueue) pop() *job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*job)
+}

@@ -1,0 +1,119 @@
+// Package sched is the multi-tenant serving layer on top of the NavP
+// runtimes: a job scheduler that accepts NavP programs — wire-cluster
+// matmul pipelines, simulated matmul stages from internal/matmul,
+// arbitrary core.Plans — and runs many of them concurrently over one
+// shared wire.Cluster and a pool of workers (DESIGN.md §12).
+//
+// The scheduler provides what the single-program runtimes deliberately
+// do not: a bounded admission queue with priorities and backpressure,
+// per-job deadlines and cancellation that propagate through agent hops
+// (via the wire runtime's job namespaces), placement of jobs across PEs,
+// a job lifecycle whose results are retrievable exactly once, and
+// retry-with-budget on top of the wire checkpoint/recovery subsystem.
+// An HTTP API (Server) exposes submit/status/result/cancel beside the
+// cluster's /metrics, and LoadGen drives the whole stack closed-loop
+// for the BENCH_sched.json regression numbers.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// State is a job's position in the lifecycle
+//
+//	queued → placed → running → done | failed | evicted
+//
+// with two shortcuts: an admission reject never becomes a job at all,
+// and a cancel or deadline hit while still queued evicts directly.
+type State int
+
+const (
+	StateQueued  State = iota // admitted, waiting for a worker
+	StatePlaced               // claimed by a worker, base PE chosen
+	StateRunning              // an attempt is executing
+	StateDone                 // finished; result awaiting retrieval
+	StateFailed               // retry budget exhausted
+	StateEvicted              // cancelled, or deadline exceeded
+)
+
+// String returns the state's wire name (used in the HTTP API and in
+// metric names).
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StatePlaced:
+		return "placed"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateEvicted
+}
+
+// States lists every lifecycle state, in order.
+var States = []State{StateQueued, StatePlaced, StateRunning, StateDone, StateFailed, StateEvicted}
+
+// Priority orders jobs in the admission queue. Higher runs first; equal
+// priorities run in submission order.
+type Priority int
+
+const (
+	PriorityLow    Priority = 0
+	PriorityNormal Priority = 1
+	PriorityHigh   Priority = 2
+)
+
+// Spec describes one job at submission.
+type Spec struct {
+	// Work is the program to run. Required.
+	Work Work
+	// Priority orders the admission queue (default PriorityLow).
+	Priority Priority
+	// Deadline bounds the job's total time in the system, queueing
+	// included; past it the job is evicted (a running wire attempt is
+	// cancelled through its hops). Zero means no deadline.
+	Deadline time.Duration
+	// Retries is how many times a failed attempt is retried before the
+	// job is marked failed — the retry budget spent on daemon kills and
+	// termination timeouts. Each retry runs in a fresh wire job
+	// namespace, so a half-finished prior attempt cannot collide with
+	// its successor.
+	Retries int
+}
+
+// Status is the externally visible snapshot of a job.
+type Status struct {
+	ID       uint64        `json:"id"`
+	State    string        `json:"state"`
+	Priority Priority      `json:"priority"`
+	Kind     string        `json:"kind"`
+	Base     int           `json:"base_pe"`
+	Attempts int           `json:"attempts"`
+	Error    string        `json:"error,omitempty"`
+	Age      time.Duration `json:"age_ns"`
+}
+
+// Errors of the serving surface. ErrQueueFull is the backpressure
+// signal: the admission queue is at capacity and the submitter should
+// slow down or retry later (HTTP 429).
+var (
+	ErrQueueFull      = errors.New("sched: admission queue full")
+	ErrClosed         = errors.New("sched: scheduler closed")
+	ErrUnknownJob     = errors.New("sched: unknown job")
+	ErrNotDone        = errors.New("sched: job not finished")
+	ErrResultConsumed = errors.New("sched: result already retrieved")
+	ErrNoResult       = errors.New("sched: job produced no result")
+)

@@ -1,0 +1,446 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Cluster is the shared wire cluster jobs run on. Nil is allowed
+	// for schedulers serving only simulated (local) work.
+	Cluster *wire.Cluster
+	// Workers is the number of jobs run concurrently (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it get
+	// ErrQueueFull (default 64).
+	QueueDepth int
+	// Placement chooses each job's base PE (default round-robin). A
+	// LeastLoaded policy is bound to this scheduler's load gauges.
+	Placement Placement
+	// Metrics receives the scheduler's instrumentation. Nil uses the
+	// cluster's registry, so wire.* and sched.* share one /metrics
+	// surface; with no cluster either, a private registry is created.
+	Metrics *metrics.Registry
+	// Retain bounds how many terminal job records are kept for Status
+	// and Result queries; beyond it the oldest are forgotten (default
+	// 256). This is what keeps a long-serving scheduler's memory flat.
+	Retain int
+	// AttemptTimeout bounds one attempt of a job with no deadline of
+	// its own (default 30s).
+	AttemptTimeout time.Duration
+	// DrainTimeout bounds how long cleanup waits for a cancelled
+	// attempt's agents to drain from the cluster (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Placement == nil {
+		c.Placement = &RoundRobin{}
+	}
+	if c.Metrics == nil {
+		if c.Cluster != nil {
+			c.Metrics = c.Cluster.Metrics()
+		} else {
+			c.Metrics = metrics.NewRegistry()
+		}
+	}
+	if c.Retain <= 0 {
+		c.Retain = 256
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// job is the scheduler's record of one submission. All fields past the
+// immutable header are guarded by the scheduler's mutex.
+type job struct {
+	id        uint64
+	spec      Spec
+	submitted time.Time
+	deadline  time.Time // zero when the spec had none
+
+	state     State
+	base      int
+	attempts  int
+	errMsg    string
+	result    any
+	consumed  bool
+	cancelled bool
+	curNS     uint64        // live wire namespace of the running attempt
+	done      chan struct{} // closed at the terminal transition
+}
+
+// Scheduler runs submitted jobs over a worker pool and a shared wire
+// cluster. See the package comment for the serving model and DESIGN.md
+// §12 for the architecture.
+type Scheduler struct {
+	cfg   Config
+	met   *schedMetrics
+	nodes int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobQueue
+	jobs    map[uint64]*job
+	retired []uint64 // terminal job ids, oldest first (retention ring)
+	nextID  uint64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New starts a scheduler and its workers.
+func New(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	nodes := 1
+	if cfg.Cluster != nil {
+		nodes = cfg.Cluster.Size()
+	}
+	s := &Scheduler{
+		cfg:   cfg,
+		met:   newSchedMetrics(cfg.Metrics, nodes),
+		nodes: nodes,
+		jobs:  map[uint64]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if ll, ok := cfg.Placement.(*LeastLoaded); ok && ll.met == nil {
+		ll.met = s.met
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit admits a job. It returns the job id, ErrQueueFull when the
+// admission queue is at capacity (backpressure — retry later), or
+// ErrClosed after Close.
+func (s *Scheduler) Submit(spec Spec) (uint64, error) {
+	if spec.Work == nil {
+		return 0, fmt.Errorf("sched: submission without work")
+	}
+	if spec.Retries < 0 {
+		spec.Retries = 0
+	}
+	if spec.Retries > 255 {
+		spec.Retries = 255 // namespace encoding reserves a byte per attempt
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.queue.Len() >= s.cfg.QueueDepth {
+		s.met.admitRejected.Inc()
+		return 0, ErrQueueFull
+	}
+	s.nextID++
+	j := &job{
+		id:        s.nextID,
+		spec:      spec,
+		submitted: time.Now(),
+		state:     StateQueued,
+		base:      -1,
+		done:      make(chan struct{}),
+	}
+	if spec.Deadline > 0 {
+		j.deadline = j.submitted.Add(spec.Deadline)
+	}
+	s.jobs[j.id] = j
+	s.queue.push(j)
+	s.met.queueDepth.Set(int64(s.queue.Len()))
+	s.met.states[StateQueued].Add(1)
+	s.cond.Signal()
+	return j.id, nil
+}
+
+// Status reports a job's current snapshot. Records of terminal jobs
+// are retained up to Config.Retain; older ones return ErrUnknownJob.
+func (s *Scheduler) Status(id uint64) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs lists every retained job's status, oldest submission first.
+func (s *Scheduler) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.jobs))
+	for id := uint64(1); id <= s.nextID; id++ {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, s.statusLocked(j))
+		}
+	}
+	return out
+}
+
+func (s *Scheduler) statusLocked(j *job) Status {
+	return Status{
+		ID:       j.id,
+		State:    j.state.String(),
+		Priority: j.spec.Priority,
+		Kind:     j.spec.Work.Kind(),
+		Base:     j.base,
+		Attempts: j.attempts,
+		Error:    j.errMsg,
+		Age:      time.Since(j.submitted),
+	}
+}
+
+// Result retrieves a finished job's result, exactly once: the first
+// call returns it and releases it; later calls get ErrResultConsumed.
+// Failed and evicted jobs report their error instead; unfinished jobs
+// get ErrNotDone.
+func (s *Scheduler) Result(id uint64) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	switch j.state {
+	case StateDone:
+		if j.consumed {
+			return nil, ErrResultConsumed
+		}
+		j.consumed = true
+		res := j.result
+		j.result = nil // release; the record stays for Status
+		return res, nil
+	case StateFailed, StateEvicted:
+		return nil, fmt.Errorf("sched: job %d %s: %s", id, j.state, j.errMsg)
+	default:
+		return nil, ErrNotDone
+	}
+}
+
+// Cancel evicts a job: immediately when still queued; by cancelling its
+// wire namespace when running, which retires its agents at their next
+// dispatch and lets the attempt's quiescence wait observe the drain.
+// Cancelling a terminal job is a no-op.
+func (s *Scheduler) Cancel(id uint64) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	j.cancelled = true
+	ns := j.curNS
+	if j.state == StateQueued {
+		// Still in the heap; finish now, the popping worker skips
+		// terminal jobs.
+		s.finishLocked(j, StateEvicted, "cancelled while queued")
+	}
+	s.mu.Unlock()
+	if ns != 0 && s.cfg.Cluster != nil {
+		s.cfg.Cluster.CancelJob(ns)
+	}
+	return nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state
+// (for callers that prefer blocking to polling).
+func (s *Scheduler) Done(id uint64) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j.done, nil
+}
+
+// Metrics returns the scheduler's registry.
+func (s *Scheduler) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Close stops admission, evicts everything still queued, and waits for
+// running jobs to reach a terminal state. Idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for {
+		j := s.queue.pop()
+		if j == nil {
+			break
+		}
+		if !j.state.Terminal() {
+			s.finishLocked(j, StateEvicted, "scheduler closed")
+		}
+	}
+	s.met.queueDepth.Set(0)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// finishLocked moves a job to a terminal state, records its end-to-end
+// latency, wakes waiters, and applies the retention bound.
+func (s *Scheduler) finishLocked(j *job, st State, errMsg string) {
+	s.met.transition(j.state, st)
+	j.state = st
+	j.errMsg = errMsg
+	s.met.e2eLatency.Observe(time.Since(j.submitted).Microseconds())
+	close(j.done)
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.cfg.Retain {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+// worker claims queued jobs and runs them to a terminal state.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && s.queue.Len() == 0 {
+			s.cond.Wait()
+		}
+		j := s.queue.pop()
+		if j == nil { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		s.met.queueDepth.Set(int64(s.queue.Len()))
+		if j.state.Terminal() { // cancelled while queued
+			s.mu.Unlock()
+			continue
+		}
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			s.finishLocked(j, StateEvicted, "deadline exceeded while queued")
+			s.mu.Unlock()
+			continue
+		}
+		j.base = s.cfg.Placement.Place(s.nodes)
+		s.met.transition(StateQueued, StatePlaced)
+		j.state = StatePlaced
+		s.mu.Unlock()
+		s.met.nodeLoad[j.base].Add(1)
+		s.run(j)
+		s.met.nodeLoad[j.base].Add(-1)
+	}
+}
+
+// namespace returns the wire job namespace of one attempt: the job id
+// shifted past an attempt byte, so every attempt of every job is
+// globally unique and a trace viewer can decode track "job N" as job
+// N>>8, attempt N&0xff.
+func namespace(id uint64, attempt int) uint64 {
+	return id<<8 | uint64(attempt+1)
+}
+
+// run executes a claimed job's attempt loop to a terminal state.
+func (s *Scheduler) run(j *job) {
+	s.mu.Lock()
+	s.met.transition(StatePlaced, StateRunning)
+	j.state = StateRunning
+	s.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= j.spec.Retries; attempt++ {
+		s.mu.Lock()
+		if j.cancelled {
+			s.finishLocked(j, StateEvicted, "cancelled")
+			s.mu.Unlock()
+			return
+		}
+		budget := s.cfg.AttemptTimeout
+		if !j.deadline.IsZero() {
+			budget = time.Until(j.deadline)
+			if budget <= 0 {
+				s.finishLocked(j, StateEvicted, "deadline exceeded")
+				s.mu.Unlock()
+				return
+			}
+		}
+		ns := namespace(j.id, attempt)
+		j.curNS = ns
+		j.attempts++
+		if attempt > 0 {
+			s.met.retries.Inc()
+		}
+		s.mu.Unlock()
+
+		rt := &Runtime{Cluster: s.cfg.Cluster, Job: ns, Base: j.base, Timeout: budget}
+		res, err := j.spec.Work.Run(rt)
+		s.cleanup(ns, err != nil)
+
+		s.mu.Lock()
+		j.curNS = 0
+		if j.cancelled {
+			s.finishLocked(j, StateEvicted, "cancelled")
+			s.mu.Unlock()
+			return
+		}
+		if err == nil {
+			j.result = res
+			s.finishLocked(j, StateDone, "")
+			s.mu.Unlock()
+			return
+		}
+		lastErr = err
+		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+			s.finishLocked(j, StateEvicted, fmt.Sprintf("deadline exceeded (last attempt: %v)", err))
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.finishLocked(j, StateFailed, fmt.Sprintf("retry budget exhausted: %v", lastErr))
+	s.mu.Unlock()
+}
+
+// cleanup reclaims one attempt's cluster footprint. A failed (or timed
+// out) attempt may have live agents mid-flight: cancel the namespace so
+// they retire at their next dispatch, wait for the drain, and only then
+// release the counter slices and the node variables written under the
+// attempt's prefix — reclaiming either under live agents would let a
+// straggler resurrect partial counter state or panic on a vanished
+// variable. An undrained namespace stays tracked (and its cancellation
+// mark stays set, so stragglers keep retiring); the leak is bounded by
+// the number of drains that ever time out.
+func (s *Scheduler) cleanup(ns uint64, failed bool) {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		return
+	}
+	if failed {
+		cl.CancelJob(ns)
+		if cl.WaitJob(ns, s.cfg.DrainTimeout) != nil {
+			return
+		}
+	}
+	cl.ReleaseJob(ns)
+	cl.ClearVarsPrefix(jobPrefix(ns))
+}

@@ -1,0 +1,273 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// newTestServer stands up the full serving stack the way navpserve does:
+// a wire cluster, a scheduler on it, and the HTTP API registered on the
+// cluster's own debug mux — so /jobs and /metrics share one listener.
+func newTestServer(t *testing.T, nodes int, cfg Config) (*httptest.Server, *Scheduler, *wire.Cluster) {
+	t.Helper()
+	cl, err := wire.NewCluster(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cluster = cl
+	s, err := New(cfg)
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	mux := cl.DebugHandler()
+	NewServer(s).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+		cl.Close()
+	})
+	return ts, s, cl
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s reply: %v", url, err)
+	}
+	return resp, out
+}
+
+func getStatus(t *testing.T, base string, id uint64) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, Config{Workers: 2})
+	resp, sub := postJSON(t, ts.URL+"/jobs", SubmitRequest{Kind: "wirematmul", N: 6, Seed: 3})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	id := uint64(sub["id"].(float64))
+	deadline := time.Now().Add(testTimeout)
+	var state string
+	for {
+		code, st := getStatus(t, ts.URL, id)
+		if code != http.StatusOK {
+			t.Fatalf("status code = %d", code)
+		}
+		state, _ = st["state"].(string)
+		if state == "done" || state == "failed" || state == "evicted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("terminal state = %q, want done", state)
+	}
+
+	// Result: 200 once, 410 forever after.
+	resp1, err := http.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	json.NewDecoder(resp1.Body).Decode(&body)
+	resp1.Body.Close()
+	if resp1.StatusCode != http.StatusOK || body["result"] == nil {
+		t.Fatalf("first result fetch: code %d body %v", resp1.StatusCode, body)
+	}
+	resp2, err := http.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("second result fetch = %d, want 410 (exactly-once)", resp2.StatusCode)
+	}
+
+	// The list endpoint knows the job; /metrics serves the shared registry.
+	respList, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Status
+	json.NewDecoder(respList.Body).Decode(&list)
+	respList.Body.Close()
+	if len(list) != 1 || list[0].ID != id {
+		t.Fatalf("job list = %+v", list)
+	}
+	respMet, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]map[string]any
+	json.NewDecoder(respMet.Body).Decode(&snap)
+	respMet.Body.Close()
+	if _, ok := snap["gauges"][MetricJobState(StateDone)]; !ok {
+		t.Fatalf("/metrics lacks scheduler gauges: %v", snap["gauges"])
+	}
+}
+
+func TestHTTPErrorCodes(t *testing.T) {
+	ts, s, _ := newTestServer(t, 1, Config{Workers: 1, QueueDepth: 1})
+
+	// Unknown kind and malformed body are 400s.
+	resp, _ := postJSON(t, ts.URL+"/jobs", SubmitRequest{Kind: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind = %d, want 400", resp.StatusCode)
+	}
+	raw, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", raw.StatusCode)
+	}
+
+	// Unknown job: 404 status, 404 result, 404 cancel.
+	if code, _ := getStatus(t, ts.URL, 999); code != http.StatusNotFound {
+		t.Fatalf("unknown status = %d, want 404", code)
+	}
+	respR, _ := http.Get(ts.URL + "/jobs/999/result")
+	respR.Body.Close()
+	if respR.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown result = %d, want 404", respR.StatusCode)
+	}
+
+	// A queue at capacity answers 429.
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	defer close(gate)
+	s.Submit(Spec{Work: WorkFunc{Name: "hold", Fn: func(rt *Runtime) (any, error) {
+		started <- struct{}{}
+		<-gate
+		return nil, nil
+	}}})
+	<-started
+	s.Submit(Spec{Work: WorkFunc{Name: "hold2", Fn: func(rt *Runtime) (any, error) {
+		started <- struct{}{}
+		<-gate
+		return nil, nil
+	}}})
+	resp429, _ := postJSON(t, ts.URL+"/jobs", SubmitRequest{Kind: "wirematmul", N: 4})
+	if resp429.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", resp429.StatusCode)
+	}
+
+	// Result of a job that is not done yet: 409.
+	var sub SubmitResponse
+	respQ, err := http.Post(ts.URL+"/jobs", "application/json",
+		bytes.NewReader([]byte(`{"kind":"matmul"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(respQ.Body).Decode(&sub)
+	respQ.Body.Close()
+	if respQ.StatusCode != http.StatusAccepted {
+		t.Skipf("queue full, cannot stage a pending job (depth race)")
+	}
+	respND, _ := http.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, sub.ID))
+	respND.Body.Close()
+	if respND.StatusCode != http.StatusConflict {
+		t.Fatalf("not-done result = %d, want 409", respND.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	ts, s, _ := newTestServer(t, 1, Config{Workers: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	defer close(gate)
+	// Occupy the single worker directly, then cancel a queued HTTP job:
+	// the eviction is deterministic because the job never starts.
+	s.Submit(Spec{Work: WorkFunc{Name: "hold", Fn: func(rt *Runtime) (any, error) {
+		started <- struct{}{}
+		<-gate
+		return nil, nil
+	}}})
+	<-started
+	_, sub := postJSON(t, ts.URL+"/jobs", SubmitRequest{Kind: "matmul"})
+	id := uint64(sub["id"].(float64))
+	respC, body := postJSON(t, ts.URL+fmt.Sprintf("/jobs/%d/cancel", id), struct{}{})
+	if respC.StatusCode != http.StatusOK || body["cancelled"] != true {
+		t.Fatalf("cancel reply: %d %v", respC.StatusCode, body)
+	}
+	if code, st := getStatus(t, ts.URL, id); code != http.StatusOK || st["state"] != "evicted" {
+		t.Fatalf("cancelled queued job: code %d status %v, want evicted", code, st)
+	}
+	// The job's error (422) explains the eviction.
+	respR, err := http.Get(fmt.Sprintf("%s/jobs/%d/result", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respR.Body.Close()
+	if respR.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("evicted result = %d, want 422", respR.StatusCode)
+	}
+}
+
+func TestHTTPDeadlinePropagates(t *testing.T) {
+	ts, s, _ := newTestServer(t, 1, Config{Workers: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	// Hold the worker past the HTTP job's deadline; release and expect
+	// the worker to evict the expired job instead of running it.
+	s.Submit(Spec{Work: WorkFunc{Name: "hold", Fn: func(rt *Runtime) (any, error) {
+		started <- struct{}{}
+		<-gate
+		return nil, nil
+	}}})
+	<-started
+	_, sub := postJSON(t, ts.URL+"/jobs", SubmitRequest{
+		Kind: "plan", Rows: 4, Cols: 4, PEs: 2, DeadlineMS: 20, Retries: 2,
+	})
+	id := uint64(sub["id"].(float64))
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	deadline := time.Now().Add(testTimeout)
+	for {
+		_, st := getStatus(t, ts.URL, id)
+		state, _ := st["state"].(string)
+		if state == "evicted" {
+			break
+		}
+		if state == "done" || state == "failed" {
+			t.Fatalf("expired job ended %q, want evicted", state)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

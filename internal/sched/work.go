@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/matmul"
+	"repro/internal/navp"
+	"repro/internal/wire"
+)
+
+// Runtime is what one attempt of a job gets to run with.
+type Runtime struct {
+	// Cluster is the shared wire cluster. Work that uses it must scope
+	// everything to Job: inject with InjectJob, wait with WaitJob, and
+	// prefix node-variable keys with Prefix(), so concurrent tenants
+	// (and this job's own earlier half-finished attempts) cannot
+	// collide. Nil for schedulers serving only local (simulated) work.
+	Cluster *wire.Cluster
+	// Job is this attempt's wire namespace — unique per attempt, not
+	// per job, which is what makes retry safe: a retried attempt never
+	// shares dedup, checkpoint, or counter state with its predecessor.
+	Job uint64
+	// Base is the placement anchor: the PE the job's data distribution
+	// and injections should rotate from.
+	Base int
+	// Timeout is the attempt's time budget (the job's remaining
+	// deadline, or the scheduler's attempt timeout without one).
+	Timeout time.Duration
+}
+
+// Prefix returns the node-variable key prefix of this attempt's
+// namespace. ClearVarsPrefix(prefix) reclaims everything written
+// under it.
+func (rt *Runtime) Prefix() string { return jobPrefix(rt.Job) }
+
+func jobPrefix(ns uint64) string { return fmt.Sprintf("j%d:", ns) }
+
+// Work is a job's program.
+type Work interface {
+	// Kind names the work type in status output and metrics.
+	Kind() string
+	// Run executes one attempt and returns the job's result. The
+	// scheduler owns namespace cleanup; Run only computes.
+	Run(rt *Runtime) (any, error)
+}
+
+// WorkFunc adapts a function to Work (tests, custom jobs).
+type WorkFunc struct {
+	Name string
+	Fn   func(rt *Runtime) (any, error)
+}
+
+// Kind implements Work.
+func (w WorkFunc) Kind() string { return w.Name }
+
+// Run implements Work.
+func (w WorkFunc) Run(rt *Runtime) (any, error) { return w.Fn(rt) }
+
+// ---------------------------------------------------------------------
+// Wire matmul: the serving workload that actually exercises the shared
+// cluster — an integer matmul whose row carriers ride the PE ring, the
+// multi-tenant descendant of the chaos-suite program.
+
+// rowCarrierState is the agent state: one row of A riding the cycle.
+// Every value it writes is a pure function of the carried row and the
+// visited node's B columns, written idempotently, so replays after a
+// daemon kill recompute byte-identical results.
+type rowCarrierState struct {
+	Row     int
+	Vals    []int64
+	Visited int
+}
+
+// bPart is a node's slice of B for one job: Cols[j] is column Off+j.
+type bPart struct {
+	Off  int
+	Cols [][]int64
+}
+
+func init() {
+	wire.RegisterState(&rowCarrierState{})
+	wire.Register("sched.rowCarrier", func(ctx *wire.Ctx) wire.Verdict {
+		st := ctx.State().(*rowCarrierState)
+		pre := jobPrefix(ctx.Job())
+		part := ctx.Get(pre + "B").(*bPart)
+		c := make([]int64, len(part.Cols))
+		for lj, col := range part.Cols {
+			for k, a := range st.Vals {
+				c[lj] += a * col[k]
+			}
+		}
+		ctx.Set(fmt.Sprintf("%sC:%d", pre, st.Row), c)
+		st.Visited++
+		if st.Visited >= ctx.Nodes() {
+			return ctx.Done()
+		}
+		return ctx.HopTo((ctx.NodeID() + 1) % ctx.Nodes())
+	})
+}
+
+// WireMatmul multiplies two deterministic n×n integer matrices on the
+// shared wire cluster: each PE holds a contiguous strip of B's columns
+// under the job's key prefix, and one carrier agent per row of A visits
+// every PE, depositing partial product rows as it goes. Injection
+// rotates from the job's base PE so concurrent jobs start their rings
+// at different points. The result is self-checked against a locally
+// computed reference before it is returned — under chaos, a wrong
+// product is an error, never a silently wrong answer.
+type WireMatmul struct {
+	N    int
+	Seed int64
+}
+
+// Kind implements Work.
+func (w WireMatmul) Kind() string { return "wirematmul" }
+
+// colRange returns the half-open column range owned by pe.
+func colRange(n, pes, pe int) (lo, hi int) { return pe * n / pes, (pe + 1) * n / pes }
+
+// Run implements Work.
+func (w WireMatmul) Run(rt *Runtime) (any, error) {
+	if rt.Cluster == nil {
+		return nil, fmt.Errorf("sched: wirematmul needs a cluster")
+	}
+	n := w.N
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: wirematmul order %d must be positive", n)
+	}
+	pes := rt.Cluster.Size()
+	a, b := intMatrices(n, w.Seed)
+	pre := rt.Prefix()
+	for pe := 0; pe < pes; pe++ {
+		lo, hi := colRange(n, pes, pe)
+		cols := make([][]int64, hi-lo)
+		for j := lo; j < hi; j++ {
+			col := make([]int64, n)
+			for k := 0; k < n; k++ {
+				col[k] = b[k][j]
+			}
+			cols[j-lo] = col
+		}
+		rt.Cluster.Set(pe, pre+"B", &bPart{Off: lo, Cols: cols})
+	}
+	for i := 0; i < n; i++ {
+		node := (rt.Base + i) % pes
+		if err := rt.Cluster.InjectJob(node, rt.Job, "sched.rowCarrier", &rowCarrierState{Row: i, Vals: a[i]}); err != nil {
+			return nil, err
+		}
+	}
+	if err := rt.Cluster.WaitJob(rt.Job, rt.Timeout); err != nil {
+		return nil, err
+	}
+	got := make([][]int64, n)
+	for i := range got {
+		got[i] = make([]int64, n)
+	}
+	for pe := 0; pe < pes; pe++ {
+		lo, hi := colRange(n, pes, pe)
+		if lo == hi {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			crow, ok := rt.Cluster.Get(pe, fmt.Sprintf("%sC:%d", pre, i)).([]int64)
+			if !ok {
+				return nil, fmt.Errorf("sched: wirematmul row %d missing on PE %d after quiescence", i, pe)
+			}
+			copy(got[i][lo:hi], crow)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want int64
+			for k := 0; k < n; k++ {
+				want += a[i][k] * b[k][j]
+			}
+			if got[i][j] != want {
+				return nil, fmt.Errorf("sched: wirematmul C[%d][%d] = %d, want %d", i, j, got[i][j], want)
+			}
+		}
+	}
+	return got, nil
+}
+
+// intMatrices builds the deterministic integer inputs for a seed.
+func intMatrices(n int, seed int64) (a, b [][]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	a, b = make([][]int64, n), make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i], b[i] = make([]int64, n), make([]int64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = int64(rng.Intn(19) - 9)
+			b[i][j] = int64(rng.Intn(19) - 9)
+		}
+	}
+	return a, b
+}
+
+// ---------------------------------------------------------------------
+// Simulated work: the paper's programs served as jobs. These run on
+// private virtual-time systems inside the worker — they never touch the
+// shared cluster, so they need no namespace and cannot be cancelled
+// mid-run; the scheduler enforces their deadlines at attempt
+// boundaries.
+
+// MatmulStage runs one stage of the paper's matmul progression on the
+// simulated testbed and reports its virtual timing.
+type MatmulStage struct {
+	Stage matmul.Stage
+	Cfg   matmul.Config
+}
+
+// Kind implements Work.
+func (w MatmulStage) Kind() string { return "matmul" }
+
+// Run implements Work.
+func (w MatmulStage) Run(rt *Runtime) (any, error) {
+	res, err := matmul.Run(w.Stage, w.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"stage":   res.Stage.String(),
+		"seconds": res.Seconds,
+		"pes":     res.PEs,
+	}, nil
+}
+
+// PlanRun executes an arbitrary core.Plan via core.Execute on a fresh
+// simulated system and reports its makespan.
+type PlanRun struct {
+	Plan *core.Plan
+	// PEs sizes the system; 0 sizes it to the plan's highest node + 1.
+	PEs int
+}
+
+// Kind implements Work.
+func (w PlanRun) Kind() string { return "plan" }
+
+// Run implements Work.
+func (w PlanRun) Run(rt *Runtime) (any, error) {
+	if w.Plan == nil {
+		return nil, fmt.Errorf("sched: plan work without a plan")
+	}
+	pes := w.PEs
+	if pes <= 0 {
+		for _, nd := range w.Plan.NodesUsed() {
+			if nd+1 > pes {
+				pes = nd + 1
+			}
+		}
+		if pes == 0 {
+			pes = 1
+		}
+	}
+	sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), pes)
+	if err := core.Execute(w.Plan, sys, nil); err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"threads":  len(w.Plan.Threads),
+		"makespan": sys.VirtualTime(),
+		"pes":      pes,
+	}, nil
+}

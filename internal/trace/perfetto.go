@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/navp"
 	"repro/internal/sim"
@@ -44,22 +45,56 @@ func usec(t sim.Time) float64 { return float64(t) * 1e6 }
 // recoveries — become instant markers. Event order within the file
 // follows recording order, so the export is deterministic for
 // deterministic traces.
+//
+// Multi-tenant traces (events tagged with a nonzero Job by the wire
+// scheduler) are split into one process group per job — Perfetto's
+// process rail — so each job's hops and retries read as its own
+// pipeline, with the runtime's untagged events in the base "cluster"
+// group. Job pids are assigned in ascending job order, keeping the
+// export deterministic regardless of interleaving.
 func (r *Recorder) WritePerfetto(w io.Writer, pes int) error {
 	out := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
-	for pe := 0; pe < pes; pe++ {
-		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
-			Name: "thread_name", Phase: "M", Pid: perfettoPid, Tid: pe,
-			Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)},
-		})
+	events := r.Events()
+	jobs := []uint64{}
+	seenJobs := map[uint64]bool{}
+	for _, ev := range events {
+		if ev.Job != 0 && !seenJobs[ev.Job] {
+			seenJobs[ev.Job] = true
+			jobs = append(jobs, ev.Job)
+		}
 	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i] < jobs[j] })
+	pidFor := map[uint64]int{0: perfettoPid}
+	for i, job := range jobs {
+		pidFor[job] = perfettoPid + 1 + i
+	}
+	processName := func(pid int) string {
+		if pid == perfettoPid {
+			return "cluster"
+		}
+		return fmt.Sprintf("job %d", jobs[pid-perfettoPid-1])
+	}
+	for pid := perfettoPid; pid <= perfettoPid+len(jobs); pid++ {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: "process_name", Phase: "M", Pid: pid,
+			Args: map[string]any{"name": processName(pid)},
+		})
+		for pe := 0; pe < pes; pe++ {
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: "thread_name", Phase: "M", Pid: pid, Tid: pe,
+				Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)},
+			})
+		}
+	}
+	pid := perfettoPid // reassigned per event from its job tag
 	span := func(name, cat string, tid int, start, end sim.Time, args map[string]any) perfettoEvent {
 		d := usec(end) - usec(start)
 		return perfettoEvent{Name: name, Phase: "X", Cat: cat,
-			TS: usec(start), Dur: &d, Pid: perfettoPid, Tid: tid, Args: args}
+			TS: usec(start), Dur: &d, Pid: pid, Tid: tid, Args: args}
 	}
 	instant := func(name, cat string, tid int, at sim.Time, args map[string]any) perfettoEvent {
 		return perfettoEvent{Name: name, Phase: "i", Cat: cat, Scope: "t",
-			TS: usec(at), Pid: perfettoPid, Tid: tid, Args: args}
+			TS: usec(at), Pid: pid, Tid: tid, Args: args}
 	}
 	clampTid := func(pe int) int {
 		if pe < 0 {
@@ -70,7 +105,8 @@ func (r *Recorder) WritePerfetto(w io.Writer, pes int) error {
 		}
 		return pe
 	}
-	for _, ev := range r.Events() {
+	for _, ev := range events {
+		pid = pidFor[ev.Job]
 		agent := map[string]any{"agent": ev.Agent}
 		switch ev.Kind {
 		case navp.TraceCompute:

@@ -58,10 +58,21 @@ func TestPerfettoSchema(t *testing.T) {
 		switch ph {
 		case "M":
 			args, _ := ev["args"].(map[string]any)
-			if name, _ := args["name"].(string); !strings.HasPrefix(name, "PE ") {
-				t.Fatalf("event %d: metadata without a PE name: %v", i, ev)
+			name, _ := args["name"].(string)
+			meta, _ := ev["name"].(string)
+			switch meta {
+			case "process_name":
+				if name != "cluster" && !strings.HasPrefix(name, "job ") {
+					t.Fatalf("event %d: process metadata without a group name: %v", i, ev)
+				}
+			case "thread_name":
+				if !strings.HasPrefix(name, "PE ") {
+					t.Fatalf("event %d: thread metadata without a PE name: %v", i, ev)
+				}
+				tracks[ev["tid"].(float64)] = true
+			default:
+				t.Fatalf("event %d: unknown metadata record %q: %v", i, meta, ev)
 			}
-			tracks[ev["tid"].(float64)] = true
 		case "X":
 			if _, ok := ev["dur"].(float64); !ok {
 				t.Fatalf("event %d: complete span without dur: %v", i, ev)
@@ -87,6 +98,51 @@ func TestPerfettoSchema(t *testing.T) {
 	}
 	if len(tracks) != 3 {
 		t.Fatalf("got %d PE tracks, want 3", len(tracks))
+	}
+}
+
+// TestPerfettoJobTracks checks the multi-tenant export: events tagged
+// with a job land in that job's own process group, untagged runtime
+// events stay in the base "cluster" group, and pid assignment follows
+// ascending job order regardless of the interleaving recorded.
+func TestPerfettoJobTracks(t *testing.T) {
+	rec := New()
+	rec.Record(navp.TraceEvent{Kind: navp.TraceHop, Job: 7, Agent: "b", From: 0, To: 1, Start: 1, End: 1})
+	rec.Record(navp.TraceEvent{Kind: navp.TraceHop, Job: 3, Agent: "a", From: 1, To: 0, Start: 2, End: 2})
+	rec.Record(navp.TraceEvent{Kind: navp.TraceKill, From: 0, To: 0, Start: 3, End: 3})
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	groups := map[float64]string{} // pid -> process name
+	byName := map[string]float64{} // event name -> pid
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			groups[ev["pid"].(float64)] = ev["args"].(map[string]any)["name"].(string)
+		}
+		if ev["ph"] != "M" {
+			args, _ := ev["args"].(map[string]any)
+			agent, _ := args["agent"].(string)
+			byName[ev["name"].(string)+":"+agent] = ev["pid"].(float64)
+			if ev["name"] == "kill" && ev["pid"].(float64) != 1 {
+				t.Fatalf("untagged kill event on pid %v, want the cluster group", ev["pid"])
+			}
+		}
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d process groups %v, want cluster + 2 jobs", len(groups), groups)
+	}
+	if groups[1] != "cluster" || groups[2] != "job 3" || groups[3] != "job 7" {
+		t.Fatalf("process groups %v, want pid1=cluster pid2=job 3 pid3=job 7", groups)
+	}
+	if byName["hop:a"] != 2 || byName["hop:b"] != 3 {
+		t.Fatalf("job events landed on pids %v, want job 3 events on pid 2 and job 7 on pid 3", byName)
 	}
 }
 

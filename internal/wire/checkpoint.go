@@ -21,15 +21,17 @@ import (
 // of a killed incarnation still unwinding — can race on it safely: each
 // per-agent effect happens exactly once.
 type nodeState struct {
-	id     int
-	vars   *store
-	events *events
-	met    *wireMetrics
-	retain int // dedup high-water mark (Options.DedupRetain)
+	id      int
+	vars    *store
+	events  *events
+	met     *wireMetrics
+	retain  int        // dedup high-water mark (Options.DedupRetain)
+	cancels *cancelSet // cluster-shared set of cancelled job namespaces
 
 	mu        sync.Mutex
 	ckpt      map[uint64]*checkpoint // agent ID → last completed hop boundary
 	lastHop   map[uint64]uint64      // agent ID → highest accepted hop (dedup)
+	perJob    map[uint64]*counters   // job namespace → its slice of the counters
 	nextAgent uint64                 // local agent ID allocator
 	arrivals  int64                  // accepted arrivals + injections (kill triggers)
 
@@ -56,14 +58,74 @@ type dedupRetired struct{ id, hop uint64 }
 type checkpoint struct {
 	behavior string
 	hop      uint64
+	job      uint64
 	state    []byte
 }
 
-func newNodeState(id int, met *wireMetrics, retain int) *nodeState {
+// cancelSet is the cluster-shared record of cancelled job namespaces.
+// Every nodeState holds the same instance, so a cancellation issued at
+// the coordinator is visible to each daemon at its next dispatch — the
+// mechanism that propagates job cancellation through hops: wherever a
+// cancelled agent lands (or replays after a crash), the daemon retires it
+// instead of running its step.
+type cancelSet struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+}
+
+func newCancelSet() *cancelSet { return &cancelSet{m: map[uint64]struct{}{}} }
+
+func (cs *cancelSet) cancel(job uint64) {
+	cs.mu.Lock()
+	cs.m[job] = struct{}{}
+	cs.mu.Unlock()
+}
+
+func (cs *cancelSet) cancelled(job uint64) bool {
+	cs.mu.Lock()
+	_, ok := cs.m[job]
+	cs.mu.Unlock()
+	return ok
+}
+
+func (cs *cancelSet) release(job uint64) {
+	cs.mu.Lock()
+	delete(cs.m, job)
+	cs.mu.Unlock()
+}
+
+func newNodeState(id int, met *wireMetrics, retain int, cancels *cancelSet) *nodeState {
 	return &nodeState{
 		id: id, vars: newStore(), events: newEvents(), met: met, retain: retain,
-		ckpt: map[uint64]*checkpoint{}, lastHop: map[uint64]uint64{},
+		cancels: cancels,
+		ckpt:    map[uint64]*checkpoint{}, lastHop: map[uint64]uint64{},
+		perJob: map[uint64]*counters{},
 	}
+}
+
+// jobCounters returns job's slice of the termination counters, creating
+// it on first use. Callers hold ns.mu. Entries are removed by releaseJob
+// once the scheduler is done with a namespace, so per-job bookkeeping
+// does not accumulate across a long-lived serving cluster.
+func (ns *nodeState) jobCounters(job uint64) *counters {
+	c, ok := ns.perJob[job]
+	if !ok {
+		c = &counters{}
+		ns.perJob[job] = c
+		ns.met.jobsTracked.Add(1)
+	}
+	return c
+}
+
+// releaseJob drops job's counter slice (called by the cluster after the
+// namespace is quiescent and its results are collected).
+func (ns *nodeState) releaseJob(job uint64) {
+	ns.mu.Lock()
+	if _, ok := ns.perJob[job]; ok {
+		delete(ns.perJob, job)
+		ns.met.jobsTracked.Add(-1)
+	}
+	ns.mu.Unlock()
 }
 
 // setLastHop records hop as the highest accepted hop for id, keeping
@@ -188,10 +250,11 @@ func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	ns.created++
+	ns.jobCounters(msg.Job).Created++
 	ns.arrivals++
 	ns.met.agentsInjected.Inc()
 	ns.setLastHop(msg.ID, msg.Hop)
-	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap})
+	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, job: msg.Job, state: snap})
 	return ns.arrivals, nil
 }
 
@@ -216,11 +279,13 @@ func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error)
 		// the stale checkpoint as a completed send here — the late ack's
 		// hop guard in ackDelivered will no longer match.
 		ns.sent++
+		ns.jobCounters(cur.job).Sent++
 	}
 	ns.received++
+	ns.jobCounters(msg.Job).Received++
 	ns.arrivals++
 	ns.setLastHop(msg.ID, msg.Hop)
-	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap})
+	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, job: msg.Job, state: snap})
 	return false, ns.arrivals, nil
 }
 
@@ -242,7 +307,7 @@ func (ns *nodeState) rehop(msg *agentMsg) bool {
 	}
 	msg.Hop++
 	ns.setLastHop(msg.ID, msg.Hop)
-	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, state: snap})
+	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, job: msg.Job, state: snap})
 	return true
 }
 
@@ -260,6 +325,7 @@ func (ns *nodeState) ackDelivered(id, prevHop uint64) bool {
 	}
 	ns.delCkpt(id)
 	ns.sent++
+	ns.jobCounters(cur.job).Sent++
 	// The agent is now owned downstream; its dedup entry here starts
 	// its high-water retirement countdown.
 	ns.retireDedup(id, prevHop)
@@ -277,6 +343,7 @@ func (ns *nodeState) complete(id, hop uint64) bool {
 	}
 	ns.delCkpt(id)
 	ns.finished++
+	ns.jobCounters(cur.job).Finished++
 	ns.met.agentsCompleted.Inc()
 	// Terminal retirement: the finished agent's dedup entry is queued
 	// for eviction rather than deleted outright, so late duplicates of
@@ -292,6 +359,26 @@ func (ns *nodeState) counters() counters {
 	defer ns.mu.Unlock()
 	return counters{Created: ns.created, Finished: ns.finished,
 		Sent: ns.sent, Received: ns.received}
+}
+
+// countersForJob reads one job namespace's slice of the termination
+// snapshot. A job this node has never seen contributes zeros (which is
+// balanced, as it must be).
+func (ns *nodeState) countersForJob(job uint64) counters {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if c, ok := ns.perJob[job]; ok {
+		return *c
+	}
+	return counters{}
+}
+
+// jobsTracked reports how many job namespaces hold live counter slices
+// here (bounded-state assertions in the scheduler soak tests).
+func (ns *nodeState) jobsTracked() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.perJob)
 }
 
 // pendingCheckpoints reports how many agents are checkpointed here (in
@@ -327,7 +414,7 @@ func (ns *nodeState) replayMessages() ([]*agentMsg, error) {
 		if err != nil {
 			return nil, err
 		}
-		msgs = append(msgs, &agentMsg{ID: id, Hop: c.hop, Behavior: c.behavior, State: st})
+		msgs = append(msgs, &agentMsg{ID: id, Hop: c.hop, Job: c.job, Behavior: c.behavior, State: st})
 	}
 	return msgs, nil
 }

@@ -86,12 +86,12 @@ type traceSink struct {
 	epoch  time.Time
 }
 
-func (ts *traceSink) record(kind navp.TraceKind, agent string, from, to int, bytes int64, label string) {
+func (ts *traceSink) record(kind navp.TraceKind, job uint64, agent string, from, to int, bytes int64, label string) {
 	if ts == nil || ts.tracer == nil {
 		return
 	}
 	now := time.Since(ts.epoch).Seconds()
-	ts.tracer.Record(navp.TraceEvent{Kind: kind, Agent: agent, From: from, To: to,
+	ts.tracer.Record(navp.TraceEvent{Kind: kind, Job: job, Agent: agent, From: from, To: to,
 		Label: label, Bytes: bytes, Start: now, End: now})
 }
 
@@ -101,23 +101,29 @@ func (ts *traceSink) record(kind navp.TraceKind, agent string, from, to int, byt
 // their node-resident checkpoint stores. It plays the role of the
 // operator's shell in a MESSENGERS deployment.
 type Cluster struct {
-	opts   Options
-	states []*nodeState // persistent node-resident state, one per node
-	peers  []string
-	errs   chan error
-	sink   *traceSink
+	opts    Options
+	states  []*nodeState // persistent node-resident state, one per node
+	peers   []string
+	errs    chan error
+	sink    *traceSink
+	cancels *cancelSet // job cancellation set, shared by every node
 
 	mu      sync.Mutex
 	daemons []*daemon // current incarnations
 	ctl     []*ctlConn
 	closed  bool
 
+	closeOnce   sync.Once
 	monitorStop chan struct{}
 	monitorDone chan struct{}
 }
 
-// ctlConn is the coordinator's lazily redialed connection to one daemon.
+// ctlConn is the coordinator's lazily redialed connection to one
+// daemon. The mutex serializes round trips: with a scheduler on top,
+// Wait and any number of concurrent WaitJob pollers share these
+// connections.
 type ctlConn struct {
+	mu   sync.Mutex
 	addr string
 	conn net.Conn
 	r    *bufio.Reader
@@ -127,6 +133,8 @@ type ctlConn struct {
 // closes the connection so the next call redials (reaching the daemon's
 // current incarnation after a restart).
 func (c *ctlConn) roundTrip(env *envelope, timeout time.Duration) (*envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.conn == nil {
 		conn, err := net.DialTimeout("tcp", c.addr, timeout)
 		if err != nil {
@@ -161,10 +169,28 @@ func (c *ctlConn) roundTrip(env *envelope, timeout time.Duration) (*envelope, er
 }
 
 func (c *ctlConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
+}
+
+// shutdown writes a best-effort shutdown frame on the live connection,
+// if any, then closes it.
+func (c *ctlConn) shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return
+	}
+	if f, err := encodeFrame(&envelope{Kind: msgShutdown}); err == nil {
+		c.conn.Write(f.bytes())
+		f.release()
+	}
+	c.conn.Close()
+	c.conn = nil
 }
 
 // NewCluster starts n daemons listening on ephemeral loopback ports — a
@@ -186,9 +212,10 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 		}
 	}
 	cl := &Cluster{
-		opts: opts,
-		errs: make(chan error, n),
-		sink: &traceSink{tracer: opts.Tracer, epoch: time.Now()},
+		opts:    opts,
+		errs:    make(chan error, n),
+		sink:    &traceSink{tracer: opts.Tracer, epoch: time.Now()},
+		cancels: newCancelSet(),
 	}
 	met := newWireMetrics(opts.Metrics)
 	listeners := make([]net.Listener, n)
@@ -200,7 +227,7 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 		}
 		listeners[i] = ln
 		cl.peers = append(cl.peers, ln.Addr().String())
-		cl.states = append(cl.states, newNodeState(i, met, opts.DedupRetain))
+		cl.states = append(cl.states, newNodeState(i, met, opts.DedupRetain, cl.cancels))
 	}
 	for i := 0; i < n; i++ {
 		d := newDaemon(i, cl.peers, listeners[i], cl.states[i], &cl.opts, cl.errs, cl.sink)
@@ -234,9 +261,23 @@ func (cl *Cluster) daemon(i int) *daemon {
 // Inject starts an agent with the given registered behavior and
 // gob-encodable state on node id — the paper's command-line injection.
 // The agent is checkpointed before dispatch, so injection is durable
-// even if the target daemon is mid-crash.
+// even if the target daemon is mid-crash. The agent lives in the
+// default namespace (job 0), observed by Wait.
 func (cl *Cluster) Inject(node int, behavior string, state any) {
-	cl.daemon(node).injectLocal(behavior, state)
+	cl.daemon(node).injectLocal(0, behavior, state)
+}
+
+// InjectJob is Inject scoped to a job namespace: the agent — and every
+// agent it transitively injects — is accounted to job, so WaitJob can
+// detect that one tenant's work has drained while others still run, and
+// CancelJob can retire its agents without touching anyone else's. job
+// must be nonzero (0 is the default namespace of plain Inject).
+func (cl *Cluster) InjectJob(node int, job uint64, behavior string, state any) error {
+	if job == 0 {
+		return fmt.Errorf("wire: job id must be nonzero")
+	}
+	cl.daemon(node).injectLocal(job, behavior, state)
+	return nil
 }
 
 // Set places a node variable on a node before (or between) runs — the
@@ -287,6 +328,88 @@ func (cl *Cluster) Wait(timeout time.Duration) error {
 	}
 }
 
+// WaitJob blocks until one job namespace is quiescent — every agent of
+// that job finished (or was retired by cancellation) and none of its
+// migrations are in flight — using the same Mattern detection as Wait,
+// over the job's counter slice only. Other tenants' agents keep the
+// cluster busy without disturbing the detection: their events land in
+// their own namespaces. It returns the first daemon error, or an error
+// on timeout.
+func (cl *Cluster) WaitJob(job uint64, timeout time.Duration) error {
+	if job == 0 {
+		return fmt.Errorf("wire: WaitJob needs a nonzero job id (use Wait for the whole cluster)")
+	}
+	deadline := time.Now().Add(timeout)
+	var prev counters
+	havePrev := false
+	for {
+		select {
+		case err := <-cl.errs:
+			return err
+		default:
+		}
+		if time.Now().After(deadline) {
+			cur := cl.snapshotJob(job)
+			return fmt.Errorf("wire: job %d termination timeout after %v (created %d, finished %d, sent %d, received %d)",
+				job, timeout, cur.Created, cur.Finished, cur.Sent, cur.Received)
+		}
+		cur := cl.snapshotJob(job)
+		balanced := cur.Created == cur.Finished && cur.Sent == cur.Received
+		if balanced && havePrev && cur == prev {
+			return nil
+		}
+		prev, havePrev = cur, true
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// CancelJob marks a job namespace cancelled. Its agents are not
+// interrupted mid-step; each one is retired at its next dispatch —
+// arrival on a node, local re-hop, or checkpoint replay after a crash —
+// which keeps the job's termination counters balanced, so a WaitJob
+// after CancelJob observes the namespace drain. Idempotent.
+func (cl *Cluster) CancelJob(job uint64) {
+	if job != 0 {
+		cl.cancels.cancel(job)
+	}
+}
+
+// ReleaseJob forgets a finished (or cancelled-and-drained) job's
+// bookkeeping on every node: its counter slice and its cancellation
+// mark. Call it once per job after WaitJob returns, or a long-lived
+// serving cluster accumulates a counter slice per job forever. The
+// job's agents must be quiescent; releasing a live job would corrupt
+// its termination detection.
+func (cl *Cluster) ReleaseJob(job uint64) {
+	if job == 0 {
+		return
+	}
+	for _, ns := range cl.states {
+		ns.releaseJob(job)
+	}
+	cl.cancels.release(job)
+}
+
+// ClearVarsPrefix deletes every node variable whose name begins with
+// prefix, on every node. Serving jobs write results under job-scoped
+// prefixes; this is how a completed job's outputs are reclaimed after
+// they are consumed.
+func (cl *Cluster) ClearVarsPrefix(prefix string) {
+	for _, ns := range cl.states {
+		ns.vars.deletePrefix(prefix)
+	}
+}
+
+// JobsTracked reports how many job namespaces currently hold counter
+// state on any node — the figure bounded by ReleaseJob.
+func (cl *Cluster) JobsTracked() int {
+	total := 0
+	for _, ns := range cl.states {
+		total += ns.jobsTracked()
+	}
+	return total
+}
+
 // snapshot gathers every daemon's counters, over its control connection
 // when the daemon is reachable, directly from the node-resident store
 // when it is down (the store is what a restarted daemon would report
@@ -299,6 +422,19 @@ func (cl *Cluster) snapshot() counters {
 			continue
 		}
 		total.add(cl.states[i].counters())
+	}
+	return total
+}
+
+// snapshotJob is snapshot restricted to one job's counter slice.
+func (cl *Cluster) snapshotJob(job uint64) counters {
+	var total counters
+	for i := range cl.states {
+		if reply, err := cl.ctl[i].roundTrip(&envelope{Kind: msgSnapshot, Job: job}, cl.opts.AckTimeout); err == nil && reply.Kind == msgCounters {
+			total.add(reply.Counters)
+			continue
+		}
+		total.add(cl.states[i].countersForJob(job))
 	}
 	return total
 }
@@ -384,39 +520,35 @@ func (cl *Cluster) restart(i int) {
 		d.fail(err)
 		return
 	}
-	cl.sink.record(navp.TraceRecover, "", i, i, 0, fmt.Sprintf("%d agents replayed", len(msgs)))
+	cl.sink.record(navp.TraceRecover, 0, "", i, i, 0, fmt.Sprintf("%d agents replayed", len(msgs)))
 	for _, msg := range msgs {
-		d.startStep(msg)
+		d.startStep(msg, true)
 	}
 }
 
-// Close shuts every daemon down and releases the sockets.
+// Close shuts every daemon down and releases the sockets. It is
+// idempotent and safe to call from any number of goroutines
+// concurrently (a server's signal handler racing its main path, say):
+// the first caller performs the shutdown, every later or concurrent
+// caller returns after it has begun.
 func (cl *Cluster) Close() {
-	cl.mu.Lock()
-	if cl.closed {
+	cl.closeOnce.Do(func() {
+		cl.mu.Lock()
+		cl.closed = true
+		daemons := append([]*daemon(nil), cl.daemons...)
+		ctl := append([]*ctlConn(nil), cl.ctl...)
 		cl.mu.Unlock()
-		return
-	}
-	cl.closed = true
-	daemons := append([]*daemon(nil), cl.daemons...)
-	ctl := append([]*ctlConn(nil), cl.ctl...)
-	cl.mu.Unlock()
-	if cl.monitorStop != nil {
-		close(cl.monitorStop)
-		<-cl.monitorDone
-	}
-	// Best-effort protocol shutdown over the control connections, then
-	// terminate in-process (covers daemons with broken control links).
-	for _, c := range ctl {
-		if c.conn != nil {
-			if f, err := encodeFrame(&envelope{Kind: msgShutdown}); err == nil {
-				c.conn.Write(f.bytes())
-				f.release()
-			}
+		if cl.monitorStop != nil {
+			close(cl.monitorStop)
+			<-cl.monitorDone
 		}
-		c.close()
-	}
-	for _, d := range daemons {
-		d.terminate()
-	}
+		// Best-effort protocol shutdown over the control connections, then
+		// terminate in-process (covers daemons with broken control links).
+		for _, c := range ctl {
+			c.shutdown()
+		}
+		for _, d := range daemons {
+			d.terminate()
+		}
+	})
 }

@@ -135,12 +135,16 @@ func (d *daemon) handle(conn net.Conn) {
 			// but this daemon is alive and now owns the only dispatchable
 			// copy of the agent. Skipping dispatch here would orphan a
 			// checkpointed agent on a healthy node.
-			d.startStep(msg)
+			d.startStep(msg, false)
 			if !acked {
 				return
 			}
 		case msgSnapshot:
-			if !reply(&envelope{Kind: msgCounters, Counters: d.node.counters()}) {
+			c := d.node.counters()
+			if env.Job != 0 {
+				c = d.node.countersForJob(env.Job)
+			}
+			if !reply(&envelope{Kind: msgCounters, Counters: c, Job: env.Job}) {
 				return
 			}
 		case msgPing:
@@ -156,9 +160,10 @@ func (d *daemon) handle(conn net.Conn) {
 
 // injectLocal starts a new agent on this daemon — injection is local, as
 // in MESSENGERS. The agent is checkpointed before dispatch, so injection
-// into a dying daemon is not lost: the restart replays it.
-func (d *daemon) injectLocal(behaviorName string, state any) {
-	msg := &agentMsg{ID: d.node.newAgentID(), Behavior: behaviorName, State: state}
+// into a dying daemon is not lost: the restart replays it. job is the
+// namespace the agent (and everything it injects) is accounted to.
+func (d *daemon) injectLocal(job uint64, behaviorName string, state any) {
+	msg := &agentMsg{ID: d.node.newAgentID(), Job: job, Behavior: behaviorName, State: state}
 	arrivals, err := d.node.inject(msg)
 	if err != nil {
 		d.fail(err)
@@ -171,12 +176,14 @@ func (d *daemon) injectLocal(behaviorName string, state any) {
 	if d.dead.Load() {
 		return // the checkpoint replays on the next incarnation
 	}
-	d.startStep(msg)
+	d.startStep(msg, false)
 }
 
 // startStep runs one behavior step in its own goroutine; the step may
-// block on local events without stalling the daemon.
-func (d *daemon) startStep(msg *agentMsg) {
+// block on local events without stalling the daemon. replay marks a
+// dispatch from checkpoint replay after a crash rather than a fresh
+// acceptance, injection, or local rehop.
+func (d *daemon) startStep(msg *agentMsg, replay bool) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
@@ -188,6 +195,25 @@ func (d *daemon) startStep(msg *agentMsg) {
 				d.fail(fmt.Errorf("wire: behavior %q panicked on node %d: %v", msg.Behavior, d.id, r))
 			}
 		}()
+		if !replay && msg.Job != 0 && d.node.cancels.cancelled(msg.Job) {
+			// The job was cancelled: retire the agent here instead of
+			// running its step. This is how cancellation propagates
+			// through hops — every surviving agent of the namespace is
+			// absorbed at its next fresh dispatch, and the finished count
+			// it earns keeps the job's termination snapshot balanced so
+			// WaitJob observes the drained namespace.
+			//
+			// A replayed checkpoint must NOT be retired here: its hop-out
+			// may already have been delivered before the crash, in which
+			// case the downstream node owns (and will retire) the agent,
+			// and retiring it here too would double-count finished and
+			// leave sent != received — an imbalance that never heals. The
+			// replay instead re-runs the step and re-sends; the normal
+			// duplicate-ack path then settles ownership, and the agent is
+			// absorbed wherever it is next freshly dispatched.
+			d.node.complete(msg.ID, msg.Hop)
+			return
+		}
 		b, err := behavior(msg.Behavior)
 		if err != nil {
 			d.fail(err)
@@ -205,11 +231,11 @@ func (d *daemon) startStep(msg *agentMsg) {
 			// short-cut the paper relies on), but still a checkpoint
 			// boundary.
 			if d.node.rehop(msg) {
-				d.startStep(msg)
+				d.startStep(msg, false)
 			}
 		case v.hop:
 			prev := msg.Hop
-			out := &agentMsg{ID: msg.ID, Hop: msg.Hop + 1, Behavior: msg.Behavior, State: msg.State}
+			out := &agentMsg{ID: msg.ID, Hop: msg.Hop + 1, Job: msg.Job, Behavior: msg.Behavior, State: msg.State}
 			d.deliver(v.dst, out, prev)
 		default:
 			d.fail(fmt.Errorf("wire: behavior %q returned no verdict; use HopTo or Done", msg.Behavior))
@@ -253,7 +279,7 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 		var sentAt time.Time
 		if dec.Drop {
 			met.framesDropped.Inc()
-			d.sink.record(navp.TraceDrop, msg.Behavior, d.id, dst, int64(len(frame)), "")
+			d.sink.record(navp.TraceDrop, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)), "")
 		} else {
 			var err error
 			if l, err = d.link(dst); err == nil {
@@ -298,7 +324,7 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 				met.framesAcked.Inc()
 				met.ackLatency.Observe(time.Since(sentAt).Microseconds())
 				d.node.ackDelivered(msg.ID, prevHop)
-				d.sink.record(navp.TraceHop, msg.Behavior, d.id, dst, int64(len(frame)), "")
+				d.sink.record(navp.TraceHop, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)), "")
 				return
 			}
 			select {
@@ -309,13 +335,13 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 			if linkDown {
 				d.dropLink(dst, l)
 				met.framesRetried.Inc()
-				d.sink.record(navp.TraceRetry, msg.Behavior, d.id, dst, int64(len(frame)),
+				d.sink.record(navp.TraceRetry, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)),
 					fmt.Sprintf("attempt %d", attempt+2))
 				continue // retry immediately over a fresh dial
 			}
 		}
 		met.framesRetried.Inc()
-		d.sink.record(navp.TraceRetry, msg.Behavior, d.id, dst, int64(len(frame)),
+		d.sink.record(navp.TraceRetry, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)),
 			fmt.Sprintf("attempt %d", attempt+2))
 		if !d.sleep(backoff) {
 			return
@@ -384,7 +410,7 @@ func (d *daemon) kill() {
 	alreadyDead := d.dead.Load()
 	d.terminate()
 	if !alreadyDead {
-		d.sink.record(navp.TraceKill, "", d.id, d.id, 0, "")
+		d.sink.record(navp.TraceKill, 0, "", d.id, d.id, 0, "")
 	}
 }
 

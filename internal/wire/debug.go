@@ -14,8 +14,10 @@ import (
 //
 // The mux is built explicitly rather than via net/http/pprof's
 // DefaultServeMux side effects, so importing this package never mutates
-// global state.
-func (cl *Cluster) DebugHandler() http.Handler {
+// global state. It is returned as a concrete *http.ServeMux so layers
+// above the runtime (the job scheduler's HTTP API, say) can register
+// their own routes beside the runtime's.
+func (cl *Cluster) DebugHandler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

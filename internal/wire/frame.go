@@ -29,8 +29,11 @@ type envelope struct {
 	Agent *agentMsg
 	// Hop acknowledgement (the checkpoint/dedup handshake).
 	Ack ackMsg
-	// Termination detection (Mattern's four counters).
+	// Termination detection (Mattern's four counters). Job selects which
+	// namespace a msgSnapshot polls: 0 is the cluster-wide total, any
+	// other value the per-job slice (see nodeState.jobCounters).
 	Counters counters
+	Job      uint64
 }
 
 // agentMsg is a migrating computation between steps: the behavior name
@@ -40,9 +43,15 @@ type envelope struct {
 // frame only when Hop exceeds the highest hop it has recorded for ID;
 // anything else is a duplicate or a replay and is acknowledged but
 // discarded.
+//
+// Job is the agent's job namespace, inherited by everything it injects
+// and carried across every hop. It scopes the termination counters (so
+// one tenant's quiescence is detectable while others still run) and the
+// cancellation set; 0 is the default namespace of plain Cluster.Inject.
 type agentMsg struct {
 	ID       uint64
 	Hop      uint64
+	Job      uint64
 	Behavior string
 	State    any
 }

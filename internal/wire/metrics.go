@@ -36,6 +36,9 @@ const (
 	// Agents injected and agents that reached a terminal Done.
 	MetricAgentsInjected  = "wire.agents.injected"
 	MetricAgentsCompleted = "wire.agents.completed"
+	// Job namespaces holding live per-job counter slices across all
+	// nodes (grows on first use of a namespace, shrinks on ReleaseJob).
+	MetricJobsTracked = "wire.jobs.tracked"
 )
 
 // wireMetrics holds the pre-resolved metric handles shared by every
@@ -57,6 +60,7 @@ type wireMetrics struct {
 	dedupSize       *metrics.Gauge
 	ckptSize        *metrics.Gauge
 	inboundConns    *metrics.Gauge
+	jobsTracked     *metrics.Gauge
 }
 
 // ackLatencyBounds ladders from 50µs to ~1.6s; loopback acks land in
@@ -82,5 +86,6 @@ func newWireMetrics(r *metrics.Registry) *wireMetrics {
 		dedupSize:       r.Gauge(MetricDedupSize),
 		ckptSize:        r.Gauge(MetricCheckpoints),
 		inboundConns:    r.Gauge(MetricInboundConns),
+		jobsTracked:     r.Gauge(MetricJobsTracked),
 	}
 }

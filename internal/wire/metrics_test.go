@@ -17,7 +17,7 @@ import (
 func TestDedupHighWaterEviction(t *testing.T) {
 	const retain = 4
 	reg := metrics.NewRegistry()
-	ns := newNodeState(0, newWireMetrics(reg), retain)
+	ns := newNodeState(0, newWireMetrics(reg), retain, newCancelSet())
 	for i := uint64(1); i <= 100; i++ {
 		msg := &agentMsg{ID: i, Hop: 3, Behavior: "ring"}
 		if dup, _, err := ns.accept(msg); err != nil || dup {
@@ -48,7 +48,7 @@ func TestDedupHighWaterEviction(t *testing.T) {
 // stale queue entry must not evict the newer table entry.
 func TestDedupEvictionSkipsRevisitedAgents(t *testing.T) {
 	const retain = 2
-	ns := newNodeState(0, newWireMetrics(nil), retain)
+	ns := newNodeState(0, newWireMetrics(nil), retain, newCancelSet())
 	// Agent 7 visits at hop 1, leaves (entry queued), then revisits at hop 5.
 	ns.accept(&agentMsg{ID: 7, Hop: 1, Behavior: "ring"})
 	ns.ackDelivered(7, 1)

@@ -113,6 +113,10 @@ func (c *Ctx) AgentID() uint64 { return c.agent.ID }
 // (local re-dispatches included).
 func (c *Ctx) HopCount() uint64 { return c.agent.Hop }
 
+// Job returns the agent's job namespace (0 outside any job). It is
+// inherited by every agent this one injects.
+func (c *Ctx) Job() uint64 { return c.agent.Job }
+
 // State returns the agent's carried state. Mutations to the returned
 // value (for pointer kinds) persist across hops.
 func (c *Ctx) State() any { return c.agent.State }
@@ -145,9 +149,11 @@ func (c *Ctx) Wait(event string) {
 func (c *Ctx) Signal(event string) { c.daemon.node.events.signal(event) }
 
 // Inject starts a new agent with the given behavior and state on this
-// node — injection is local, as in MESSENGERS.
+// node — injection is local, as in MESSENGERS. The new agent inherits
+// this agent's job namespace, so a job's termination detection covers
+// its whole injection tree.
 func (c *Ctx) Inject(behavior string, state any) {
-	c.daemon.injectLocal(behavior, state)
+	c.daemon.injectLocal(c.agent.Job, behavior, state)
 }
 
 // HopTo ends the step with a migration to node dst.
@@ -178,6 +184,17 @@ func (s *store) get(name string) any {
 func (s *store) set(name string, v any) {
 	s.mu.Lock()
 	s.m[name] = v
+	s.mu.Unlock()
+}
+
+// deletePrefix removes every variable whose name begins with prefix.
+func (s *store) deletePrefix(prefix string) {
+	s.mu.Lock()
+	for name := range s.m {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			delete(s.m, name)
+		}
+	}
 	s.mu.Unlock()
 }
 
