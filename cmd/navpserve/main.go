@@ -1,14 +1,29 @@
-// Command navpserve is the NavP serving daemon: a wire cluster, the
-// multi-tenant job scheduler, and the HTTP serving API on one listener.
+// Command navpserve is the NavP serving stack. It runs in three modes:
 //
-// Usage:
+// In-process (the default): a wire cluster, the multi-tenant job
+// scheduler, and the HTTP serving API in one process.
 //
 //	navpserve                                  # 4 PEs, :8080
 //	navpserve -nodes 8 -workers 16 -queue 128
-//	navpserve -placement least-loaded
+//	navpserve -placement consistent-hash
 //	navpserve -fault 'seed=7,drop=0.02,kill=1@100'   # serve under chaos
 //
-// The API (see DESIGN.md §12 and the README's Serving section):
+// Daemon (-daemon): one node's MESSENGERS daemon as its own OS process,
+// persisting to a state directory and discovered by its peers through a
+// static seed list or by joining any live member:
+//
+//	navpserve -daemon -listen 127.0.0.1:9000 -state /var/lib/navp/n0
+//	navpserve -daemon -listen 127.0.0.1:9001 -state /var/lib/navp/n1 \
+//	          -join 127.0.0.1:9000
+//	navpserve -daemon -listen 127.0.0.1:9001 -seeds @cluster.seeds -node 1
+//
+// Front-end (-connect or -seeds without -daemon): the scheduler and
+// HTTP API in this process, jobs executing across the remote daemons:
+//
+//	navpserve -connect 127.0.0.1:9000          # discover members via one
+//	navpserve -seeds @cluster.seeds            # or take the static list
+//
+// The API (see DESIGN.md §12-13 and the README's Serving section):
 //
 //	POST /jobs             submit a job (JSON body)
 //	GET  /jobs             list retained jobs
@@ -16,7 +31,7 @@
 //	GET  /jobs/{id}/result result, exactly once
 //	POST /jobs/{id}/cancel cancel/evict
 //	GET  /metrics          wire.* + sched.* registry snapshot
-//	     /debug/pprof/...  pprof
+//	     /debug/pprof/...  pprof (in-process mode)
 //
 // SIGINT/SIGTERM drain gracefully: admission stops, queued jobs are
 // evicted, running jobs finish, then the cluster shuts down.
@@ -29,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/fault"
@@ -37,21 +53,137 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 4, "cluster size (PEs)")
+	// In-process and front-end serving.
+	nodes := flag.Int("nodes", 4, "cluster size (PEs), in-process mode")
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	workers := flag.Int("workers", 8, "concurrent jobs")
 	queue := flag.Int("queue", 64, "admission queue depth (backpressure beyond it)")
-	placement := flag.String("placement", "round-robin", "placement policy: round-robin or least-loaded")
-	chaos := flag.String("fault", "", "fault plan spec, e.g. 'seed=7,drop=0.02,dup=1,kill=1@100'")
+	placement := flag.String("placement", "round-robin", "placement policy: round-robin, least-loaded, or consistent-hash")
+	chaos := flag.String("fault", "", "fault plan spec, e.g. 'seed=7,drop=0.02,dup=1,kill=1@100' (in-process mode)")
+	connect := flag.String("connect", "", "front-end mode: discover the cluster through one live daemon")
+
+	// Daemon mode and shared membership flags.
+	daemon := flag.Bool("daemon", false, "run one daemon host process instead of the serving front-end")
+	listen := flag.String("listen", "127.0.0.1:9000", "daemon TCP listen address")
+	advertise := flag.String("advertise", "", "address peers dial (defaults to the bound listen address)")
+	join := flag.String("join", "", "daemon mode: address of any live member to join through")
+	seeds := flag.String("seeds", "", "static seed list: comma-separated addresses, or @file (one per line)")
+	node := flag.Int("node", 0, "this daemon's index in the static seed list")
+	state := flag.String("state", "", "daemon state directory (empty disables persistence)")
 	flag.Parse()
 
-	if err := run(*nodes, *addr, *workers, *queue, *placement, *chaos); err != nil {
+	var err error
+	switch {
+	case *daemon:
+		err = runDaemon(*listen, *advertise, *join, *seeds, *node, *state)
+	case *connect != "" || *seeds != "":
+		err = runFrontend(*connect, *seeds, *addr, *workers, *queue, *placement)
+	default:
+		err = runInProcess(*nodes, *addr, *workers, *queue, *placement, *chaos)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes int, addr string, workers, queue int, placement, chaos string) error {
+// loadSeeds resolves the -seeds flag: a literal comma-separated list,
+// or @path naming a seed file (one address per line, '#' comments).
+func loadSeeds(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	text := spec
+	if strings.HasPrefix(spec, "@") {
+		b, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("navpserve: seed file: %w", err)
+		}
+		text = string(b)
+	}
+	return wire.ParseSeeds(text)
+}
+
+// runDaemon is the -daemon mode: one node's daemon process, alive until
+// a shutdown frame or a signal.
+func runDaemon(listen, advertise, join, seedSpec string, node int, state string) error {
+	if join != "" && seedSpec != "" {
+		return fmt.Errorf("navpserve: -join and -seeds are mutually exclusive")
+	}
+	peers, err := loadSeeds(seedSpec)
+	if err != nil {
+		return err
+	}
+	h, err := wire.StartHost(wire.HostConfig{
+		Listen: listen, Advertise: advertise,
+		Join: join, Peers: peers, Node: node,
+		StateDir: state,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("navpserve: daemon node %d serving on %s (state %q)\n", h.ID, h.Addr, state)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errs := make(chan error, 1)
+	go func() { errs <- h.WaitShutdown() }()
+	select {
+	case sig := <-sigs:
+		fmt.Printf("navpserve: daemon node %d: %v — stopping\n", h.ID, sig)
+		h.Close()
+		<-errs
+		return nil
+	case err := <-errs:
+		return err
+	}
+}
+
+// runFrontend serves HTTP over a cluster of remote daemon processes.
+func runFrontend(connect, seedSpec, addr string, workers, queue int, placement string) error {
+	if connect != "" && seedSpec != "" {
+		return fmt.Errorf("navpserve: -connect and -seeds are mutually exclusive")
+	}
+	pol, err := sched.NewPlacement(placement)
+	if err != nil {
+		return err
+	}
+	var rc *wire.RemoteCluster
+	if connect != "" {
+		rc, err = wire.DialCluster(connect, wire.RemoteOptions{Heartbeat: true})
+	} else {
+		var peers []string
+		if peers, err = loadSeeds(seedSpec); err != nil {
+			return err
+		}
+		rc, err = wire.StaticCluster(peers, wire.RemoteOptions{Heartbeat: true})
+	}
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	s, err := sched.New(sched.Config{
+		Cluster: rc, Workers: workers, QueueDepth: queue, Placement: pol,
+	})
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	sched.NewServer(s).Register(mux)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rc.Metrics().Snapshot().WriteJSON(w)
+	})
+	fmt.Printf("navpserve: front-end over %d daemons (%s), %d workers, queue %d, placement %s\n",
+		rc.Size(), strings.Join(rc.Members(), " "), workers, queue, pol.Name())
+	return serveHTTP(mux, addr, func() {
+		s.Close()
+		rc.Close()
+	})
+}
+
+// runInProcess is the original single-process stack.
+func runInProcess(nodes int, addr string, workers, queue int, placement, chaos string) error {
 	var plan *fault.Plan
 	if chaos != "" {
 		var err error
@@ -77,6 +209,22 @@ func run(nodes int, addr string, workers, queue int, placement, chaos string) er
 
 	mux := cl.DebugHandler()
 	sched.NewServer(s).Register(mux)
+	fmt.Printf("navpserve: %d PEs, %d workers, queue %d, placement %s\n",
+		nodes, workers, queue, pol.Name())
+	if plan != nil {
+		fmt.Printf("navpserve: serving under fault plan %v\n", plan)
+	}
+	return serveHTTP(mux, addr, func() {
+		s.Close()
+		cl.Close()
+	})
+}
+
+// serveHTTP runs the API listener until a signal or a server error,
+// then drains: stop accepting HTTP first, then the caller's teardown
+// (scheduler before cluster). Teardowns are idempotent, so racing a
+// second signal's impatient operator is safe.
+func serveHTTP(mux *http.ServeMux, addr string, drain func()) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -84,11 +232,7 @@ func run(nodes int, addr string, workers, queue int, placement, chaos string) er
 	srv := &http.Server{Handler: mux}
 	errs := make(chan error, 1)
 	go func() { errs <- srv.Serve(ln) }()
-	fmt.Printf("navpserve: %d PEs, %d workers, queue %d, placement %s, listening on http://%s\n",
-		nodes, workers, queue, pol.Name(), ln.Addr())
-	if plan != nil {
-		fmt.Printf("navpserve: serving under fault plan %v\n", plan)
-	}
+	fmt.Printf("navpserve: listening on http://%s\n", ln.Addr())
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -100,13 +244,8 @@ func run(nodes int, addr string, workers, queue int, placement, chaos string) er
 			return err
 		}
 	}
-	// Drain order: stop accepting HTTP first, then let the scheduler
-	// evict queued work and finish running jobs, then stop the cluster.
-	// Cluster.Close is idempotent, so racing the deferred Close (or a
-	// second signal's impatient operator) is safe.
 	srv.Close()
-	s.Close()
-	cl.Close()
+	drain()
 	fmt.Println("navpserve: drained")
 	return nil
 }

@@ -10,7 +10,8 @@
 //	paperbench -ablations          # pointer-swap / overlap / block-size
 //	paperbench -quick              # truncated tables (smoke test)
 //	paperbench -regress            # measure the fast data paths, write BENCH_*.json
-//	paperbench -serve              # closed-loop serving load test, write BENCH_sched.json
+//	paperbench -serve              # open-loop scaling sweep over real daemon processes,
+//	                               # write BENCH_sched.json
 package main
 
 import (
@@ -22,14 +23,20 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
-	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
 
 func main() {
+	// A re-exec'd child of the -serve sweep: become a daemon host
+	// instead of a benchmark run. Checked before flag parsing so host
+	// processes need no arguments.
+	if wire.HostMode() {
+		os.Exit(wire.RunHostFromEnv())
+	}
 	table := flag.String("table", "", "table to regenerate: 1, 2, 3, 4, or all")
 	compare := flag.Bool("compare", false, "print the paper's published values next to the measured ones")
 	quick := flag.Bool("quick", false, "truncate each table to its two smallest problem sizes")
@@ -39,7 +46,7 @@ func main() {
 	regress := flag.Bool("regress", false, "benchmark the fast data paths and write BENCH_kernels.json + BENCH_wire.json")
 	regressOut := flag.String("regress-out", ".", "directory the -regress and -serve JSON files are written to")
 	observe := flag.String("observe", "", "run a small deterministic chaos sim and write Perfetto + metrics artifacts into this directory")
-	serve := flag.Bool("serve", false, "run the closed-loop serving load test (clean + chaos) and write BENCH_sched.json")
+	serve := flag.Bool("serve", false, "run the open-loop serving scaling sweep over real daemon processes and write BENCH_sched.json")
 	flag.Parse()
 
 	if *table == "" && !*stagger && !*ablations && !*report && !*regress && !*serve && *observe == "" {
@@ -147,30 +154,76 @@ func runRegress(dir string, quick bool) error {
 	return writeRegressFile(filepath.Join(dir, "BENCH_wire.json"), wireFile)
 }
 
-// serveScenario measures one load-generation run against a freshly
-// assembled serving stack: cluster (with the scenario's fault plan),
-// scheduler, HTTP API on the cluster's debug mux, all torn down before
-// the next scenario so measurements do not bleed into each other.
-func serveScenario(nodes, workers, queue int, faultSpec string, lg sched.LoadGenConfig) (sched.LoadGenResult, error) {
-	var none sched.LoadGenResult
-	var plan *fault.Plan
-	if faultSpec != "" {
-		var err error
-		if plan, err = fault.Parse(faultSpec); err != nil {
-			return none, err
+// spawnServeCluster starts n daemon OS processes (node 0 bootstraps on
+// an ephemeral port, the rest join through it) with per-node state
+// directories under stateRoot, and returns the processes plus a remote
+// client for them.
+func spawnServeCluster(n int, stateRoot string) ([]*wire.HostProc, *wire.RemoteCluster, error) {
+	var procs []*wire.HostProc
+	kill := func() {
+		for _, p := range procs {
+			p.Kill9()
 		}
 	}
-	cl, err := wire.NewClusterOpts(nodes, wire.Options{Fault: plan})
+	for i := 0; i < n; i++ {
+		cfg := wire.HostConfig{
+			Listen:   "127.0.0.1:0",
+			StateDir: filepath.Join(stateRoot, fmt.Sprintf("node%d", i)),
+		}
+		if i > 0 {
+			cfg.Join = procs[0].Addr
+		}
+		p, err := wire.SpawnHost(cfg)
+		if err != nil {
+			kill()
+			return nil, nil, fmt.Errorf("spawn daemon %d: %w", i, err)
+		}
+		procs = append(procs, p)
+	}
+	rc, err := wire.DialCluster(procs[0].Addr, wire.RemoteOptions{Heartbeat: true})
+	if err != nil {
+		kill()
+		return nil, nil, err
+	}
+	if rc.Size() != n {
+		rc.Close()
+		kill()
+		return nil, nil, fmt.Errorf("cluster assembled %d of %d daemons", rc.Size(), n)
+	}
+	return procs, rc, nil
+}
+
+// servePoint measures one open-loop run against a freshly spawned
+// cluster of `processes` real daemons: scheduler and HTTP API in this
+// process, jobs executing across the daemon processes, everything torn
+// down before the next point so measurements do not bleed into each
+// other.
+func servePoint(processes, workers, queue int, ol sched.OpenLoopConfig) (sched.OpenLoopResult, error) {
+	var none sched.OpenLoopResult
+	stateRoot, err := os.MkdirTemp("", "navp-serve-")
 	if err != nil {
 		return none, err
 	}
-	defer cl.Close()
-	s, err := sched.New(sched.Config{Cluster: cl, Workers: workers, QueueDepth: queue})
+	defer os.RemoveAll(stateRoot)
+	procs, rc, err := spawnServeCluster(processes, stateRoot)
+	if err != nil {
+		return none, err
+	}
+	defer func() {
+		rc.Shutdown()
+		for _, p := range procs {
+			if _, exited := p.Wait(5 * time.Second); !exited {
+				p.Kill9()
+			}
+		}
+	}()
+	s, err := sched.New(sched.Config{Cluster: rc, Workers: workers, QueueDepth: queue,
+		Placement: &sched.ConsistentHash{}})
 	if err != nil {
 		return none, err
 	}
 	defer s.Close()
-	mux := cl.DebugHandler()
+	mux := http.NewServeMux()
 	sched.NewServer(s).Register(mux)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -179,47 +232,52 @@ func serveScenario(nodes, workers, queue int, faultSpec string, lg sched.LoadGen
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	defer srv.Close()
-	lg.BaseURL = "http://" + ln.Addr().String()
-	res, err := sched.RunLoadGen(lg)
+	ol.BaseURL = "http://" + ln.Addr().String()
+	res, err := sched.RunOpenLoop(ol)
 	if err != nil {
 		return none, err
 	}
 	return *res, nil
 }
 
-// runServe drives the serving stack closed-loop — clean and under a
-// chaos plan — and records throughput and latency percentiles in
-// BENCH_sched.json.
+// runServe sweeps the serving stack across real daemon-process counts
+// under a fixed open-loop Poisson load and records the horizontal
+// scaling curve — throughput, latency percentiles, SLO verdicts per
+// cluster size — in BENCH_sched.json.
 func runServe(dir string, quick bool) error {
-	const nodes, workers, queue = 4, 8, 32
-	clients, jobs := 8, 8
+	const workers, queue = 8, 32
+	sizes := []int{1, 2, 4, 8}
+	duration := 6 * time.Second
 	if quick {
-		clients, jobs = 4, 4
+		sizes = []int{1, 2, 4}
+		duration = 3 * time.Second
 	}
-	f := bench.NewServeFile(nodes, workers, queue, quick)
-	scenarios := []struct {
-		name, kind, fault string
-		req               sched.SubmitRequest
-	}{
-		{"wirematmul-clean", "wirematmul", "",
-			sched.SubmitRequest{Kind: "wirematmul", N: 8, Retries: 2}},
-		{"wirematmul-chaos", "wirematmul", "seed=33,drop=0.03,dup=1,kill=1@40",
-			sched.SubmitRequest{Kind: "wirematmul", N: 8, Retries: 3}},
-		{"sim-matmul", "matmul", "",
-			sched.SubmitRequest{Kind: "matmul", Stage: 2, N: 64, BS: 16, P: 2}},
+	f := bench.NewServeFile(workers, queue, quick)
+	ol := sched.OpenLoopConfig{
+		Rate:     12,
+		Duration: duration,
+		Seed:     1,
+		Request:  sched.SubmitRequest{Kind: "wirematmul", N: 8, Retries: 2},
+		// SLO targets for the small wirematmul: generous enough for a
+		// single loopback daemon with disk persistence, tight enough
+		// that a regression in the hop or sync path shows up as a
+		// missed verdict.
+		TargetP50MS: 500,
+		TargetP99MS: 2500,
 	}
-	for _, sc := range scenarios {
-		res, err := serveScenario(nodes, workers, queue, sc.fault,
-			sched.LoadGenConfig{Clients: clients, JobsPerClient: jobs, Request: sc.req})
+	sc := f.AddScenario("wirematmul-scaling", "wirematmul", "", ol.Rate)
+	for _, n := range sizes {
+		res, err := servePoint(n, workers, queue, ol)
 		if err != nil {
-			return fmt.Errorf("serve scenario %s: %w", sc.name, err)
+			return fmt.Errorf("serve point %d-process: %w", n, err)
 		}
 		if res.Done == 0 {
-			return fmt.Errorf("serve scenario %s: no job finished (%+v)", sc.name, res)
+			return fmt.Errorf("serve point %d-process: no job finished (%+v)", n, res)
 		}
-		fmt.Printf("%-18s %6.1f jobs/s  p50 %6.1fms  p99 %6.1fms  (%d done, %d failed, %d evicted, %d rejects)\n",
-			sc.name, res.JobsPerSec, res.P50MS, res.P99MS, res.Done, res.Failed, res.Evicted, res.Rejects)
-		f.Add(sc.name, sc.kind, sc.fault, res)
+		fmt.Printf("%d daemons: %6.1f/s offered, %6.1f/s done  p50 %6.1fms  p99 %6.1fms  SLO %3.0f%%  (%d done, %d failed, %d evicted, %d rejected)\n",
+			n, res.OfferedRate, res.Throughput, res.P50MS, res.P99MS, 100*res.SLOAttainment,
+			res.Done, res.Failed, res.Evicted, res.Rejected)
+		sc.AddPoint(n, res)
 	}
 	path := filepath.Join(dir, "BENCH_sched.json")
 	data, err := json.MarshalIndent(f, "", "  ")

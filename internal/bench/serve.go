@@ -1,12 +1,17 @@
 package bench
 
-// The BENCH_sched.json schema: closed-loop serving measurements from
-// the scheduler load generator, rendered machine-readable so CI and
-// later sessions can diff serving throughput and latency percentiles
-// the same way they diff the kernel and codec numbers.
+// The BENCH_sched.json schema: open-loop serving measurements against
+// clusters of real daemon processes, rendered machine-readable so CI
+// and later sessions can diff serving throughput, latency percentiles,
+// and SLO verdicts the same way they diff the kernel and codec numbers.
+//
+// Schema 2 replaced the closed-loop single-cluster numbers of schema 1:
+// each scenario is now a horizontal-scaling curve — the same Poisson
+// offered load measured against 1, 2, 4, ... separate daemon OS
+// processes — with SLO fields per point.
 //
 // This file stays simsafe: the wall-clock measurement happens inside
-// sched.RunLoadGen (real domain); here the numbers are only assembled
+// sched.RunOpenLoop (real domain); here the numbers are only assembled
 // into the file schema.
 
 import (
@@ -15,9 +20,18 @@ import (
 	"repro/internal/sched"
 )
 
-// ServeScenario is one load-generation run against a serving stack.
+// ScalePoint is one cluster size on a scenario's scaling curve.
+type ScalePoint struct {
+	// Processes is how many daemon OS processes served this point.
+	Processes int `json:"processes"`
+	// Result carries the open-loop throughput, latency percentiles, and
+	// SLO verdicts measured at this scale.
+	Result sched.OpenLoopResult `json:"result"`
+}
+
+// ServeScenario is one open-loop workload swept across cluster sizes.
 type ServeScenario struct {
-	// Name identifies the scenario, e.g. "wirematmul-clean".
+	// Name identifies the scenario, e.g. "wirematmul-scaling".
 	Name string `json:"name"`
 	// Kind is the job kind submitted (SubmitRequest.Kind).
 	Kind string `json:"kind"`
@@ -25,8 +39,10 @@ type ServeScenario struct {
 	Chaos bool `json:"chaos"`
 	// Fault is the chaos plan's spec string, empty without one.
 	Fault string `json:"fault,omitempty"`
-	// Result carries the measured throughput and latency percentiles.
-	Result sched.LoadGenResult `json:"result"`
+	// Rate is the offered Poisson arrival rate (jobs/second).
+	Rate float64 `json:"rate"`
+	// Points is the scaling curve, smallest cluster first.
+	Points []ScalePoint `json:"points"`
 }
 
 // ServeFile is the schema of BENCH_sched.json.
@@ -38,28 +54,34 @@ type ServeFile struct {
 	GOARCH     string          `json:"goarch"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Quick      bool            `json:"quick"`
-	Nodes      int             `json:"nodes"`
 	Workers    int             `json:"workers"`
 	QueueDepth int             `json:"queue_depth"`
 	Scenarios  []ServeScenario `json:"scenarios"`
 }
 
 // NewServeFile starts an empty serving-measurement file recording the
-// stack's shape and the host fingerprint.
-func NewServeFile(nodes, workers, queueDepth int, quick bool) *ServeFile {
+// serving stack's shape and the host fingerprint.
+func NewServeFile(workers, queueDepth int, quick bool) *ServeFile {
 	return &ServeFile{
-		Schema: 1, Suite: "sched",
+		Schema: 2, Suite: "sched",
 		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick,
-		Nodes: nodes, Workers: workers, QueueDepth: queueDepth,
+		Workers: workers, QueueDepth: queueDepth,
 	}
 }
 
-// Add appends one measured scenario.
-func (f *ServeFile) Add(name, kind, faultSpec string, r sched.LoadGenResult) {
+// AddScenario appends an empty scaling curve and returns it for
+// point-by-point filling.
+func (f *ServeFile) AddScenario(name, kind, faultSpec string, rate float64) *ServeScenario {
 	f.Scenarios = append(f.Scenarios, ServeScenario{
-		Name: name, Kind: kind, Chaos: faultSpec != "", Fault: faultSpec, Result: r,
+		Name: name, Kind: kind, Chaos: faultSpec != "", Fault: faultSpec, Rate: rate,
 	})
+	return &f.Scenarios[len(f.Scenarios)-1]
+}
+
+// AddPoint appends one measured cluster size to the curve.
+func (s *ServeScenario) AddPoint(processes int, r sched.OpenLoopResult) {
+	s.Points = append(s.Points, ScalePoint{Processes: processes, Result: r})
 }
 
 // FindScenario returns the named scenario, or nil.

@@ -1,0 +1,258 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Open-loop load generation. The closed loop this replaces had each
+// client wait for its job to finish before submitting the next one, so
+// offered load adapted to the system's capacity — a saturated scheduler
+// just slowed its own clients down, and latency percentiles flattered
+// the system exactly when it was struggling (coordinated omission). An
+// open-loop generator offers arrivals on a Poisson process whose rate
+// the system does not control: when the scheduler falls behind, queueing
+// delay shows up in the percentiles and admission rejects show up in
+// the reject count, which is the honest shape of a serving benchmark.
+
+// OpenLoopConfig drives one open-loop run against a serving endpoint.
+type OpenLoopConfig struct {
+	// BaseURL is the serving root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Rate is the offered arrival rate in jobs/second (required > 0).
+	Rate float64
+	// Duration is how long arrivals are offered; in-flight jobs are
+	// drained (up to Timeout) after the last arrival (default 5s).
+	Duration time.Duration
+	// Request is the job template each arrival submits.
+	Request SubmitRequest
+	// Seed makes the arrival process reproducible (same seed, same
+	// inter-arrival sequence).
+	Seed int64
+	// PollInterval is the status poll period (default 5ms).
+	PollInterval time.Duration
+	// Timeout bounds one job's submit-to-terminal wait (default 60s).
+	Timeout time.Duration
+	// TargetP50MS / TargetP99MS are the latency SLO targets the result
+	// is scored against; 0 leaves the corresponding verdict unset.
+	TargetP50MS float64
+	TargetP99MS float64
+}
+
+// OpenLoopResult aggregates one open-loop run. Latencies are per job,
+// submission to observed terminal state, done jobs only.
+type OpenLoopResult struct {
+	Offered   int     `json:"offered"`   // Poisson arrivals generated
+	Submitted int     `json:"submitted"` // accepted by admission
+	Done      int     `json:"done"`
+	Failed    int     `json:"failed"`
+	Evicted   int     `json:"evicted"`
+	Rejected  int     `json:"rejected"` // 429 backpressure; open loop does not retry
+	Seconds   float64 `json:"seconds"`
+	// OfferedRate is what the generator asked for; Throughput is done
+	// jobs per second of run time. The gap between them is the serving
+	// deficit at this scale.
+	OfferedRate float64 `json:"offered_rate"`
+	Throughput  float64 `json:"throughput"`
+	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	// SLO verdicts: the targets, whether the measured percentiles meet
+	// them, and the fraction of done jobs under the p99 target.
+	TargetP50MS   float64 `json:"target_p50_ms,omitempty"`
+	TargetP99MS   float64 `json:"target_p99_ms,omitempty"`
+	P50SLOMet     bool    `json:"p50_slo_met"`
+	P99SLOMet     bool    `json:"p99_slo_met"`
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// RunOpenLoop offers Poisson arrivals at cfg.Rate for cfg.Duration and
+// aggregates the outcome. It returns an error only when the run itself
+// cannot proceed (transport failure, malformed replies); job failures,
+// evictions, and admission rejects are counted, not fatal — under chaos
+// or overload they are the measurement.
+func RunOpenLoop(cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("sched: open-loop rate %v must be positive", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	body, err := json.Marshal(cfg.Request)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		res       OpenLoopResult
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	next := start
+	for {
+		// Exponential inter-arrival times make the arrival process
+		// Poisson; the seeded source makes the whole offered trace
+		// reproducible.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if next.After(end) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		res.Offered++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcome, lat, err := submitAndAwait(client, cfg, body)
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch outcome {
+			case "rejected":
+				res.Rejected++
+			case "done":
+				res.Submitted++
+				res.Done++
+				latencies = append(latencies, lat.Seconds()*1e3)
+			case "failed":
+				res.Submitted++
+				res.Failed++
+			case "evicted":
+				res.Submitted++
+				res.Evicted++
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Seconds = time.Since(start).Seconds()
+	res.OfferedRate = cfg.Rate
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Done) / res.Seconds
+	}
+	sort.Float64s(latencies)
+	res.P50MS = percentile(latencies, 0.50)
+	res.P90MS = percentile(latencies, 0.90)
+	res.P99MS = percentile(latencies, 0.99)
+	res.TargetP50MS, res.TargetP99MS = cfg.TargetP50MS, cfg.TargetP99MS
+	if cfg.TargetP50MS > 0 {
+		res.P50SLOMet = res.P50MS <= cfg.TargetP50MS
+	}
+	if cfg.TargetP99MS > 0 {
+		res.P99SLOMet = res.P99MS <= cfg.TargetP99MS
+		under := 0
+		for _, l := range latencies {
+			if l <= cfg.TargetP99MS {
+				under++
+			}
+		}
+		if len(latencies) > 0 {
+			res.SLOAttainment = float64(under) / float64(len(latencies))
+		}
+	}
+	return &res, nil
+}
+
+// submitAndAwait submits one arrival and follows it to a terminal
+// state, retrieving a done job's result (completing the exactly-once
+// contract). A 429 reports "rejected" — the open loop never retries an
+// arrival; the next one is already scheduled.
+func submitAndAwait(client *http.Client, cfg OpenLoopConfig, body []byte) (outcome string, lat time.Duration, err error) {
+	submitted := time.Now()
+	resp, err := client.Post(cfg.BaseURL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return "rejected", 0, nil
+	}
+	var sub SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return "", 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", 0, fmt.Errorf("loadgen: submit status %d", resp.StatusCode)
+	}
+	deadline := submitted.Add(cfg.Timeout)
+	for {
+		var st Status
+		if err := getJSON(client, fmt.Sprintf("%s/jobs/%d", cfg.BaseURL, sub.ID), &st); err != nil {
+			return "", 0, err
+		}
+		switch st.State {
+		case "done":
+			lat = time.Since(submitted)
+			var out map[string]any
+			if err := getJSON(client, fmt.Sprintf("%s/jobs/%d/result", cfg.BaseURL, sub.ID), &out); err != nil {
+				return "", 0, fmt.Errorf("loadgen: job %d done but result unavailable: %w", sub.ID, err)
+			}
+			return "done", lat, nil
+		case "failed", "evicted":
+			return st.State, time.Since(submitted), nil
+		}
+		if time.Now().After(deadline) {
+			return "", 0, fmt.Errorf("loadgen: job %d stuck in %q past the timeout", sub.ID, st.State)
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// percentile returns the pth quantile of sorted (ascending) values, by
+// nearest-rank; 0 for an empty slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -50,16 +52,151 @@ func (p *LeastLoaded) Place(n int) int {
 // Name implements Placement.
 func (p *LeastLoaded) Name() string { return "least-loaded" }
 
+// KeyedPlacement is the optional Placement extension for policies that
+// place by job identity rather than arrival order: the same key maps to
+// the same base PE across submissions (modulo load bounds), so a
+// resubmitted job finds its data-affine node.
+type KeyedPlacement interface {
+	Placement
+	// PlaceKey returns the base PE for the job with the given key on an
+	// n-node cluster.
+	PlaceKey(key uint64, n int) int
+}
+
+// ConsistentHash places jobs by consistent hashing with bounded load
+// (Mirrokni et al.): each PE owns Replicas points on a hash ring, a
+// job's key hashes to a ring position, and the job walks clockwise from
+// there taking the first PE whose live anchored-job count (the
+// sched.node.load gauges) is below ceil(LoadFactor × average+1). Keyed
+// affinity gives resubmissions and related jobs a stable home; the load
+// bound keeps a hot key from melting its node; and adding a PE moves
+// only ~1/n of the keyspace, which is what makes the horizontal-scaling
+// curve (1→2→4→8 daemons) behave under a live workload.
+type ConsistentHash struct {
+	// Replicas is the virtual-node count per PE (default 64).
+	Replicas int
+	// LoadFactor is the bounded-load ceiling multiplier (default 1.25).
+	LoadFactor float64
+
+	met *schedMetrics
+
+	seq atomic.Uint64 // keyless placements walk the keyspace deterministically
+
+	mu    sync.Mutex
+	ring  []ringPoint // cached ring, rebuilt when n changes
+	ringN int
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// splitmix64 is the deterministic 64-bit mixer behind the ring and the
+// key hash (no global rand, stable across runs and processes).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (p *ConsistentHash) replicas() int {
+	if p.Replicas > 0 {
+		return p.Replicas
+	}
+	return 64
+}
+
+func (p *ConsistentHash) loadFactor() float64 {
+	if p.LoadFactor > 1 {
+		return p.LoadFactor
+	}
+	return 1.25
+}
+
+// ringFor returns the sorted ring for an n-node cluster, rebuilding the
+// cache when the cluster size changed.
+func (p *ConsistentHash) ringFor(n int) []ringPoint {
+	if p.ringN == n {
+		return p.ring
+	}
+	r := p.replicas()
+	ring := make([]ringPoint, 0, n*r)
+	for node := 0; node < n; node++ {
+		for rep := 0; rep < r; rep++ {
+			ring = append(ring, ringPoint{hash: splitmix64(uint64(node)<<20 | uint64(rep)), node: node})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	p.ring, p.ringN = ring, n
+	return ring
+}
+
+// PlaceKey implements KeyedPlacement.
+func (p *ConsistentHash) PlaceKey(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ring := p.ringFor(n)
+	h := splitmix64(key)
+	idx := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if idx == len(ring) {
+		idx = 0
+	}
+	// Bounded load: cap each PE at ceil(LoadFactor × (total+1)/n) live
+	// jobs; walk clockwise past full PEs. The average counts the job
+	// being placed, so the cap is never zero and the walk always finds
+	// a PE with headroom.
+	var total int64
+	if p.met != nil {
+		for i := 0; i < n && i < len(p.met.nodeLoad); i++ {
+			total += p.met.nodeLoad[i].Value()
+		}
+	}
+	cap64 := int64(p.loadFactor() * float64(total+1) / float64(n))
+	if cap64 < 1 {
+		cap64 = 1
+	}
+	seen := 0
+	for i := 0; seen < n; i++ {
+		pt := ring[(idx+i)%len(ring)]
+		var load int64
+		if p.met != nil && pt.node < len(p.met.nodeLoad) {
+			load = p.met.nodeLoad[pt.node].Value()
+		}
+		if load < cap64 {
+			return pt.node
+		}
+		seen++ // count distinct rejections loosely; the walk is short in practice
+	}
+	return ring[idx].node
+}
+
+// Place implements Placement for keyless callers: successive placements
+// walk the keyspace deterministically, spreading like round-robin but
+// through the same ring (and the same load bound) as keyed placements.
+func (p *ConsistentHash) Place(n int) int {
+	return p.PlaceKey(p.seq.Add(1), n)
+}
+
+// Name implements Placement.
+func (p *ConsistentHash) Name() string { return "consistent-hash" }
+
 // NewPlacement builds a policy by name: "round-robin" (the default for
-// empty input) or "least-loaded". The scheduler binds LeastLoaded to
-// its own load gauges at construction.
+// empty input), "least-loaded", or "consistent-hash". The scheduler
+// binds load-aware policies to its own load gauges at construction.
 func NewPlacement(name string) (Placement, error) {
 	switch name {
 	case "", "round-robin", "rr":
 		return &RoundRobin{}, nil
 	case "least-loaded", "ll":
 		return &LeastLoaded{}, nil
+	case "consistent-hash", "ch", "hash":
+		return &ConsistentHash{}, nil
 	default:
-		return nil, fmt.Errorf("sched: unknown placement policy %q (want round-robin or least-loaded)", name)
+		return nil, fmt.Errorf("sched: unknown placement policy %q (want round-robin, least-loaded, or consistent-hash)", name)
 	}
 }

@@ -19,7 +19,46 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/metrics"
 )
+
+// Backend is the cluster surface the scheduler runs jobs on. Both the
+// in-process wire.Cluster (daemons as goroutines, one address space)
+// and the wire.RemoteCluster client (daemons as separate OS processes,
+// reached over control connections) implement it, so a scheduler —
+// and every Work program — runs unchanged against either. Methods that
+// cannot fail in-process return errors because remotely they can.
+type Backend interface {
+	// Size returns the cluster's node count.
+	Size() int
+	// SetVar places a node variable (durable before the call returns on
+	// persistent hosts).
+	SetVar(node int, name string, v any) error
+	// GetVar reads a node variable (nil when absent).
+	GetVar(node int, name string) (any, error)
+	// InjectJob starts an agent on node under a nonzero job namespace.
+	InjectJob(node int, job uint64, behavior string, state any) error
+	// WaitJob blocks until the namespace is quiescent.
+	WaitJob(job uint64, timeout time.Duration) error
+	// CancelJob marks the namespace cancelled; its agents retire at
+	// their next dispatch.
+	CancelJob(job uint64)
+	// ReleaseJob forgets a drained namespace's bookkeeping.
+	ReleaseJob(job uint64)
+	// ClearVarsPrefix deletes prefixed node variables on every node.
+	ClearVarsPrefix(prefix string)
+	// Metrics exposes the backend's metric registry.
+	Metrics() *metrics.Registry
+}
+
+// Liveness is the optional Backend extension a remote cluster provides:
+// a heartbeat-fed verdict per node. Placement steers fresh jobs away
+// from dead hosts; correctness never depends on the verdict being
+// current (a job placed on a host that dies anyway is retried).
+type Liveness interface {
+	Alive(node int) bool
+}
 
 // State is a job's position in the lifecycle
 //

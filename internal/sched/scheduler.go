@@ -6,14 +6,14 @@ import (
 	"time"
 
 	"repro/internal/metrics"
-	"repro/internal/wire"
 )
 
 // Config configures a Scheduler.
 type Config struct {
-	// Cluster is the shared wire cluster jobs run on. Nil is allowed
-	// for schedulers serving only simulated (local) work.
-	Cluster *wire.Cluster
+	// Cluster is the shared cluster backend jobs run on — an in-process
+	// wire.Cluster or a wire.RemoteCluster over real daemon processes.
+	// Nil is allowed for schedulers serving only simulated (local) work.
+	Cluster Backend
 	// Workers is the number of jobs run concurrently (default 4).
 	Workers int
 	// QueueDepth bounds the admission queue; submissions beyond it get
@@ -120,6 +120,9 @@ func New(cfg Config) (*Scheduler, error) {
 	s.cond = sync.NewCond(&s.mu)
 	if ll, ok := cfg.Placement.(*LeastLoaded); ok && ll.met == nil {
 		ll.met = s.met
+	}
+	if ch, ok := cfg.Placement.(*ConsistentHash); ok && ch.met == nil {
+		ch.met = s.met
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -342,7 +345,7 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			continue
 		}
-		j.base = s.cfg.Placement.Place(s.nodes)
+		j.base = s.place(j)
 		s.met.transition(StateQueued, StatePlaced)
 		j.state = StatePlaced
 		s.mu.Unlock()
@@ -350,6 +353,27 @@ func (s *Scheduler) worker() {
 		s.run(j)
 		s.met.nodeLoad[j.base].Add(-1)
 	}
+}
+
+// place chooses a job's base PE: by the policy's keyed form when it has
+// one (the job id is the key, so a resubmitted job lands on the same
+// base as long as loads allow), plainly otherwise — then steered off
+// nodes the backend's liveness prober has declared dead. The steer is
+// advisory: a stale verdict costs one failed attempt, which the retry
+// budget absorbs.
+func (s *Scheduler) place(j *job) int {
+	var base int
+	if kp, ok := s.cfg.Placement.(KeyedPlacement); ok {
+		base = kp.PlaceKey(j.id, s.nodes)
+	} else {
+		base = s.cfg.Placement.Place(s.nodes)
+	}
+	if lv, ok := s.cfg.Cluster.(Liveness); ok {
+		for probe := 0; probe < s.nodes && !lv.Alive(base); probe++ {
+			base = (base + 1) % s.nodes
+		}
+	}
+	return base
 }
 
 // namespace returns the wire job namespace of one attempt: the job id

@@ -148,9 +148,12 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad submit body: %w", err))
 		return
 	}
+	// 400 is reserved for bodies that do not parse; a body that parses
+	// but describes an impossible job (unknown kind, out-of-range stage)
+	// is semantically invalid — 422.
 	work, err := req.work()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	id, err := sv.sched.Submit(Spec{

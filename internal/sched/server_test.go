@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -141,10 +144,11 @@ func TestHTTPSubmitStatusResult(t *testing.T) {
 func TestHTTPErrorCodes(t *testing.T) {
 	ts, s, _ := newTestServer(t, 1, Config{Workers: 1, QueueDepth: 1})
 
-	// Unknown kind and malformed body are 400s.
+	// A body that parses but describes an impossible job is 422; one
+	// that does not decode at all is 400.
 	resp, _ := postJSON(t, ts.URL+"/jobs", SubmitRequest{Kind: "nope"})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown kind = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown kind = %d, want 422", resp.StatusCode)
 	}
 	raw, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{")))
 	if err != nil {
@@ -202,6 +206,197 @@ func TestHTTPErrorCodes(t *testing.T) {
 	if respND.StatusCode != http.StatusConflict {
 		t.Fatalf("not-done result = %d, want 409", respND.StatusCode)
 	}
+}
+
+// TestHTTPMalformedSpecs pins the submit error-code contract,
+// table-driven: 400 is reserved for bodies that do not decode at all,
+// 422 for bodies that decode into an impossible job, and 202 for the
+// valid ones.
+func TestHTTPMalformedSpecs(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, Config{Workers: 2})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"truncated json", `{"kind":"wirematmul"`, http.StatusBadRequest},
+		{"wrong field type", `{"kind":42}`, http.StatusBadRequest},
+		{"not an object", `[1,2,3]`, http.StatusBadRequest},
+		{"empty body kind", `{}`, http.StatusUnprocessableEntity},
+		{"unknown kind", `{"kind":"frobnicate"}`, http.StatusUnprocessableEntity},
+		{"stage out of range", `{"kind":"matmul","stage":99}`, http.StatusUnprocessableEntity},
+		{"negative stage", `{"kind":"matmul","stage":-1}`, http.StatusUnprocessableEntity},
+		{"unknown plan variant", `{"kind":"plan","variant":"zigzag"}`, http.StatusUnprocessableEntity},
+		{"valid wirematmul", `{"kind":"wirematmul","n":4}`, http.StatusAccepted},
+		{"valid plan", `{"kind":"plan","rows":2,"cols":2}`, http.StatusAccepted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("submit %s: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestHTTPQueueFullConcurrent saturates a depth-2 queue behind a
+// blocked worker with racing submits: the scheduler must admit exactly
+// queue-depth jobs and answer 429 to every other racer — never a hang,
+// never a 5xx, never an over-admission.
+func TestHTTPQueueFullConcurrent(t *testing.T) {
+	const depth, racers = 2, 16
+	ts, s, _ := newTestServer(t, 1, Config{Workers: 1, QueueDepth: depth})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	defer close(gate)
+	s.Submit(Spec{Work: WorkFunc{Name: "hold", Fn: func(rt *Runtime) (any, error) {
+		started <- struct{}{}
+		<-gate
+		return nil, nil
+	}}})
+	<-started
+
+	codes := make([]int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs", "application/json",
+				strings.NewReader(`{"kind":"wirematmul","n":4}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	accepted, rejected := 0, 0
+	for i, c := range codes {
+		switch c {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("racer %d: status %d, want 202 or 429", i, c)
+		}
+	}
+	if accepted != depth || rejected != racers-depth {
+		t.Fatalf("admission under racing submits: %d accepted, %d rejected; want exactly %d accepted, %d rejected",
+			accepted, rejected, depth, racers-depth)
+	}
+}
+
+// TestHTTPCancelVsResultRace races POST cancel against GET result for a
+// batch of jobs. Whatever interleaving wins, the contract must hold: a
+// result is delivered with 200 at most once per job (410 forever
+// after), a not-yet-terminal result answers 409, an evicted or failed
+// job's result answers 422 without ever having delivered, and a cancel
+// answers 200 or — already terminal — 404.
+func TestHTTPCancelVsResultRace(t *testing.T) {
+	const jobs = 12
+	ts, _, _ := newTestServer(t, 2, Config{Workers: 4, QueueDepth: jobs})
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs", "application/json",
+				strings.NewReader(`{"kind":"wirematmul","n":4,"retries":1}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var sub SubmitResponse
+			json.NewDecoder(resp.Body).Decode(&sub)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("job %d: submit status %d", i, resp.StatusCode)
+				return
+			}
+			resURL := fmt.Sprintf("%s/jobs/%d/result", ts.URL, sub.ID)
+			cancelURL := fmt.Sprintf("%s/jobs/%d/cancel", ts.URL, sub.ID)
+
+			// The canceller fires immediately, racing the job through
+			// queued, running, and terminal.
+			var inner sync.WaitGroup
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+				resp, err := http.Post(cancelURL, "application/json", strings.NewReader("{}"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					t.Errorf("job %d: cancel status %d, want 200 or 404", i, resp.StatusCode)
+				}
+			}()
+
+			// The result poller hammers the endpoint through the race
+			// until the outcome settles.
+			var ok200, gone410 int
+			deadline := time.Now().Add(testTimeout)
+			for settled := false; !settled; {
+				resp, err := http.Get(resURL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200++
+				case http.StatusGone:
+					gone410++
+					settled = true // delivered earlier, now tombstoned
+				case http.StatusConflict:
+					// not terminal yet; keep racing
+				case http.StatusUnprocessableEntity:
+					settled = true // evicted or failed: no result existed
+					if ok200 != 0 {
+						t.Errorf("job %d: delivered a result and then reported no-result (422)", i)
+					}
+				default:
+					t.Errorf("job %d: result status %d", i, resp.StatusCode)
+					return
+				}
+				if ok200 > 1 {
+					break
+				}
+				if !settled && time.Now().After(deadline) {
+					t.Errorf("job %d: race never settled (ok=%d gone=%d)", i, ok200, gone410)
+					return
+				}
+				if !settled {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			inner.Wait()
+			if ok200 > 1 {
+				t.Errorf("job %d: result delivered %d times — exactly-once violated", i, ok200)
+			}
+			if ok200 == 1 && gone410 == 0 {
+				t.Errorf("job %d: delivered result never tombstoned to 410", i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestHTTPCancel(t *testing.T) {

@@ -14,12 +14,13 @@ import (
 
 // Runtime is what one attempt of a job gets to run with.
 type Runtime struct {
-	// Cluster is the shared wire cluster. Work that uses it must scope
+	// Cluster is the shared cluster backend — in-process or a remote
+	// client over real daemon processes. Work that uses it must scope
 	// everything to Job: inject with InjectJob, wait with WaitJob, and
 	// prefix node-variable keys with Prefix(), so concurrent tenants
 	// (and this job's own earlier half-finished attempts) cannot
 	// collide. Nil for schedulers serving only local (simulated) work.
-	Cluster *wire.Cluster
+	Cluster Backend
 	// Job is this attempt's wire namespace — unique per attempt, not
 	// per job, which is what makes retry safe: a retried attempt never
 	// shares dedup, checkpoint, or counter state with its predecessor.
@@ -83,6 +84,9 @@ type bPart struct {
 
 func init() {
 	wire.RegisterState(&rowCarrierState{})
+	// bPart crosses the control wire (SetVar to remote daemons), so its
+	// concrete type must be gob-registered like any agent state.
+	wire.RegisterState(&bPart{})
 	wire.Register("sched.rowCarrier", func(ctx *wire.Ctx) wire.Verdict {
 		st := ctx.State().(*rowCarrierState)
 		pre := jobPrefix(ctx.Job())
@@ -143,7 +147,9 @@ func (w WireMatmul) Run(rt *Runtime) (any, error) {
 			}
 			cols[j-lo] = col
 		}
-		rt.Cluster.Set(pe, pre+"B", &bPart{Off: lo, Cols: cols})
+		if err := rt.Cluster.SetVar(pe, pre+"B", &bPart{Off: lo, Cols: cols}); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < n; i++ {
 		node := (rt.Base + i) % pes
@@ -164,7 +170,11 @@ func (w WireMatmul) Run(rt *Runtime) (any, error) {
 			continue
 		}
 		for i := 0; i < n; i++ {
-			crow, ok := rt.Cluster.Get(pe, fmt.Sprintf("%sC:%d", pre, i)).([]int64)
+			v, err := rt.Cluster.GetVar(pe, fmt.Sprintf("%sC:%d", pre, i))
+			if err != nil {
+				return nil, err
+			}
+			crow, ok := v.([]int64)
 			if !ok {
 				return nil, fmt.Errorf("sched: wirematmul row %d missing on PE %d after quiescence", i, pe)
 			}

@@ -27,6 +27,7 @@ type nodeState struct {
 	met     *wireMetrics
 	retain  int        // dedup high-water mark (Options.DedupRetain)
 	cancels *cancelSet // cluster-shared set of cancelled job namespaces
+	persist *persister // disk snapshots for multi-host daemons; nil in-process
 
 	mu        sync.Mutex
 	ckpt      map[uint64]*checkpoint // agent ID → last completed hop boundary

@@ -104,6 +104,7 @@ type Cluster struct {
 	opts    Options
 	states  []*nodeState // persistent node-resident state, one per node
 	peers   []string
+	members *membership // shared static view: index i = cl.peers[i]
 	errs    chan error
 	sink    *traceSink
 	cancels *cancelSet // job cancellation set, shared by every node
@@ -229,8 +230,9 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 		cl.peers = append(cl.peers, ln.Addr().String())
 		cl.states = append(cl.states, newNodeState(i, met, opts.DedupRetain, cl.cancels))
 	}
+	cl.members = newMembership(cl.peers)
 	for i := 0; i < n; i++ {
-		d := newDaemon(i, cl.peers, listeners[i], cl.states[i], &cl.opts, cl.errs, cl.sink)
+		d := newDaemon(i, cl.members, listeners[i], cl.states[i], &cl.opts, cl.errs, cl.sink)
 		cl.daemons = append(cl.daemons, d)
 		cl.ctl = append(cl.ctl, &ctlConn{addr: cl.peers[i]})
 		go d.serve()
@@ -291,6 +293,18 @@ func (cl *Cluster) Set(node int, name string, v any) {
 // results).
 func (cl *Cluster) Get(node int, name string) any {
 	return cl.states[node].vars.get(name)
+}
+
+// SetVar is Set with the error-returning signature shared with
+// RemoteCluster: an in-process write cannot fail, a remote one can.
+func (cl *Cluster) SetVar(node int, name string, v any) error {
+	cl.Set(node, name, v)
+	return nil
+}
+
+// GetVar is Get with the error-returning remote-compatible signature.
+func (cl *Cluster) GetVar(node int, name string) (any, error) {
+	return cl.Get(node, name), nil
 }
 
 // Wait blocks until the cluster is quiescent — every agent finished and
@@ -505,7 +519,7 @@ func (cl *Cluster) restart(i int) {
 		}
 		return
 	}
-	d := newDaemon(i, cl.peers, ln, cl.states[i], &cl.opts, cl.errs, cl.sink)
+	d := newDaemon(i, cl.members, ln, cl.states[i], &cl.opts, cl.errs, cl.sink)
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()

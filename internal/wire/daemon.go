@@ -25,13 +25,13 @@ var errKilled = errors.New("wire: daemon incarnation killed")
 // lives in the shared nodeState; a daemon incarnation is disposable and
 // a kill discards only what the checkpoint protocol can reconstruct.
 type daemon struct {
-	id    int
-	peers []string // peer addresses, indexed by node id
-	ln    net.Listener
-	node  *nodeState
-	opts  *Options // cluster-wide knobs, read-only
-	errs  chan error
-	sink  *traceSink
+	id      int
+	members *membership // node id → address, shared across incarnations
+	ln      net.Listener
+	node    *nodeState
+	opts    *Options // cluster-wide knobs, read-only
+	errs    chan error
+	sink    *traceSink
 
 	dead     atomic.Bool
 	linkMu   sync.Mutex
@@ -42,9 +42,9 @@ type daemon struct {
 	stopOnce sync.Once
 }
 
-func newDaemon(id int, peers []string, ln net.Listener, node *nodeState, opts *Options, errs chan error, sink *traceSink) *daemon {
+func newDaemon(id int, members *membership, ln net.Listener, node *nodeState, opts *Options, errs chan error, sink *traceSink) *daemon {
 	return &daemon{
-		id: id, peers: peers, ln: ln, node: node, opts: opts,
+		id: id, members: members, ln: ln, node: node, opts: opts,
 		errs: errs, sink: sink,
 		links: map[int]*link{}, inbound: map[net.Conn]struct{}{},
 		stopped: make(chan struct{}),
@@ -116,6 +116,15 @@ func (d *daemon) handle(conn net.Conn) {
 				d.fail(err)
 				return
 			}
+			if !dup {
+				// Persist the acceptance BEFORE acknowledging it: once the
+				// ack is out, the sender retires its checkpoint and this
+				// node owns the only durable copy of the agent.
+				if err := d.node.sync(); err != nil {
+					d.fail(err)
+					return
+				}
+			}
 			acked := reply(&envelope{Kind: msgAck, Ack: ackMsg{ID: msg.ID, Hop: msg.Hop, Dup: dup}})
 			if dup {
 				// Already accepted earlier: the original acceptance
@@ -154,29 +163,125 @@ func (d *daemon) handle(conn net.Conn) {
 		case msgShutdown:
 			d.terminate()
 			return
+		default:
+			if !d.handleControl(env, reply) {
+				return
+			}
 		}
 	}
 }
 
+// handleControl serves the membership and coordinator-control kinds on
+// an inbound connection. It reports whether the connection should keep
+// being served. Control mutations are persisted before the reply leaves
+// (same ordering contract as the hop ack).
+func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
+	ok := func(err error) bool {
+		out := &envelope{Kind: msgOK}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		return reply(out)
+	}
+	synced := func() error { return d.node.sync() }
+	switch env.Kind {
+	case msgJoin:
+		if env.Addr == "" { // observer: just report the membership
+			return reply(&envelope{Kind: msgMembers, Members: d.members.list(), You: -1})
+		}
+		id, err := d.members.add(env.Addr)
+		if err != nil {
+			return ok(err)
+		}
+		members := d.members.list()
+		d.broadcastMembers(members)
+		return reply(&envelope{Kind: msgMembers, Members: members, You: id})
+	case msgMembers:
+		if err := d.members.update(env.Members); err != nil {
+			return ok(err)
+		}
+		return ok(nil)
+	case msgLeave:
+		if env.Node == d.id {
+			return ok(fmt.Errorf("wire: daemon %d refuses its own departure notice", d.id))
+		}
+		d.members.leave(env.Node)
+		return ok(nil)
+	case msgInject:
+		// injectLocal persists before dispatch, so the ok reply implies
+		// the injection is durable.
+		return ok(d.injectLocal(env.Job, env.Agent.Behavior, env.Agent.State))
+	case msgSetVar:
+		var v any
+		if env.Value != nil {
+			v = env.Value.V
+		}
+		d.node.vars.set(env.Name, v)
+		return ok(synced())
+	case msgGetVar:
+		return reply(&envelope{Kind: msgVar, Value: &stateBox{V: d.node.vars.get(env.Name)}})
+	case msgCancel:
+		d.node.cancels.cancel(env.Job)
+		return ok(synced())
+	case msgFree:
+		d.node.releaseJob(env.Job)
+		d.node.cancels.release(env.Job)
+		return ok(synced())
+	case msgClear:
+		d.node.vars.deletePrefix(env.Name)
+		return ok(synced())
+	default:
+		// Reply kinds (msgAck et al.) arriving on an inbound connection
+		// are protocol noise; drop the connection.
+		return false
+	}
+}
+
+// broadcastMembers pushes an updated membership list to every other
+// member, best-effort and asynchronous: a member that misses the
+// broadcast learns the list when the joiner's first hop dials it, or on
+// the next join. The joiner itself gets the list in its join reply.
+func (d *daemon) broadcastMembers(members []string) {
+	for i, addr := range members {
+		if i == d.id || addr == "" {
+			continue
+		}
+		addr := addr
+		go func() {
+			c := &ctlConn{addr: addr}
+			defer c.close()
+			c.roundTrip(&envelope{Kind: msgMembers, Members: members, You: -1}, d.opts.AckTimeout)
+		}()
+	}
+}
+
 // injectLocal starts a new agent on this daemon — injection is local, as
-// in MESSENGERS. The agent is checkpointed before dispatch, so injection
-// into a dying daemon is not lost: the restart replays it. job is the
-// namespace the agent (and everything it injects) is accounted to.
-func (d *daemon) injectLocal(job uint64, behaviorName string, state any) {
+// in MESSENGERS. The agent is checkpointed (and, on a persistent host,
+// synced to disk) before dispatch, so injection into a dying daemon is
+// not lost: the restart replays it. job is the namespace the agent (and
+// everything it injects) is accounted to. The returned error reports
+// encode or persistence failures; in-process callers forward it to
+// d.fail, remote injection returns it to the coordinator.
+func (d *daemon) injectLocal(job uint64, behaviorName string, state any) error {
 	msg := &agentMsg{ID: d.node.newAgentID(), Job: job, Behavior: behaviorName, State: state}
 	arrivals, err := d.node.inject(msg)
 	if err != nil {
 		d.fail(err)
-		return
+		return err
+	}
+	if err := d.node.sync(); err != nil {
+		d.fail(err)
+		return err
 	}
 	if d.opts.Fault.KillNow(d.id, arrivals) {
 		d.kill()
-		return
+		return nil
 	}
 	if d.dead.Load() {
-		return // the checkpoint replays on the next incarnation
+		return nil // the checkpoint replays on the next incarnation
 	}
 	d.startStep(msg, false)
+	return nil
 }
 
 // startStep runs one behavior step in its own goroutine; the step may
@@ -211,7 +316,9 @@ func (d *daemon) startStep(msg *agentMsg, replay bool) {
 			// replay instead re-runs the step and re-sends; the normal
 			// duplicate-ack path then settles ownership, and the agent is
 			// absorbed wherever it is next freshly dispatched.
-			d.node.complete(msg.ID, msg.Hop)
+			if d.node.complete(msg.ID, msg.Hop) {
+				d.syncLazily()
+			}
 			return
 		}
 		b, err := behavior(msg.Behavior)
@@ -225,12 +332,15 @@ func (d *daemon) startStep(msg *agentMsg, replay bool) {
 		}
 		switch {
 		case v.stop:
-			d.node.complete(msg.ID, msg.Hop)
+			if d.node.complete(msg.ID, msg.Hop) {
+				d.syncLazily()
+			}
 		case v.hop && v.dst == d.id:
 			// Local hop: free, immediate re-dispatch (the daemon
 			// short-cut the paper relies on), but still a checkpoint
 			// boundary.
 			if d.node.rehop(msg) {
+				d.syncLazily()
 				d.startStep(msg, false)
 			}
 		case v.hop:
@@ -323,7 +433,9 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 			if acked {
 				met.framesAcked.Inc()
 				met.ackLatency.Observe(time.Since(sentAt).Microseconds())
-				d.node.ackDelivered(msg.ID, prevHop)
+				if d.node.ackDelivered(msg.ID, prevHop) {
+					d.syncLazily()
+				}
 				d.sink.record(navp.TraceHop, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)), "")
 				return
 			}
@@ -350,6 +462,17 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 			backoff = d.opts.MaxRetryBackoff
 			met.backoffCeiling.Inc()
 		}
+	}
+}
+
+// syncLazily persists the node image after an internal transition
+// (checkpoint retirement, completion, local rehop). Unlike the
+// pre-acknowledgement sync these are promptness-only — a crash that
+// loses one merely re-runs a step from its hop boundary — but a
+// persistence failure is still a loud one.
+func (d *daemon) syncLazily() {
+	if err := d.node.sync(); err != nil {
+		d.fail(err)
 	}
 }
 
@@ -381,7 +504,11 @@ func (d *daemon) link(dst int) (*link, error) {
 	if l, ok := d.links[dst]; ok {
 		return l, nil
 	}
-	conn, err := net.DialTimeout("tcp", d.peers[dst], d.opts.AckTimeout)
+	addr, err := d.members.addr(dst)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, d.opts.AckTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: daemon %d dial %d: %w", d.id, dst, err)
 	}

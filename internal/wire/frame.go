@@ -20,20 +20,52 @@ const (
 	msgPing     = "ping"     // coordinator heartbeat probe
 	msgPong     = "pong"     // a daemon's heartbeat reply
 	msgShutdown = "shutdown" // coordinator: quiesced, stop serving
+
+	// Membership (multi-host clusters; see DESIGN.md §13).
+	msgJoin    = "join"    // a starting daemon announces itself (Addr); empty Addr = observer query
+	msgMembers = "members" // the membership list: join reply (You = your id) or peer broadcast (You = -1)
+	msgLeave   = "leave"   // graceful departure notice for member Node
+
+	// Coordinator → daemon control (the RemoteCluster surface).
+	msgInject = "inject" // inject Agent locally under namespace Job
+	msgSetVar = "setvar" // set node variable Name = Value
+	msgGetVar = "getvar" // read node variable Name
+	msgVar    = "var"    // getvar reply (Value)
+	msgCancel = "cancel" // mark job namespace Job cancelled
+	msgFree   = "free"   // release job namespace Job's bookkeeping
+	msgClear  = "clear"  // delete node variables with prefix Name
+	msgOK     = "ok"     // generic control acknowledgement (Err carries failure)
 )
 
 // envelope is the single wire format; unused fields stay zero.
 type envelope struct {
 	Kind string
-	// Agent migration.
+	// Agent migration (msgAgent) and remote injection (msgInject).
 	Agent *agentMsg
 	// Hop acknowledgement (the checkpoint/dedup handshake).
 	Ack ackMsg
 	// Termination detection (Mattern's four counters). Job selects which
 	// namespace a msgSnapshot polls: 0 is the cluster-wide total, any
-	// other value the per-job slice (see nodeState.jobCounters).
+	// other value the per-job slice (see nodeState.jobCounters). Job is
+	// also the namespace operand of msgInject/msgCancel/msgFree.
 	Counters counters
 	Job      uint64
+
+	// Membership handshake: the joiner's advertised address (msgJoin),
+	// the address table in node-id order (msgMembers), the assigned node
+	// id in a join reply — -1 for observers and broadcasts (msgMembers) —
+	// and the departing member (msgLeave).
+	Addr    string
+	Members []string
+	You     int
+	Node    int
+
+	// Control operands: variable name or prefix (msgSetVar, msgGetVar,
+	// msgClear), boxed variable value (msgSetVar, msgVar), and the error
+	// text of a failed control operation (msgOK, msgVar).
+	Name  string
+	Value *stateBox
+	Err   string
 }
 
 // agentMsg is a migrating computation between steps: the behavior name
@@ -259,14 +291,43 @@ func decodeBody(body []byte) (env *envelope, err error) {
 // validate enforces the frame's semantic invariants after decoding.
 func (env *envelope) validate() error {
 	switch env.Kind {
-	case msgAgent:
+	case msgAgent, msgInject:
 		if env.Agent == nil {
-			return errors.New("wire: agent frame without an agent")
+			return fmt.Errorf("wire: %s frame without an agent", env.Kind)
 		}
 		if env.Agent.Behavior == "" {
-			return errors.New("wire: agent frame without a behavior name")
+			return fmt.Errorf("wire: %s frame without a behavior name", env.Kind)
 		}
-	case msgAck, msgSnapshot, msgCounters, msgPing, msgPong, msgShutdown:
+	case msgJoin:
+		// Empty Addr is the observer form ("send me the members").
+		if env.Addr != "" {
+			if err := validateAddr(env.Addr); err != nil {
+				return err
+			}
+		}
+	case msgMembers:
+		if len(env.Members) == 0 {
+			return errors.New("wire: members frame with an empty list")
+		}
+		if err := validateMembers(env.Members); err != nil {
+			return err
+		}
+		if env.You < -1 || env.You >= len(env.Members) {
+			return fmt.Errorf("wire: members frame assigns id %d of %d", env.You, len(env.Members))
+		}
+	case msgLeave:
+		if env.Node < 0 {
+			return fmt.Errorf("wire: leave frame for negative node %d", env.Node)
+		}
+	case msgSetVar, msgGetVar, msgClear:
+		if env.Name == "" {
+			return fmt.Errorf("wire: %s frame without a name", env.Kind)
+		}
+	case msgCancel, msgFree:
+		if env.Job == 0 {
+			return fmt.Errorf("wire: %s frame for the default namespace", env.Kind)
+		}
+	case msgAck, msgSnapshot, msgCounters, msgPing, msgPong, msgShutdown, msgVar, msgOK:
 	default:
 		return fmt.Errorf("wire: unknown frame kind %q", env.Kind)
 	}

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -18,6 +20,20 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		{Kind: msgCounters, Counters: counters{Created: 4, Finished: 4, Sent: 12, Received: 12}},
 		{Kind: msgPing},
 		{Kind: msgShutdown},
+		// Membership handshake and coordinator-control frames.
+		{Kind: msgJoin, Addr: "127.0.0.1:9001"},
+		{Kind: msgJoin}, // observer query
+		{Kind: msgMembers, Members: []string{"127.0.0.1:9001", "127.0.0.1:9002"}, You: 1},
+		{Kind: msgMembers, Members: []string{"127.0.0.1:9001"}, You: -1},
+		{Kind: msgLeave, Node: 2},
+		{Kind: msgInject, Job: 77, Agent: &agentMsg{Behavior: "ring"}},
+		{Kind: msgSetVar, Name: "x", Value: &stateBox{V: int64(42)}},
+		{Kind: msgGetVar, Name: "x"},
+		{Kind: msgVar, Value: &stateBox{V: "hello"}},
+		{Kind: msgCancel, Job: 3},
+		{Kind: msgFree, Job: 3},
+		{Kind: msgClear, Name: "job.3."},
+		{Kind: msgOK, Err: "wire: nope"},
 	} {
 		f, err := encodeFrame(env)
 		if err != nil {
@@ -64,7 +80,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		// A decoded frame must re-encode (the round trip a retransmission
 		// depends on). State payloads of unregistered types are the one
 		// legitimate exception gob cannot re-encode.
-		if env.Kind != msgAgent || env.Agent.State == nil {
+		if (env.Kind != msgAgent && env.Kind != msgInject) || env.Agent.State == nil {
 			f, rerr := encodeFrame(env)
 			if rerr != nil {
 				t.Fatalf("decoded frame does not re-encode: %v", rerr)
@@ -132,6 +148,88 @@ func TestDecodeFrameRejectsAgentWithoutBehavior(t *testing.T) {
 	if _, err := decodeFrame(f.bytes()); err == nil {
 		t.Fatal("agent frame without behavior accepted")
 	}
+}
+
+// FuzzParseSeeds fuzzes the seed-list parser — operator-supplied text
+// handed to every daemon at boot. Accepted output must satisfy the
+// member-list invariants and survive the Format/Parse round trip.
+func FuzzParseSeeds(f *testing.F) {
+	for _, s := range []string{
+		"127.0.0.1:7001\n127.0.0.1:7002\n",
+		"a:1, b:2 # trailing\n# full-line comment\nc:3",
+		"", "a:1\na:1", "[::1]:80\nhost.example:443",
+		"bad addr:1", "a:1,,,\n\n#\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		addrs, err := ParseSeeds(text)
+		if err != nil {
+			return
+		}
+		if len(addrs) == 0 {
+			t.Fatal("ParseSeeds returned an empty list without error")
+		}
+		if verr := validateMembers(addrs); verr != nil {
+			t.Fatalf("ParseSeeds accepted an invalid list: %v", verr)
+		}
+		round, rerr := ParseSeeds(FormatSeeds(addrs))
+		if rerr != nil {
+			t.Fatalf("Format/Parse round trip failed: %v", rerr)
+		}
+		if len(round) != len(addrs) {
+			t.Fatalf("round trip changed length: %d != %d", len(round), len(addrs))
+		}
+		for i := range addrs {
+			if round[i] != addrs[i] {
+				t.Fatalf("round trip changed entry %d: %q != %q", i, round[i], addrs[i])
+			}
+		}
+	})
+}
+
+// FuzzMembershipUpdate fuzzes the join/leave/update handshake state
+// machine with an arbitrary interleaving of operations, checking the
+// stability invariant afterwards: an index, once assigned, never maps
+// to a different address.
+func FuzzMembershipUpdate(f *testing.F) {
+	f.Add("j127.0.0.1:1\nj127.0.0.1:2\nl1\nu127.0.0.1:1,127.0.0.1:2,127.0.0.1:3")
+	f.Add("u1:1\nj1:1\nl0\nj1:1")
+	f.Add("jx\nu\nl-1")
+	f.Fuzz(func(t *testing.T, script string) {
+		m := newMembership(nil)
+		assigned := map[int]string{} // index → address, pinned at first sight
+		record := func() {
+			for i, a := range m.list() {
+				if prev, ok := assigned[i]; ok && prev != a {
+					t.Fatalf("index %d remapped from %q to %q", i, prev, a)
+				} else if !ok {
+					assigned[i] = a
+				}
+			}
+		}
+		for _, line := range strings.Split(script, "\n") {
+			if line == "" {
+				continue
+			}
+			op, arg := line[0], line[1:]
+			switch op {
+			case 'j':
+				if id, err := m.add(arg); err == nil {
+					if got, _ := m.addr(id); got != arg {
+						t.Fatalf("add(%q) = %d but addr(%d) = %q", arg, id, id, got)
+					}
+				}
+			case 'u':
+				m.update(strings.Split(arg, ","))
+			case 'l':
+				if n, err := strconv.Atoi(arg); err == nil {
+					m.leave(n)
+				}
+			}
+			record()
+		}
+	})
 }
 
 // TestFuzzSeedsNeverPanic runs every seed through the target directly, so

@@ -1,0 +1,333 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RemoteCluster is the coordinator's client for a cluster of daemon
+// processes — the same surface the in-process Cluster offers a
+// scheduler (inject, wait, variables, cancellation), implemented over
+// control connections to real hosts instead of shared memory. A
+// scheduler built on sched.Backend runs unchanged against either.
+//
+// The termination-detection caveat of distribution: an in-process
+// coordinator can read a dead daemon's counters straight out of the
+// shared nodeState, so its snapshots are always complete. A remote
+// coordinator polling a killed host gets nothing — and an incomplete
+// snapshot must never be mistaken for a balanced one, or WaitJob would
+// declare a job finished while its agents sit checkpointed on the dead
+// host's disk. Unreachable member ⇒ the round is discarded, and the
+// job stays live until every member answers again.
+type RemoteCluster struct {
+	members []string
+	ctl     []*ctlConn
+	opts    Options
+	alive   []atomic.Bool
+
+	mu        sync.Mutex
+	cancelled map[uint64]bool
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	closeOnce sync.Once
+}
+
+// RemoteOptions tunes the client; the zero value works.
+type RemoteOptions struct {
+	// Timeout bounds each control round trip (default 2s — generous,
+	// because a daemon syncs to disk before replying).
+	Timeout time.Duration
+	// HeartbeatInterval is the liveness prober's period (default 100ms);
+	// 0 < only with Heartbeat disabled.
+	HeartbeatInterval time.Duration
+	// Heartbeat enables the background liveness prober feeding Alive.
+	Heartbeat bool
+	// Metrics receives client-side metrics; nil creates a private
+	// registry.
+	Metrics *metrics.Registry
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
+	return o
+}
+
+// DialCluster discovers the membership through any live member (an
+// observer msgJoin) and returns a client for the whole cluster.
+func DialCluster(seed string, ropts RemoteOptions) (*RemoteCluster, error) {
+	ropts = ropts.withDefaults()
+	c := &ctlConn{addr: seed}
+	defer c.close()
+	reply, err := c.roundTrip(&envelope{Kind: msgJoin}, ropts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial cluster via %s: %w", seed, err)
+	}
+	if reply.Kind != msgMembers {
+		return nil, fmt.Errorf("wire: dial cluster via %s: unexpected %s reply", seed, reply.Kind)
+	}
+	return StaticCluster(reply.Members, ropts)
+}
+
+// StaticCluster returns a client for a known member list (the seed file
+// of a static deployment).
+func StaticCluster(members []string, ropts RemoteOptions) (*RemoteCluster, error) {
+	if err := validateMembers(members); err != nil {
+		return nil, err
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("wire: empty member list")
+	}
+	ropts = ropts.withDefaults()
+	rc := &RemoteCluster{
+		members:   append([]string(nil), members...),
+		opts:      Options{Metrics: ropts.Metrics, AckTimeout: ropts.Timeout},
+		cancelled: map[uint64]bool{},
+		alive:     make([]atomic.Bool, len(members)),
+	}
+	for i, addr := range rc.members {
+		rc.ctl = append(rc.ctl, &ctlConn{addr: addr})
+		rc.alive[i].Store(true) // optimistic until the prober says otherwise
+	}
+	if ropts.Heartbeat {
+		rc.hbStop = make(chan struct{})
+		rc.hbDone = make(chan struct{})
+		go rc.heartbeat(ropts.HeartbeatInterval)
+	}
+	return rc, nil
+}
+
+// Size returns the cluster's node count.
+func (rc *RemoteCluster) Size() int { return len(rc.members) }
+
+// Members returns the address table in node-id order.
+func (rc *RemoteCluster) Members() []string { return append([]string(nil), rc.members...) }
+
+// Metrics returns the client-side metric registry.
+func (rc *RemoteCluster) Metrics() *metrics.Registry { return rc.opts.Metrics }
+
+// Alive reports the liveness prober's last verdict on node i (always
+// true when the prober is disabled). Placement uses it to steer fresh
+// work away from dead hosts; correctness never depends on it.
+func (rc *RemoteCluster) Alive(i int) bool {
+	if i < 0 || i >= len(rc.alive) {
+		return false
+	}
+	return rc.alive[i].Load()
+}
+
+// heartbeat probes every member each interval — the liveness half of
+// the in-process monitor, without the restart half (an operator or a
+// supervisor respawns real processes).
+func (rc *RemoteCluster) heartbeat(interval time.Duration) {
+	defer close(rc.hbDone)
+	probes := make([]*ctlConn, len(rc.members))
+	for i, addr := range rc.members {
+		probes[i] = &ctlConn{addr: addr}
+	}
+	defer func() {
+		for _, p := range probes {
+			p.close()
+		}
+	}()
+	for {
+		select {
+		case <-rc.hbStop:
+			return
+		case <-time.After(interval):
+		}
+		for i, p := range probes {
+			reply, err := p.roundTrip(&envelope{Kind: msgPing}, interval*4)
+			rc.alive[i].Store(err == nil && reply.Kind == msgPong)
+		}
+	}
+}
+
+// control performs one round trip to node i expecting an ok reply.
+func (rc *RemoteCluster) control(i int, env *envelope) error {
+	if i < 0 || i >= len(rc.ctl) {
+		return fmt.Errorf("wire: no member %d in a cluster of %d", i, len(rc.ctl))
+	}
+	reply, err := rc.ctl[i].roundTrip(env, rc.opts.AckTimeout)
+	if err != nil {
+		return fmt.Errorf("wire: %s to node %d (%s): %w", env.Kind, i, rc.members[i], err)
+	}
+	if reply.Kind != msgOK {
+		return fmt.Errorf("wire: %s to node %d: unexpected %s reply", env.Kind, i, reply.Kind)
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("wire: %s to node %d: %s", env.Kind, i, reply.Err)
+	}
+	return nil
+}
+
+// SetVar places a node variable on node i. The daemon persists before
+// acknowledging, so a returned nil means the write survives kill -9.
+func (rc *RemoteCluster) SetVar(node int, name string, v any) error {
+	return rc.control(node, &envelope{Kind: msgSetVar, Name: name, Value: &stateBox{V: v}})
+}
+
+// GetVar reads a node variable from node i.
+func (rc *RemoteCluster) GetVar(node int, name string) (any, error) {
+	if node < 0 || node >= len(rc.ctl) {
+		return nil, fmt.Errorf("wire: no member %d in a cluster of %d", node, len(rc.ctl))
+	}
+	reply, err := rc.ctl[node].roundTrip(&envelope{Kind: msgGetVar, Name: name}, rc.opts.AckTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: getvar %q from node %d: %w", name, node, err)
+	}
+	if reply.Kind != msgVar {
+		return nil, fmt.Errorf("wire: getvar %q from node %d: unexpected %s reply", name, node, reply.Kind)
+	}
+	if reply.Value == nil {
+		return nil, nil
+	}
+	return reply.Value.V, nil
+}
+
+// InjectJob starts an agent on node under a job namespace. The daemon
+// checkpoints and persists the agent before acknowledging, so a nil
+// return means the injection is durable there.
+func (rc *RemoteCluster) InjectJob(node int, job uint64, behavior string, state any) error {
+	if job == 0 {
+		return fmt.Errorf("wire: job id must be nonzero")
+	}
+	return rc.control(node, &envelope{
+		Kind: msgInject, Job: job,
+		Agent: &agentMsg{Behavior: behavior, State: state},
+	})
+}
+
+// CancelJob marks a job cancelled on every reachable member and records
+// the mark locally, so WaitJob can re-deliver it to members that were
+// down when the broadcast went out.
+func (rc *RemoteCluster) CancelJob(job uint64) {
+	if job == 0 {
+		return
+	}
+	rc.mu.Lock()
+	rc.cancelled[job] = true
+	rc.mu.Unlock()
+	for i := range rc.ctl {
+		rc.control(i, &envelope{Kind: msgCancel, Job: job})
+	}
+}
+
+func (rc *RemoteCluster) isCancelled(job uint64) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.cancelled[job]
+}
+
+// ReleaseJob forgets a drained job's bookkeeping on every member.
+// Best-effort per member: an unreachable host releases the namespace
+// when a later ReleaseJob reaches it, or holds a stale slice — a
+// bounded leak, not a correctness problem.
+func (rc *RemoteCluster) ReleaseJob(job uint64) {
+	if job == 0 {
+		return
+	}
+	rc.mu.Lock()
+	delete(rc.cancelled, job)
+	rc.mu.Unlock()
+	for i := range rc.ctl {
+		rc.control(i, &envelope{Kind: msgFree, Job: job})
+	}
+}
+
+// ClearVarsPrefix deletes prefixed node variables on every member.
+func (rc *RemoteCluster) ClearVarsPrefix(prefix string) {
+	for i := range rc.ctl {
+		rc.control(i, &envelope{Kind: msgClear, Name: prefix})
+	}
+}
+
+// WaitJob blocks until job's namespace is quiescent, by Mattern
+// detection over remote snapshots: two consecutive identical complete
+// snapshots with created == finished and sent == received. A round with
+// any unreachable member is incomplete and discarded — the checkpointed
+// agents on a dead host keep the job alive until a respawned daemon
+// answers for them. Each round also re-delivers the job's cancellation
+// mark (if any) to every member, so a host that was down for the
+// CancelJob broadcast still absorbs the job's agents after respawn.
+func (rc *RemoteCluster) WaitJob(job uint64, timeout time.Duration) error {
+	if job == 0 {
+		return fmt.Errorf("wire: WaitJob needs a nonzero job id")
+	}
+	deadline := time.Now().Add(timeout)
+	var prev counters
+	havePrev := false
+	for {
+		cur, complete := rc.snapshotJob(job)
+		if complete {
+			balanced := cur.Created == cur.Finished && cur.Sent == cur.Received
+			if balanced && havePrev && cur == prev {
+				return nil
+			}
+			prev, havePrev = cur, true
+		} else {
+			havePrev = false
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wire: job %d termination timeout after %v (created %d, finished %d, sent %d, received %d, complete %v)",
+				job, timeout, cur.Created, cur.Finished, cur.Sent, cur.Received, complete)
+		}
+		if rc.isCancelled(job) {
+			for i := range rc.ctl {
+				rc.control(i, &envelope{Kind: msgCancel, Job: job})
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// snapshotJob polls every member's counter slice for job; complete is
+// false when any member did not answer.
+func (rc *RemoteCluster) snapshotJob(job uint64) (total counters, complete bool) {
+	complete = true
+	for i := range rc.ctl {
+		reply, err := rc.ctl[i].roundTrip(&envelope{Kind: msgSnapshot, Job: job}, rc.opts.AckTimeout)
+		if err != nil || reply.Kind != msgCounters {
+			complete = false
+			continue
+		}
+		total.add(reply.Counters)
+	}
+	return total, complete
+}
+
+// Close stops the prober and drops the control connections. The daemons
+// keep running; Shutdown stops them too.
+func (rc *RemoteCluster) Close() {
+	rc.closeOnce.Do(func() {
+		if rc.hbStop != nil {
+			close(rc.hbStop)
+			<-rc.hbDone
+		}
+		for _, c := range rc.ctl {
+			c.close()
+		}
+	})
+}
+
+// Shutdown asks every member daemon to stop serving (best-effort), then
+// closes the client.
+func (rc *RemoteCluster) Shutdown() {
+	for i := range rc.ctl {
+		rc.ctl[i].roundTrip(&envelope{Kind: msgShutdown}, rc.opts.AckTimeout)
+	}
+	rc.Close()
+}

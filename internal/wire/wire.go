@@ -103,7 +103,7 @@ type Ctx struct {
 func (c *Ctx) NodeID() int { return c.daemon.id }
 
 // Nodes returns the cluster size.
-func (c *Ctx) Nodes() int { return len(c.daemon.peers) }
+func (c *Ctx) Nodes() int { return c.daemon.members.size() }
 
 // AgentID returns the agent's cluster-unique identity, assigned at
 // injection and stable across hops, retries, and checkpoint replays.
@@ -158,8 +158,8 @@ func (c *Ctx) Inject(behavior string, state any) {
 
 // HopTo ends the step with a migration to node dst.
 func (c *Ctx) HopTo(dst int) Verdict {
-	if dst < 0 || dst >= len(c.daemon.peers) {
-		panic(fmt.Sprintf("wire: hop to node %d of %d", dst, len(c.daemon.peers)))
+	if n := c.daemon.members.size(); dst < 0 || dst >= n {
+		panic(fmt.Sprintf("wire: hop to node %d of %d", dst, n))
 	}
 	return Verdict{hop: true, dst: dst}
 }
