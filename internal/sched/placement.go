@@ -160,8 +160,15 @@ func (p *ConsistentHash) PlaceKey(key uint64, n int) int {
 	if cap64 < 1 {
 		cap64 = 1
 	}
-	seen := 0
-	for i := 0; seen < n; i++ {
+	// The walk ends only after every distinct node has been examined:
+	// consecutive ring points often belong to few real nodes, so counting
+	// points would give up after n virtual nodes and dump the job on the
+	// overloaded ring[idx].node while other nodes still have headroom.
+	// Every node owns Replicas points, so one lap of the ring provably
+	// visits all n.
+	seen := make([]bool, n)
+	distinct := 0
+	for i := 0; i < len(ring) && distinct < n; i++ {
 		pt := ring[(idx+i)%len(ring)]
 		var load int64
 		if p.met != nil && pt.node < len(p.met.nodeLoad) {
@@ -170,8 +177,13 @@ func (p *ConsistentHash) PlaceKey(key uint64, n int) int {
 		if load < cap64 {
 			return pt.node
 		}
-		seen++ // count distinct rejections loosely; the walk is short in practice
+		if !seen[pt.node] {
+			seen[pt.node] = true
+			distinct++
+		}
 	}
+	// Every node is at the cap (a burst larger than the bound allows);
+	// fall back to the key's home node so placement stays deterministic.
 	return ring[idx].node
 }
 

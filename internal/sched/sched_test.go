@@ -353,6 +353,36 @@ func TestPlacementLeastLoadedPicksIdle(t *testing.T) {
 	}
 }
 
+// TestConsistentHashWalksPastOverloadedNodes pins the bounded-load walk
+// to distinct-node coverage: with every node but one at the load cap,
+// every key must land on the one node with headroom, even when the ring
+// points immediately clockwise of the key all belong to full nodes. A
+// walk that counts ring points instead of distinct nodes gives up after
+// n virtual nodes and dumps such keys on their overloaded home node.
+func TestConsistentHashWalksPastOverloadedNodes(t *testing.T) {
+	met := newSchedMetrics(metrics.NewRegistry(), 4)
+	p := &ConsistentHash{met: met}
+	// cap = floor(1.25 × (30+1)/4) = 9: nodes 0-2 are full, node 3 idle.
+	for i := 0; i < 3; i++ {
+		met.nodeLoad[i].Set(10)
+	}
+	met.nodeLoad[3].Set(0)
+	for key := uint64(0); key < 200; key++ {
+		if got := p.PlaceKey(key, 4); got != 3 {
+			t.Fatalf("PlaceKey(%d) = %d, want 3 (the only node under the load cap)", key, got)
+		}
+	}
+	// With every node at the cap the fallback is the key's home node,
+	// and it must be deterministic.
+	met.nodeLoad[3].Set(10)
+	for key := uint64(0); key < 20; key++ {
+		a, b := p.PlaceKey(key, 4), p.PlaceKey(key, 4)
+		if a != b {
+			t.Fatalf("PlaceKey(%d) fallback not deterministic: %d then %d", key, a, b)
+		}
+	}
+}
+
 func TestLeastLoadedOnCluster(t *testing.T) {
 	cl, err := wire.NewCluster(3)
 	if err != nil {

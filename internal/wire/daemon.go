@@ -189,6 +189,22 @@ func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
 		if env.Addr == "" { // observer: just report the membership
 			return reply(&envelope{Kind: msgMembers, Members: d.members.list(), You: -1})
 		}
+		// Id assignment is serialized through node 0. If every member
+		// handed out len(addrs) itself, two joins racing through
+		// different members would claim the same index, and the
+		// conflicting msgMembers broadcasts would be rejected wholesale
+		// (update never remaps), splitting the cluster's view for good.
+		// A join dialed at any other member is forwarded — node 0's
+		// membership mutex is the single allocator — and the grown list
+		// is adopted here before relaying the reply, so the joiner's
+		// next hop through this member already resolves.
+		if d.id != 0 {
+			fwd, err := d.forwardJoin(env.Addr)
+			if err != nil {
+				return ok(fmt.Errorf("wire: daemon %d forward join to node 0: %w", d.id, err))
+			}
+			return reply(fwd)
+		}
 		id, err := d.members.add(env.Addr)
 		if err != nil {
 			return ok(err)
@@ -235,6 +251,30 @@ func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
 		// are protocol noise; drop the connection.
 		return false
 	}
+}
+
+// forwardJoin relays a join request to node 0, the cluster's single id
+// allocator, and adopts the grown membership list from the reply. It
+// requires node 0 live: joins are unavailable while the allocator is
+// down (hops, control traffic, and static-seed starts are unaffected),
+// which is the price of never handing two joiners the same index.
+func (d *daemon) forwardJoin(joinAddr string) (*envelope, error) {
+	addr0, err := d.members.addr(0)
+	if err != nil {
+		return nil, err
+	}
+	c := &ctlConn{addr: addr0}
+	defer c.close()
+	rep, err := c.roundTrip(&envelope{Kind: msgJoin, Addr: joinAddr}, d.opts.AckTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Kind == msgMembers {
+		if err := d.members.update(rep.Members); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
 }
 
 // broadcastMembers pushes an updated membership list to every other

@@ -25,9 +25,11 @@ import (
 //   - Static: every host is handed the same seed list (ParseSeeds) and
 //     its own index in it. Identity is positional and permanent.
 //   - Join: a host dials any live member with msgJoin carrying its
-//     advertised address and is assigned the next index; the contacted
-//     member broadcasts the grown list. Rejoining with the same address
-//     reclaims the same index, which is what keeps checkpointed
+//     advertised address and is assigned the next index. Assignment is
+//     serialized through node 0 (non-zero members forward the join), so
+//     concurrent joins through different members cannot collide on an
+//     index; node 0 broadcasts the grown list. Rejoining with the same
+//     address reclaims the same index, which is what keeps checkpointed
 //     destinations meaningful across restarts.
 
 // HostConfig configures one daemon process.

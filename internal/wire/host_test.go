@@ -2,6 +2,7 @@ package wire
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -84,6 +85,66 @@ func TestParseSeeds(t *testing.T) {
 	round, err := ParseSeeds(FormatSeeds(want))
 	if err != nil || len(round) != len(want) {
 		t.Fatalf("FormatSeeds round trip = (%v, %v)", round, err)
+	}
+}
+
+// TestConcurrentJoinsThroughDifferentMembers races joins through
+// different members. Id assignment is serialized through node 0 (other
+// members forward), so every joiner must get a distinct index and all
+// views must converge; without the forwarding, two members would both
+// hand out len(addrs) and the conflicting broadcasts would leave the
+// membership permanently split.
+func TestConcurrentJoinsThroughDifferentMembers(t *testing.T) {
+	h0, err := StartHost(HostConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h0.Close()
+	h1, err := StartHost(HostConfig{Listen: "127.0.0.1:0", Join: h0.Addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Close()
+
+	// Four joiners race in, alternating their join target between node 0
+	// and node 1 so both the direct and the forwarded path run hot.
+	targets := []string{h0.Addr, h1.Addr, h1.Addr, h0.Addr}
+	hosts := make([]*Host, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			hosts[i], errs[i] = StartHost(HostConfig{Listen: "127.0.0.1:0", Join: target})
+		}(i, target)
+	}
+	wg.Wait()
+	ids := map[int]bool{h0.ID: true, h1.ID: true}
+	for i, h := range hosts {
+		if errs[i] != nil {
+			t.Fatalf("join %d via %s: %v", i, targets[i], errs[i])
+		}
+		defer h.Close()
+		if ids[h.ID] {
+			t.Fatalf("joiner %d assigned duplicate id %d", i, h.ID)
+		}
+		ids[h.ID] = true
+	}
+	// Every view converges on all six members (broadcasts are async).
+	want := len(targets) + 2
+	all := append([]*Host{h0, h1}, hosts...)
+	deadline := time.Now().Add(5 * time.Second)
+	for _, h := range all {
+		for h.members.size() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("host %d sees %d members, want %d", h.ID, h.members.size(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := validateMembers(h.members.list()); err != nil {
+			t.Fatalf("host %d membership invalid: %v", h.ID, err)
+		}
 	}
 }
 

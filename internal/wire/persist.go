@@ -79,16 +79,25 @@ type persistedState struct {
 
 const persistSchema = 1
 
-// save writes one snapshot atomically: full write to a temp file in the
-// same directory, fsync-free rename over the previous image. A kill at
-// any point leaves either the old or the new complete snapshot.
-func (p *persister) save(img *persistedState) error {
+// saveLocked writes one snapshot atomically: full write to a temp file
+// in the same directory, rename over the previous image. A process kill
+// at any point leaves either the old or the new complete snapshot.
+//
+// Durability is scoped to process-level crashes (kill -9, panic): the
+// write and rename land in the page cache, which survives the death of
+// the process but not of the machine. A power loss can roll a node back
+// to an earlier snapshot even though acks externalized since — fsyncing
+// the temp file and directory on every sync would close that hole at
+// the cost of a disk flush per accepted hop, which the recovery tests
+// (all process-granularity) don't need. See DESIGN.md §13.2.
+//
+// Callers hold p.mu; sync() holds it across export+save so images reach
+// disk in the order they were captured.
+func (p *persister) saveLocked(img *persistedState) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
 		return fmt.Errorf("wire: encode state snapshot: %w", err)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	tmp := p.path + ".tmp"
 	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
 		return err
@@ -190,15 +199,25 @@ func (ns *nodeState) restore(img *persistedState) error {
 // sync persists the node's current image when persistence is enabled.
 // Failures are returned so daemons can fail loudly: silently serving
 // unpersisted acks would forfeit the recovery guarantee.
+//
+// The persister mutex is held across export AND save. Exporting outside
+// it would let two concurrent syncs interleave — goroutine A captures an
+// image, B captures a newer one and saves it, B's caller externalizes an
+// ack, then A saves its stale image over B's — and a kill -9 after that
+// would lose acknowledged work. Serializing capture-with-write makes the
+// on-disk image monotone: whatever snapshot rename lands last observed
+// every mutation any earlier sync's caller went on to acknowledge.
 func (ns *nodeState) sync() error {
 	if ns.persist == nil {
 		return nil
 	}
+	ns.persist.mu.Lock()
+	defer ns.persist.mu.Unlock()
 	img, err := ns.export()
 	if err != nil {
 		return err
 	}
-	return ns.persist.save(img)
+	return ns.persist.saveLocked(img)
 }
 
 // export renders the variable table as name → gob(stateBox) bytes.
