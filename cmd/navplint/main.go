@@ -1,19 +1,27 @@
 // Command navplint statically checks that the repository's NavP
-// programs obey the model the plan transformations assume. It runs four
-// analyzers (see internal/analysis): hopcheck (node references must not
-// survive a Hop), gobsafe (checkpointed agent state must round-trip
-// through gob), simsafe (simulation-domain code must stay
-// bit-reproducible), and planfootprint (plan items must declare the
-// footprint their bodies use).
+// programs obey the model the plan transformations assume and that the
+// serving layers keep their runtime invariants. It runs eight analyzers
+// (see internal/analysis): hopcheck (node references must not survive a
+// Hop, including hops buried in helpers), gobsafe (checkpointed agent
+// state must round-trip through gob), simsafe (simulation-domain code
+// must stay bit-reproducible), planfootprint (plan items must declare
+// the footprint their bodies use), syncorder (persist-before-
+// acknowledge: no conn write of a durable mutation's effect before the
+// persister synced), lockorder (acyclic static lock graph; no mutex
+// held across a blocking call), jobrelease (every minted job namespace
+// is released on every exit path), and metricsafe (instrument lookups
+// hoisted out of hot loops; allocation-free nil-registry discard
+// paths).
 //
 // Usage:
 //
-//	navplint [-json] [packages]
+//	navplint [-json] [-only names] [-skip names] [packages]
 //
-// Packages default to ./... relative to the enclosing module. The exit
-// status is 0 with no findings, 1 with findings, 2 on a load or usage
-// error. Diagnostics print as file:line:col: analyzer: message, or as a
-// JSON array with -json.
+// Packages default to ./... relative to the enclosing module. -only and
+// -skip take comma-separated analyzer names; naming an unknown analyzer
+// is a usage error. The exit status is 0 with no findings, 1 with
+// findings, 2 on a load or usage error. Diagnostics print as
+// file:line:col: analyzer: message, or as a JSON array with -json.
 package main
 
 import (
@@ -26,30 +34,12 @@ import (
 	"repro/internal/analysis"
 )
 
-// simDomain returns the package filter for simsafe: everything under
-// internal/ is simulation-domain except the wire runtime, which talks
-// to real sockets in wall-clock time by design, and the scheduler
-// serving layer on top of it, which measures wall-clock latencies and
-// runs wall-clock deadlines (cmd/, including cmd/navpserve, is outside
-// internal/ and so outside the domain already). Real-backend files
-// inside sim-domain packages (navp, mp) carry //navplint:exempt
-// directives instead, so the exemption is visible at the code it
-// covers.
-func simDomain(modPath string) func(pkgPath string) bool {
-	prefix := modPath + "/internal/"
-	realDomain := map[string]bool{
-		modPath + "/internal/wire":  true,
-		modPath + "/internal/sched": true,
-	}
-	return func(pkgPath string) bool {
-		return strings.HasPrefix(pkgPath, prefix) && !realDomain[pkgPath]
-	}
-}
-
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: navplint [-json] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: navplint [-json] [-only names] [-skip names] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,12 +66,11 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 
-	analyzers := analysis.All()
-	for _, a := range analyzers {
-		if a.Name == "simsafe" {
-			a.Filter = simDomain(loader.ModulePath)
-		}
+	analyzers, err := selectAnalyzers(analysis.All(), *only, *skip)
+	if err != nil {
+		fail(err)
 	}
+	analysis.ApplyDomainFilters(analyzers, loader.ModulePath)
 
 	diags := analysis.Run(pkgs, analyzers)
 	if *jsonOut {
@@ -104,6 +93,60 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers applies -only and -skip to the full analyzer list.
+// Every name mentioned must exist: a typo silently running the wrong
+// set is exactly the failure mode a lint gate cannot afford.
+func selectAnalyzers(all []*analysis.Analyzer, only, skip string) ([]*analysis.Analyzer, error) {
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(flagName, list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (have %s)", flagName, name, analyzerNames(all))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames(all []*analysis.Analyzer) string {
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 func fail(err error) {

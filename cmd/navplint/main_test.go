@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func names(as []*analysis.Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := analysis.All()
+	cases := []struct {
+		name       string
+		only, skip string
+		want       string // comma-joined expected names, "" = all
+		wantErr    string // substring of the expected error, "" = none
+	}{
+		{name: "default is everything", want: strings.Join(names(all), ",")},
+		{name: "only picks in registry order", only: "lockorder,hopcheck",
+			want: "hopcheck,lockorder"},
+		{name: "skip removes", skip: "metricsafe",
+			want: strings.Join(names(all[:len(all)-1]), ",")},
+		{name: "only and skip compose", only: "syncorder,lockorder", skip: "lockorder",
+			want: "syncorder"},
+		{name: "spaces and empty entries tolerated", only: " hopcheck , ,gobsafe",
+			want: "hopcheck,gobsafe"},
+		{name: "unknown only name is a usage error", only: "hopchek",
+			wantErr: `unknown analyzer "hopchek"`},
+		{name: "unknown skip name is a usage error", skip: "nope",
+			wantErr: `unknown analyzer "nope"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := selectAnalyzers(analysis.All(), tc.only, tc.skip)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if joined := strings.Join(names(got), ","); joined != tc.want {
+				t.Fatalf("selected %q, want %q", joined, tc.want)
+			}
+		})
+	}
+}
+
+// TestMetricSafeRunsEverywhere pins the filter policy: the serving
+// analyzers are scoped to their domains, but metricsafe applies to any
+// package, so ApplyDomainFilters must leave its Filter nil.
+func TestDomainFilterPolicy(t *testing.T) {
+	analyzers := analysis.All()
+	analysis.ApplyDomainFilters(analyzers, "repro")
+	got := map[string]bool{}
+	for _, a := range analyzers {
+		got[a.Name] = a.Filter != nil
+	}
+	for name, wantFiltered := range map[string]bool{
+		"simsafe":    true,
+		"syncorder":  true,
+		"lockorder":  true,
+		"jobrelease": true,
+		"metricsafe": false,
+		"hopcheck":   false,
+		"gobsafe":    false,
+	} {
+		if got[name] != wantFiltered {
+			t.Errorf("%s: filtered=%v, want %v", name, got[name], wantFiltered)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Filter == nil {
+			continue
+		}
+		switch a.Name {
+		case "syncorder":
+			if !a.Filter("repro/internal/wire") || a.Filter("repro/internal/navp") {
+				t.Error("syncorder filter must cover wire and nothing else outside fixtures")
+			}
+		case "lockorder":
+			if !a.Filter("repro/internal/wire") || !a.Filter("repro/internal/sched") {
+				t.Error("lockorder filter must cover wire and sched")
+			}
+		case "jobrelease":
+			if !a.Filter("repro/internal/sched") || a.Filter("repro/internal/wire") {
+				t.Error("jobrelease filter must cover sched and nothing else outside fixtures")
+			}
+		}
+		if !a.Filter("fixture/" + a.Name) {
+			t.Errorf("%s filter must admit its own fixture package", a.Name)
+		}
+	}
+}

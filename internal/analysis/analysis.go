@@ -17,8 +17,24 @@
 //     Accesses footprint it declares, so core.Check's dependence
 //     verification cannot be lied to (§9.4).
 //
-// The cmd/navplint CLI runs all four over the module; each analyzer has
-// a `// want`-style golden suite under testdata/src.
+// Four more analyzers prove the serving layers' runtime invariants over
+// the interprocedural fact layer (analysis/facts; DESIGN.md §14):
+//
+//   - syncorder: persist-before-acknowledge — no path in internal/wire
+//     externalizes the effect of a durable mutation (conn write, hop
+//     ack, msgOK) before the persister synced it.
+//   - lockorder: the static lock graph across wire+sched is acyclic; no
+//     mutex is held across a blocking call, re-acquired on a path, or
+//     still held at a return without a deferred unlock.
+//   - jobrelease: every minted job namespace (sched.namespace) reaches
+//     ReleaseJob/ClearVarsPrefix on every exit path.
+//   - metricsafe: registry instrument lookups are hoisted out of loops
+//     when their name is loop-invariant, and nil-registry discard paths
+//     never allocate.
+//
+// The cmd/navplint CLI runs all eight over the module (with the domain
+// scoping in ApplyDomainFilters); each analyzer has a `// want`-style
+// golden suite under testdata/src.
 //
 // # Suppressing a finding
 //
@@ -38,7 +54,24 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+
+	"repro/internal/analysis/facts"
+	"repro/internal/analysis/load"
 )
+
+// The loader lives in internal/analysis/load; the aliases keep the
+// original harness API (analysis.NewLoader, analysis.Package) stable
+// for cmd/navplint and the fixture tests.
+type (
+	// Package is one loaded, type-checked module package with its syntax.
+	Package = load.Package
+	// Loader loads and type-checks packages of the enclosing module.
+	Loader = load.Loader
+)
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) { return load.NewLoader(dir) }
 
 // Diagnostic is one finding, positioned in the analyzed source.
 type Diagnostic struct {
@@ -76,13 +109,65 @@ func All() []*Analyzer {
 		NewGobSafe(),
 		NewSimSafe(),
 		NewPlanFootprint(),
+		NewSyncOrder(),
+		NewLockOrder(),
+		NewJobRelease(),
+		NewMetricSafe(),
 	}
 }
 
-// Pass carries one analyzer's view of one package.
+// ApplyDomainFilters restricts each analyzer to the domain its invariant
+// lives in, given the module path. Used by cmd/navplint and the
+// repo-clean test so the two cannot drift:
+//
+//   - simsafe: the simulation domain — internal packages minus the wire
+//     and sched serving layers (which own real sockets, real clocks, and
+//     real goroutines by design; DESIGN.md §9.3).
+//   - syncorder: internal/wire, the only package with a persister.
+//   - lockorder: internal/wire + internal/sched, the serving layers
+//     whose lock graphs interlock.
+//   - jobrelease: internal/sched, where namespaces are minted.
+//
+// Fixture packages (synthetic "fixture/..." paths) always pass, so the
+// golden suites exercise filtered analyzers too.
+func ApplyDomainFilters(analyzers []*Analyzer, modPath string) {
+	fixture := func(pkgPath string) bool { return strings.HasPrefix(pkgPath, "fixture/") }
+	wire := modPath + "/internal/wire"
+	sched := modPath + "/internal/sched"
+	for _, a := range analyzers {
+		switch a.Name {
+		case "simsafe":
+			a.Filter = func(pkgPath string) bool {
+				if fixture(pkgPath) {
+					return true
+				}
+				if !strings.HasPrefix(pkgPath, modPath+"/internal/") {
+					return false
+				}
+				return pkgPath != wire && pkgPath != sched
+			}
+		case "syncorder":
+			a.Filter = func(pkgPath string) bool {
+				return fixture(pkgPath) || pkgPath == wire
+			}
+		case "lockorder":
+			a.Filter = func(pkgPath string) bool {
+				return fixture(pkgPath) || pkgPath == wire || pkgPath == sched
+			}
+		case "jobrelease":
+			a.Filter = func(pkgPath string) bool {
+				return fixture(pkgPath) || pkgPath == sched
+			}
+		}
+	}
+}
+
+// Pass carries one analyzer's view of one package, including the
+// interprocedural facts computed over the whole loaded package set.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *facts.Set
 	diags    *[]Diagnostic
 }
 
@@ -108,8 +193,11 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // Run executes the analyzers over the packages and returns the surviving
 // diagnostics sorted by position, with suppressed and duplicate findings
-// removed.
+// removed. Interprocedural facts are computed once over the whole
+// package set, so summaries cross package boundaries when callers and
+// callees are loaded together.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	fs := facts.Analyze(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		idx := newSuppressIndex(pkg)
@@ -118,7 +206,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if a.Filter != nil && !a.Filter(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: fs, diags: &raw}
 			a.Run(pass)
 		}
 		raw = append(raw, idx.malformed...)
@@ -153,47 +241,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// funcFor resolves the callee of a call expression to its *types.Func
-// (package function or method), or nil for builtins, conversions, and
-// calls through function-typed variables.
+// funcFor, isPkgFunc, and namedIn delegate to the facts layer's
+// resolvers so the analyzers and the fact engine share one notion of
+// "which function is this call".
 func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		f, _ := info.Uses[fun].(*types.Func)
-		return f
-	case *ast.SelectorExpr:
-		f, _ := info.Uses[fun.Sel].(*types.Func)
-		return f
-	case *ast.IndexExpr: // generic instantiation: NodeVar[T](...)
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			f, _ := info.Uses[id].(*types.Func)
-			return f
-		}
-	case *ast.IndexListExpr:
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			f, _ := info.Uses[id].(*types.Func)
-			return f
-		}
-	}
-	return nil
+	return facts.Callee(info, call)
 }
 
-// isPkgFunc reports whether f is the package-level function pkgPath.name
-// or a method name on a type of pkgPath.
 func isPkgFunc(f *types.Func, pkgPath, name string) bool {
-	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+	return facts.IsPkgFunc(f, pkgPath, name)
 }
 
-// namedIn reports whether t (after pointer dereference) is the named
-// type pkgPath.name.
 func namedIn(t types.Type, pkgPath, name string) bool {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+	return facts.NamedIn(t, pkgPath, name)
 }

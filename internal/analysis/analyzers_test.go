@@ -3,6 +3,8 @@ package analysis
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/analysis/facts"
 )
 
 // Each analyzer has a golden suite under testdata/src/<name>: bad.go
@@ -12,42 +14,50 @@ func TestHopCheckFixtures(t *testing.T)      { RunWantTest(t, "hopcheck", NewHop
 func TestGobSafeFixtures(t *testing.T)       { RunWantTest(t, "gobsafe", NewGobSafe()) }
 func TestSimSafeFixtures(t *testing.T)       { RunWantTest(t, "simsafe", NewSimSafe()) }
 func TestPlanFootprintFixtures(t *testing.T) { RunWantTest(t, "planfootprint", NewPlanFootprint()) }
+func TestSyncOrderFixtures(t *testing.T)     { RunWantTest(t, "syncorder", NewSyncOrder()) }
+func TestLockOrderFixtures(t *testing.T)     { RunWantTest(t, "lockorder", NewLockOrder()) }
+func TestJobReleaseFixtures(t *testing.T)    { RunWantTest(t, "jobrelease", NewJobRelease()) }
+func TestMetricSafeFixtures(t *testing.T)    { RunWantTest(t, "metricsafe", NewMetricSafe()) }
 
-// TestRepoPackagesClean self-applies every analyzer to the load-bearing
-// module packages the analyzers know about — the dogfood guarantee that
-// the repository obeys its own model. (cmd/navplint covers ./... in CI;
-// this narrower set keeps the unit test fast.)
+// TestRepoPackagesClean self-applies every analyzer, under the same
+// domain filters cmd/navplint uses, to every package in the module —
+// the dogfood guarantee that the repository obeys its own model. The
+// packages run as one batch so the interprocedural fact layer sees the
+// same cross-package view the CLI does.
 func TestRepoPackagesClean(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
 	analyzers := All()
-	for _, a := range analyzers {
-		if a.Name == "simsafe" {
-			a.Filter = func(pkgPath string) bool {
-				return strings.HasPrefix(pkgPath, loader.ModulePath+"/internal/") &&
-					pkgPath != loader.ModulePath+"/internal/wire" &&
-					pkgPath != loader.ModulePath+"/internal/sched"
-			}
-		}
+	ApplyDomainFilters(analyzers, loader.ModulePath)
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
 	}
-	for _, path := range []string{
-		"repro/internal/core",
-		"repro/internal/matmul",
-		"repro/internal/summa",
-		"repro/internal/stencil",
-		"repro/internal/gentleman",
-		"repro/internal/navp",
-		"repro/internal/wire",
-		"repro/internal/sched",
-	} {
+	var pkgs []*Package
+	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		assertNoFindings(t, Run([]*Package{pkg}, analyzers))
+		pkgs = append(pkgs, pkg)
 	}
+	assertNoFindings(t, Run(pkgs, analyzers))
+}
+
+// runUnsuppressed runs analyzers over one package with the suppression
+// index bypassed — the control harness for directive tests.
+func runUnsuppressed(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	fs := facts.Analyze([]*Package{pkg})
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.Filter != nil && !a.Filter(pkg.Path) {
+			continue
+		}
+		a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: fs, diags: &raw})
+	}
+	return raw
 }
 
 // TestExpandPatterns checks the CLI's pattern expansion against the
@@ -90,7 +100,14 @@ func TestExpandPatterns(t *testing.T) {
 }
 
 // TestSuppressionDirectives checks the malformed-directive finding and
-// file-level exemption behaviour directly.
+// every suppression edge the fixture exercises: file-level exemption
+// from the package clause (suppress.go) and from a grouped
+// declaration's doc comment (realtime.go), end-of-line lint:ignore on
+// the middle line of a multi-line statement, next-line reach, and a
+// comma-separated directive silencing two analyzers — one of them from
+// the new serving-invariant set — on one line (edge.go). The fixture is
+// riddled with violations; exactly one diagnostic (the malformed
+// directive, which can never be suppressed) may survive.
 func TestSuppressionDirectives(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -100,7 +117,7 @@ func TestSuppressionDirectives(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags := Run([]*Package{pkg}, []*Analyzer{NewSimSafe()})
+	diags := Run([]*Package{pkg}, []*Analyzer{NewSimSafe(), NewMetricSafe()})
 	var got []string
 	for _, d := range diags {
 		got = append(got, d.Analyzer+": "+d.Message)
@@ -108,5 +125,30 @@ func TestSuppressionDirectives(t *testing.T) {
 	if len(diags) != 1 || diags[0].Analyzer != "navplint" ||
 		!strings.Contains(diags[0].Message, "malformed lint:ignore") {
 		t.Errorf("want exactly the malformed-directive finding, got %v", got)
+	}
+}
+
+// TestSuppressionCarriesWithoutDirectives is the control for the test
+// above: stripping the directives out of the same code must surface the
+// violations the directives were hiding, proving the fixture actually
+// exercises suppression rather than analyzer blind spots.
+func TestSuppressionCarriesWithoutDirectives(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/suppress", "fixture/suppress")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	simsafe := 0
+	for _, d := range runUnsuppressed(pkg, []*Analyzer{NewSimSafe(), NewMetricSafe()}) {
+		if d.Analyzer == "simsafe" {
+			simsafe++
+		}
+	}
+	// suppress.go has 2 time.Now calls, realtime.go 3, edge.go 3.
+	if simsafe != 8 {
+		t.Errorf("unsuppressed run found %d simsafe findings, want 8 — the fixture's directives are not covering real violations", simsafe)
 	}
 }

@@ -1,0 +1,777 @@
+// Package facts is the interprocedural layer of the navplint analysis
+// platform: a call graph over go/types plus per-function summaries
+// ("may block", "may externalize an effect", "syncs the persister",
+// "acquires which mutexes", "hops", "releases a job namespace"),
+// computed to a fixpoint over every loaded package.
+//
+// The analyzers in internal/analysis consume these summaries to prove
+// whole-program invariants a single function body cannot show: that
+// every path externalizing a durable mutation's effect was dominated by
+// a persister sync, that the static lock graph is acyclic and no mutex
+// is held across an indefinite wait, that every minted job namespace is
+// released on every exit path, and that a *navp.Node reference does not
+// survive a hop hidden inside a helper.
+//
+// Leaf semantics the type system cannot express are declared in source
+// with one doc-comment line:
+//
+//	//navplint:fact durable      — mutates node-durable state
+//	//navplint:fact sync         — syncs the persister (dominates exit)
+//	//navplint:fact mint         — mints a job namespace to be released
+//	//navplint:fact externalize | blocking | hop | release
+//
+// Everything else is structural: channel operations, selects without
+// default, net.Conn I/O and dials, sync.{Mutex,RWMutex,WaitGroup,Cond}
+// calls, (*navp.Agent).Hop, and methods named ReleaseJob or
+// ClearVarsPrefix.
+package facts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// Finding codes recorded on summaries during the reporting pass.
+const (
+	// FindExternUnsynced: an externalizing call while a durable mutation
+	// is definitely unsynced on this path.
+	FindExternUnsynced = "extern-unsynced"
+	// FindBlockHeld: a mutex held across an indefinitely-blocking
+	// operation.
+	FindBlockHeld = "block-held"
+	// FindReacquire: a mutex acquired while the same lock is already
+	// held on this path (Go mutexes are not reentrant).
+	FindReacquire = "reacquire"
+	// FindExitHeld: a path returns while still holding a mutex with no
+	// deferred release.
+	FindExitHeld = "exit-held"
+	// FindLeak: a minted job namespace has an exit path with no
+	// ReleaseJob/ClearVarsPrefix.
+	FindLeak = "leak"
+)
+
+// Finding is one violation site recorded by the fact engine, reported
+// by the analyzer that owns its code.
+type Finding struct {
+	Pos    token.Pos
+	Code   string
+	Detail string
+}
+
+// LockEdge is one ordered acquisition: To was acquired while From was
+// held (directly or through a callee's Acquires summary).
+type LockEdge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// Summary is the interprocedural fact set for one function or function
+// literal.
+type Summary struct {
+	Fn   *types.Func // nil for literals
+	Pkg  *load.Package
+	Name string // display name ("(*daemon).handle", "(*daemon).handle·lit")
+	Pos  token.Pos
+
+	// Transitive may-facts.
+	MayBlock       bool // may block indefinitely (chan op, conn I/O, dial, sleep, Wait)
+	Hops           bool // may perform an agent hop
+	Externalizes   bool // may make an effect visible to a remote party
+	Syncs          bool // may sync the persister
+	Releases       bool // may release a job namespace
+	MutatesDurable bool // may mutate node-durable state
+
+	// Ordered persist/externalize facts (the syncorder lattice).
+	DirtyAtExit          bool // some exit path carries an unsynced durable mutation
+	CleansAtExit         bool // every exit path ends with the persister synced
+	ExternalizesUnsynced bool // some path externalizes before its first sync
+
+	// Mints is annotation-only and deliberately not transitive: a direct
+	// call to a mint function starts an obligation in the caller.
+	Mints bool
+
+	// Acquires is the set of lock IDs transitively acquired.
+	Acquires map[string]bool
+
+	// Findings and LockEdges are populated by the final reporting pass.
+	Findings  []Finding
+	LockEdges []LockEdge
+
+	ann Annotation
+}
+
+// unit is one walkable body.
+type unit struct {
+	pkg  *load.Package
+	fn   *types.Func // nil for literals
+	lit  *ast.FuncLit
+	body *ast.BlockStmt
+	name string
+}
+
+// Set holds the computed facts for a group of packages.
+type Set struct {
+	fns      map[*types.Func]*Summary
+	lits     map[*ast.FuncLit]*Summary
+	bindings map[*types.Var]*ast.FuncLit // single-assignment local/package func-lit bindings
+	units    []*unit
+	byPkg    map[string][]*Summary
+}
+
+// Analyze computes the call graph and per-function summaries for the
+// packages, iterating to a fixpoint so facts flow through arbitrarily
+// deep call chains (bounded: the lattice is finite and near-monotone; a
+// small iteration cap guards the CleansAtExit/DirtyAtExit interplay).
+func Analyze(pkgs []*load.Package) *Set {
+	s := &Set{
+		fns:      map[*types.Func]*Summary{},
+		lits:     map[*ast.FuncLit]*Summary{},
+		bindings: map[*types.Var]*ast.FuncLit{},
+		byPkg:    map[string][]*Summary{},
+	}
+	for _, pkg := range pkgs {
+		s.collect(pkg)
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, u := range s.units {
+			next := s.compute(u, nil)
+			if !summariesEqual(s.summaryOf(u), next) {
+				s.install(u, next)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Reporting pass: summaries are final; record violation sites.
+	for _, u := range s.units {
+		final := s.summaryOf(u)
+		rec := &recorder{}
+		s.compute(u, rec)
+		final.Findings = rec.findings
+		final.LockEdges = rec.edges
+	}
+	return s
+}
+
+// collect registers every function declaration and literal of a package
+// as a walk unit, parses annotations, and gathers single-assignment
+// function-literal bindings (`reply := func(...) {...}`) so calls
+// through them resolve.
+func (s *Set) collect(pkg *load.Package) {
+	addUnit := func(u *unit, ann Annotation) {
+		sum := &Summary{
+			Fn: u.fn, Pkg: pkg, Name: u.name, Pos: u.body.Pos(),
+			Acquires: map[string]bool{}, ann: ann,
+		}
+		applyAnnotation(sum)
+		if u.fn != nil {
+			s.fns[u.fn] = sum
+		} else {
+			s.lits[u.lit] = sum
+		}
+		s.units = append(s.units, u)
+		s.byPkg[pkg.Path] = append(s.byPkg[pkg.Path], sum)
+	}
+	assigns := map[*types.Var]int{}
+	litFor := map[*types.Var]*ast.FuncLit{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ann, _ := parseAnnotation(fd.Doc)
+			name := fn.Name()
+			if recv := recvNamed(fn); recv != nil {
+				name = "(*" + recv.Obj().Name() + ")." + name
+			}
+			u := &unit{pkg: pkg, fn: fn, body: fd.Body, name: name}
+			addUnit(u, ann)
+			// Literals nested in this declaration.
+			encl := name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					addUnit(&unit{pkg: pkg, lit: lit, body: lit.Body, name: encl + "·lit"}, Annotation{})
+				}
+				return true
+			})
+		}
+		// Bindings and assignment counts (whole file, incl. package-level
+		// var initializers).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					v := varObj(pkg.Info, id)
+					if v == nil {
+						continue
+					}
+					assigns[v]++
+					if len(st.Lhs) == len(st.Rhs) {
+						if lit, ok := ast.Unparen(st.Rhs[i]).(*ast.FuncLit); ok {
+							litFor[v] = lit
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, nameID := range st.Names {
+					v := varObj(pkg.Info, nameID)
+					if v == nil {
+						continue
+					}
+					assigns[v]++
+					if i < len(st.Values) {
+						if lit, ok := ast.Unparen(st.Values[i]).(*ast.FuncLit); ok {
+							litFor[v] = lit
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for v, lit := range litFor {
+		if assigns[v] == 1 {
+			s.bindings[v] = lit
+		}
+	}
+	// Package-level literals outside function declarations (var inits)
+	// still need walk units.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					addUnit(&unit{pkg: pkg, lit: lit, body: lit.Body, name: "pkg·lit"}, Annotation{})
+				}
+				return true
+			})
+		}
+	}
+}
+
+func varObj(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func applyAnnotation(sum *Summary) {
+	a := sum.ann
+	if a.Durable {
+		sum.MutatesDurable, sum.DirtyAtExit = true, true
+	}
+	if a.Sync {
+		sum.Syncs, sum.CleansAtExit = true, true
+	}
+	if a.Externalize {
+		sum.Externalizes, sum.ExternalizesUnsynced = true, true
+	}
+	if a.Blocking {
+		sum.MayBlock = true
+	}
+	if a.Hop {
+		sum.Hops = true
+	}
+	if a.Release {
+		sum.Releases = true
+	}
+	if a.Mint {
+		sum.Mints = true
+	}
+}
+
+func (s *Set) summaryOf(u *unit) *Summary {
+	if u.fn != nil {
+		return s.fns[u.fn]
+	}
+	return s.lits[u.lit]
+}
+
+func (s *Set) install(u *unit, next *Summary) {
+	cur := s.summaryOf(u)
+	cur.MayBlock, cur.Hops, cur.Externalizes = next.MayBlock, next.Hops, next.Externalizes
+	cur.Syncs, cur.Releases, cur.MutatesDurable = next.Syncs, next.Releases, next.MutatesDurable
+	cur.DirtyAtExit, cur.CleansAtExit = next.DirtyAtExit, next.CleansAtExit
+	cur.ExternalizesUnsynced = next.ExternalizesUnsynced
+	cur.Acquires = next.Acquires
+	applyAnnotation(cur) // annotation bits are sticky
+}
+
+func summariesEqual(a, b *Summary) bool {
+	if a.MayBlock != b.MayBlock || a.Hops != b.Hops || a.Externalizes != b.Externalizes ||
+		a.Syncs != b.Syncs || a.Releases != b.Releases || a.MutatesDurable != b.MutatesDurable ||
+		a.DirtyAtExit != b.DirtyAtExit || a.CleansAtExit != b.CleansAtExit ||
+		a.ExternalizesUnsynced != b.ExternalizesUnsynced {
+		return false
+	}
+	if len(a.Acquires) != len(b.Acquires) {
+		return false
+	}
+	for id := range b.Acquires {
+		if !a.Acquires[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuncSummary returns the summary for a declared function, or nil.
+func (s *Set) FuncSummary(fn *types.Func) *Summary { return s.fns[fn] }
+
+// CallSummary resolves a call site to its callee's summary: a declared
+// function or method of the analyzed packages, a directly-invoked
+// function literal, or a literal reached through a single-assignment
+// variable binding. Nil means the callee is outside the analyzed set
+// (stdlib, interface method, dynamic function value).
+func (s *Set) CallSummary(info *types.Info, call *ast.CallExpr) *Summary {
+	if fn := Callee(info, call); fn != nil {
+		return s.fns[fn]
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return s.lits[fun]
+	case *ast.Ident:
+		if v, ok := info.Uses[fun].(*types.Var); ok {
+			if lit, ok := s.bindings[v]; ok {
+				return s.lits[lit]
+			}
+		}
+	}
+	return nil
+}
+
+// Edges returns every lock-graph edge discovered across the analyzed
+// set — the union lock graph cycle detection runs over.
+func (s *Set) Edges() []LockEdge {
+	var out []LockEdge
+	for _, u := range s.units {
+		out = append(out, s.summaryOf(u).LockEdges...)
+	}
+	return out
+}
+
+// PackageSummaries lists the summaries of every function and literal
+// declared in the package, in source order.
+func (s *Set) PackageSummaries(pkgPath string) []*Summary {
+	out := append([]*Summary(nil), s.byPkg[pkgPath]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// sigma is the syncorder lattice: how "dirty" the persister image is
+// relative to acknowledged state on the current path.
+const (
+	sigClean     = 0 // a sync dominates: everything mutated so far is on disk
+	sigInherited = 1 // no information: whatever the caller's state was
+	sigDirty     = 2 // a durable mutation is definitely unsynced
+)
+
+// heldLock is one acquisition on the current path.
+type heldLock struct {
+	pos  token.Pos
+	read bool
+}
+
+// flowState is the combined abstract state for the fact walk.
+type flowState struct {
+	sigma       int
+	held        map[string]heldLock
+	deferred    map[string]bool
+	obligations map[obKey]token.Pos
+}
+
+// obKey keys a pending namespace obligation: by the variable the minted
+// namespace was assigned to, or by mint position when unbound.
+type obKey struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+func newFlowState() *flowState {
+	return &flowState{
+		sigma:       sigInherited,
+		held:        map[string]heldLock{},
+		deferred:    map[string]bool{},
+		obligations: map[obKey]token.Pos{},
+	}
+}
+
+func (f *flowState) Fork() State {
+	c := &flowState{
+		sigma:       f.sigma,
+		held:        make(map[string]heldLock, len(f.held)),
+		deferred:    make(map[string]bool, len(f.deferred)),
+		obligations: make(map[obKey]token.Pos, len(f.obligations)),
+	}
+	for k, v := range f.held {
+		c.held[k] = v
+	}
+	for k, v := range f.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range f.obligations {
+		c.obligations[k] = v
+	}
+	return c
+}
+
+func (f *flowState) Join(o State) {
+	x := o.(*flowState)
+	if x.sigma > f.sigma {
+		f.sigma = x.sigma // dirtier wins
+	}
+	for k, v := range x.held { // held on any path counts
+		if _, ok := f.held[k]; !ok {
+			f.held[k] = v
+		}
+	}
+	for k := range f.deferred { // deferred only if deferred on all paths
+		if !x.deferred[k] {
+			delete(f.deferred, k)
+		}
+	}
+	for k, v := range x.obligations { // pending on any path counts
+		if _, ok := f.obligations[k]; !ok {
+			f.obligations[k] = v
+		}
+	}
+}
+
+func (f *flowState) Replace(o State) {
+	x := o.(*flowState)
+	f.sigma, f.held, f.deferred, f.obligations = x.sigma, x.held, x.deferred, x.obligations
+}
+
+// recorder collects violation sites during the reporting pass; nil
+// during fixpoint iteration.
+type recorder struct {
+	findings []Finding
+	edges    []LockEdge
+	seen     map[string]bool
+}
+
+func (r *recorder) add(pos token.Pos, code, detail string) {
+	if r == nil {
+		return
+	}
+	if r.seen == nil {
+		r.seen = map[string]bool{}
+	}
+	key := code + "@" + detail + "@" + posKey(pos)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.findings = append(r.findings, Finding{Pos: pos, Code: code, Detail: detail})
+}
+
+func posKey(p token.Pos) string {
+	// token.Pos is an int offset; format without strconv import noise.
+	b := [20]byte{}
+	i := len(b)
+	n := int(p)
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// compute walks one unit and returns its summary; when rec is non-nil
+// it also records violation sites and lock edges (the reporting pass).
+func (s *Set) compute(u *unit, rec *recorder) *Summary {
+	info := u.pkg.Info
+	out := &Summary{
+		Fn: u.fn, Pkg: u.pkg, Name: u.name, Pos: u.body.Pos(),
+		Acquires: map[string]bool{}, ann: s.summaryOf(u).ann,
+	}
+	allClean := true
+	sawExit := false
+
+	heldNames := func(st *flowState) string {
+		names := make([]string, 0, len(st.held))
+		for id := range st.held {
+			names = append(names, shortLock(id))
+		}
+		sort.Strings(names)
+		return strings.Join(names, ", ")
+	}
+
+	w := &Walker{Info: info}
+	w.Hooks = Hooks{
+		Call: func(call *ast.CallExpr, kind CallKind, st State) {
+			f := st.(*flowState)
+			fn := Callee(info, call)
+			cs := s.CallSummary(info, call)
+
+			// Mutex operations.
+			if op := lockIntrinsic(fn); op != LockNone {
+				id := lockID(info, call, u.name)
+				if id == "" {
+					return
+				}
+				switch kind {
+				case CallDefer:
+					if op == LockRelease || op == LockReleaseRead {
+						f.deferred[id] = true
+					}
+					return
+				case CallGo:
+					return
+				}
+				switch op {
+				case LockAcquire, LockAcquireRead:
+					if prev, ok := f.held[id]; ok && !(op == LockAcquireRead && prev.read) {
+						rec.add(call.Pos(), FindReacquire, shortLock(id))
+					}
+					for from := range f.held {
+						if rec != nil && from != id {
+							rec.edges = append(rec.edges, LockEdge{From: from, To: id, Pos: call.Pos()})
+						}
+					}
+					f.held[id] = heldLock{pos: call.Pos(), read: op == LockAcquireRead}
+					out.Acquires[id] = true
+				case LockRelease, LockReleaseRead:
+					delete(f.held, id)
+				}
+				return
+			}
+			if kind != CallNormal {
+				// go f() does not block or mutate this goroutine's path;
+				// defer f() runs at exit with its own walked body.
+				return
+			}
+
+			// Blocking.
+			bk := blockingIntrinsic(fn)
+			if bk == BlockNone && cs != nil && cs.MayBlock {
+				bk = BlockHard
+			}
+			switch bk {
+			case BlockSoft:
+				// sync.Cond.Wait releases its own mutex: MayBlock for
+				// callers, but the direct call is the idiom, not a bug.
+				out.MayBlock = true
+			case BlockHard:
+				out.MayBlock = true
+				if len(f.held) > 0 {
+					rec.add(call.Pos(), FindBlockHeld, heldNames(f)+" across "+callName(fn, cs))
+				}
+			}
+
+			// Lock edges through callee acquisitions.
+			if cs != nil && len(cs.Acquires) > 0 {
+				for to := range cs.Acquires {
+					out.Acquires[to] = true
+					if _, ok := f.held[to]; ok && !f.held[to].read {
+						rec.add(call.Pos(), FindReacquire, shortLock(to)+" (via "+cs.Name+")")
+					}
+					for from := range f.held {
+						if rec != nil && from != to {
+							rec.edges = append(rec.edges, LockEdge{From: from, To: to, Pos: call.Pos()})
+						}
+					}
+				}
+			}
+
+			// Hops.
+			if hopIntrinsic(fn) || (cs != nil && cs.Hops) {
+				out.Hops = true
+			}
+
+			// Externalization under the sync lattice.
+			extern := externalizeIntrinsic(fn)
+			externUnsynced := extern
+			if cs != nil && cs.Externalizes {
+				extern = true
+				externUnsynced = externUnsynced || cs.ExternalizesUnsynced
+			}
+			if extern {
+				out.Externalizes = true
+				if externUnsynced {
+					if f.sigma >= sigInherited {
+						out.ExternalizesUnsynced = true
+					}
+					if f.sigma == sigDirty {
+						rec.add(call.Pos(), FindExternUnsynced, callName(fn, cs))
+					}
+				}
+			}
+
+			// Namespace obligations.
+			if releaseIntrinsic(fn) || (cs != nil && cs.Releases) {
+				out.Releases = true
+				clearObligations(info, f, call)
+			}
+			if cs != nil && cs.Mints {
+				f.obligations[obKey{pos: call.Pos()}] = call.Pos()
+			}
+
+			// Sync lattice transfer, after the externalize check so a
+			// send-then-sync callee still reports.
+			if cs != nil {
+				if cs.Syncs {
+					out.Syncs = true
+				}
+				if cs.MutatesDurable {
+					out.MutatesDurable = true
+				}
+				switch {
+				case cs.DirtyAtExit:
+					f.sigma = sigDirty
+				case cs.CleansAtExit:
+					f.sigma = sigClean
+				}
+			}
+		},
+		Block: func(n ast.Node, st State) {
+			f := st.(*flowState)
+			out.MayBlock = true
+			if len(f.held) > 0 {
+				rec.add(n.Pos(), FindBlockHeld, heldNames(f)+" across "+blockDesc(n))
+			}
+		},
+		Assign: func(as *ast.AssignStmt, st State) {
+			f := st.(*flowState)
+			// Re-key a freshly-minted namespace to the variable it was
+			// assigned to, so releases naming that variable clear it.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			cs := s.CallSummary(info, call)
+			if cs == nil || !cs.Mints {
+				return
+			}
+			id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return
+			}
+			v := varObj(info, id)
+			if v == nil {
+				return
+			}
+			delete(f.obligations, obKey{pos: call.Pos()})
+			f.obligations[obKey{v: v}] = call.Pos()
+		},
+		Exit: func(n ast.Node, st State) {
+			f := st.(*flowState)
+			sawExit = true
+			if f.sigma == sigDirty {
+				out.DirtyAtExit = true
+			}
+			if f.sigma != sigClean {
+				allClean = false
+			}
+			for id, h := range f.held {
+				if !f.deferred[id] {
+					rec.add(h.pos, FindExitHeld, shortLock(id))
+				}
+			}
+			for _, pos := range f.obligations {
+				rec.add(pos, FindLeak, "")
+			}
+		},
+	}
+	w.Walk(u.body, newFlowState())
+	out.CleansAtExit = sawExit && allClean
+	applyAnnotation(out)
+	return out
+}
+
+// clearObligations removes every obligation whose bound variable appears
+// (at any depth) in the releasing call's arguments or receiver, plus all
+// position-keyed (unbound) obligations — a release you cannot tie to a
+// specific namespace is credited to any pending anonymous mint.
+func clearObligations(info *types.Info, f *flowState, call *ast.CallExpr) {
+	argVars := map[*types.Var]bool{}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					argVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	for k := range f.obligations {
+		if k.v == nil || argVars[k.v] {
+			delete(f.obligations, k)
+		}
+	}
+}
+
+// shortLock trims a lock ID to its last two path-free components for
+// readable diagnostics: "repro/internal/wire.daemon.linkMu" →
+// "daemon.linkMu".
+func shortLock(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		id = id[i+1:]
+	}
+	if i := strings.IndexByte(id, '.'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// callName renders a callee for diagnostics.
+func callName(fn *types.Func, cs *Summary) string {
+	switch {
+	case cs != nil:
+		return cs.Name
+	case fn != nil:
+		if recv := recvNamed(fn); recv != nil {
+			return "(" + recv.Obj().Name() + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+// blockDesc names a structural blocking point.
+func blockDesc(n ast.Node) string {
+	switch n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		return "channel receive"
+	case *ast.SelectStmt:
+		return "blocking select"
+	case *ast.RangeStmt:
+		return "range over channel"
+	}
+	return "blocking operation"
+}

@@ -1,0 +1,66 @@
+package facts
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the callee of a call expression to its *types.Func
+// (package function, method, or interface method), or nil for builtins,
+// conversions, and calls through function-typed variables.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // generic instantiation: NodeVar[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether f is the package-level function pkgPath.name
+// or a method name on a type of pkgPath.
+func IsPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// NamedIn reports whether t (after pointer dereference) is the named
+// type pkgPath.name.
+func NamedIn(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// recvNamed returns the named type (after pointer deref) of f's
+// receiver, or nil for package-level functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,294 @@
+package facts
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// navpPath is the import path of the NavP runtime the fact layer knows.
+const navpPath = "repro/internal/navp"
+
+// Annotation bits declared in source with a `//navplint:fact <kinds...>`
+// line in a function's doc comment. Annotations mark the *leaf*
+// semantics the type system cannot see — which operations constitute a
+// durable mutation, which one syncs the persister, which package
+// function mints a job namespace — and the fact layer propagates them
+// through the call graph. Everything else (channel ops, conn I/O, mutex
+// acquisition, agent hops) is detected structurally.
+type Annotation struct {
+	Durable     bool // mutates node-durable state; its effect must be synced before it is externalized
+	Sync        bool // syncs the persister: dominates-exit on every path
+	Externalize bool // makes an effect externally visible (conn write, ack, reply)
+	Blocking    bool // may block indefinitely
+	Hop         bool // performs an agent hop
+	Mint        bool // mints a job namespace the caller must release
+	Release     bool // releases a job namespace
+}
+
+// parseAnnotation extracts the navplint:fact bits from a doc comment.
+func parseAnnotation(doc *ast.CommentGroup) (Annotation, bool) {
+	var ann Annotation
+	if doc == nil {
+		return ann, false
+	}
+	found := false
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//navplint:fact")
+		if !ok {
+			continue
+		}
+		for _, kind := range strings.Fields(rest) {
+			found = true
+			switch kind {
+			case "durable":
+				ann.Durable = true
+			case "sync":
+				ann.Sync = true
+			case "externalize":
+				ann.Externalize = true
+			case "blocking":
+				ann.Blocking = true
+			case "hop":
+				ann.Hop = true
+			case "mint":
+				ann.Mint = true
+			case "release":
+				ann.Release = true
+			}
+		}
+	}
+	return ann, found
+}
+
+// BlockKind classifies how an operation can block.
+type BlockKind int
+
+const (
+	// BlockNone: does not block.
+	BlockNone BlockKind = iota
+	// BlockHard: may block indefinitely; holding a mutex across it is a
+	// lock-discipline violation.
+	BlockHard
+	// BlockSoft: sync.Cond.Wait — it blocks, but it atomically releases
+	// the mutex it was constructed over, so the direct call is the
+	// documented condition-variable idiom and is not flagged locally.
+	// Callers one level up see it as a hard block.
+	BlockSoft
+)
+
+// blockingIntrinsic classifies a resolved callee as a blocking
+// primitive. The set is deliberately about *indefinite* waits: local
+// file I/O (os.WriteFile, os.Rename — the persister's syncs) completes
+// without a remote party and is not in it.
+func blockingIntrinsic(fn *types.Func) BlockKind {
+	if fn == nil || fn.Pkg() == nil {
+		return BlockNone
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	recv := recvNamed(fn)
+	switch pkg {
+	case "time":
+		if recv == nil && name == "Sleep" {
+			return BlockHard
+		}
+	case "net":
+		if recv == nil && strings.HasPrefix(name, "Dial") {
+			return BlockHard
+		}
+		if recv != nil && recv.Obj().Name() == "Conn" && connIOName(name) {
+			return BlockHard // interface method on net.Conn
+		}
+		if recv != nil && strings.HasSuffix(recv.Obj().Name(), "Conn") && connIOName(name) {
+			return BlockHard // *net.TCPConn etc.
+		}
+	case "io":
+		if recv == nil && (name == "ReadFull" || name == "ReadAll" || name == "Copy") {
+			return BlockHard
+		}
+	case "bufio":
+		if recv != nil && recv.Obj().Name() == "Reader" && strings.HasPrefix(name, "Read") {
+			return BlockHard
+		}
+		if recv != nil && recv.Obj().Name() == "Writer" && (name == "Flush" || strings.HasPrefix(name, "Write")) {
+			return BlockHard
+		}
+	case "sync":
+		if recv != nil && recv.Obj().Name() == "WaitGroup" && name == "Wait" {
+			return BlockHard
+		}
+		if recv != nil && recv.Obj().Name() == "Cond" && name == "Wait" {
+			return BlockSoft
+		}
+	case navpPath:
+		if name == "Hop" && recv != nil && recv.Obj().Name() == "Agent" {
+			return BlockHard
+		}
+	}
+	return BlockNone
+}
+
+func connIOName(name string) bool {
+	switch name {
+	case "Read", "Write", "ReadFrom", "WriteTo":
+		return true
+	}
+	return false
+}
+
+// externalizeIntrinsic reports whether a resolved callee makes bytes
+// visible to a remote party: a write on a net.Conn (interface or
+// concrete). This is the root "externalize" fact; wrappers (frame
+// writers, reply helpers) inherit it through their summaries.
+func externalizeIntrinsic(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+		return false
+	}
+	recv := recvNamed(fn)
+	if recv == nil {
+		return false
+	}
+	rn := recv.Obj().Name()
+	if rn != "Conn" && !strings.HasSuffix(rn, "Conn") {
+		return false
+	}
+	return fn.Name() == "Write" || fn.Name() == "WriteTo"
+}
+
+// releaseIntrinsic reports whether a resolved callee releases a job
+// namespace: any method named ReleaseJob or ClearVarsPrefix (concrete
+// backend, remote client, or the sched.Backend interface method).
+func releaseIntrinsic(fn *types.Func) bool {
+	if fn == nil || recvNamed(fn) == nil {
+		return false
+	}
+	return fn.Name() == "ReleaseJob" || fn.Name() == "ClearVarsPrefix"
+}
+
+// hopIntrinsic reports whether a resolved callee is (*navp.Agent).Hop.
+func hopIntrinsic(fn *types.Func) bool {
+	if !IsPkgFunc(fn, navpPath, "Hop") {
+		return false
+	}
+	recv := recvNamed(fn)
+	return recv != nil && recv.Obj().Name() == "Agent"
+}
+
+// LockOp is a mutex operation at a call site.
+type LockOp int
+
+const (
+	LockNone LockOp = iota
+	LockAcquire
+	LockAcquireRead
+	LockRelease
+	LockReleaseRead
+)
+
+// lockIntrinsic classifies a resolved callee as a sync.Mutex/RWMutex
+// operation. TryLock variants are ignored: their acquisition is
+// conditional on the return value, which a path-insensitive held-set
+// cannot represent without false positives.
+func lockIntrinsic(fn *types.Func) LockOp {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return LockNone
+	}
+	recv := recvNamed(fn)
+	if recv == nil {
+		return LockNone
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return LockNone
+	}
+	switch fn.Name() {
+	case "Lock":
+		return LockAcquire
+	case "RLock":
+		return LockAcquireRead
+	case "Unlock":
+		return LockRelease
+	case "RUnlock":
+		return LockReleaseRead
+	}
+	return LockNone
+}
+
+// lockID names the mutex a Lock/Unlock call operates on, stably across
+// functions so acquisitions of the same lock correlate:
+//
+//   - a struct-field mutex is "pkg.Type.field" (instance-insensitive);
+//   - a package-level mutex var is "pkg.var";
+//   - a local mutex var is "pkg.func.var" (scoped to its function, so it
+//     can never alias another function's lock).
+//
+// The receiver expression is call.Fun's SelectorExpr.X — `d.linkMu` in
+// `d.linkMu.Lock()`. Unnameable shapes (map elements, deep chains)
+// return "", and the operation is ignored.
+func lockID(info *types.Info, call *ast.CallExpr, enclosing string) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj, okv := info.Uses[x].(*types.Var)
+		if !okv {
+			return ""
+		}
+		if obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name() // package-level var
+		}
+		// Embedded mutex on a local variable: name it by the variable's
+		// type when named, else by the local var.
+		if named, okn := derefNamed(obj.Type()); okn {
+			return qualifiedType(named) + "." + embeddedName(sel.Sel.Name)
+		}
+		return obj.Pkg().Path() + "." + enclosing + "." + obj.Name()
+	case *ast.SelectorExpr:
+		if s, oks := info.Selections[x]; oks && s.Kind() == types.FieldVal {
+			if named, okn := derefNamed(s.Recv()); okn {
+				return qualifiedType(named) + "." + x.Sel.Name
+			}
+		}
+		// pkg.Var selector
+		if id, oki := x.X.(*ast.Ident); oki {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if obj, okv := info.Uses[x.Sel].(*types.Var); okv && obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + obj.Name()
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// embeddedName: `x.Lock()` on a struct embedding sync.Mutex selects the
+// embedded field; the field's conventional name is the mutex type.
+func embeddedName(method string) string {
+	_ = method
+	return "Mutex"
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return nil, false
+	}
+	// A variable whose type *is* sync.Mutex is not an embedding.
+	if named.Obj().Pkg().Path() == "sync" {
+		return nil, false
+	}
+	return named, true
+}
+
+func qualifiedType(named *types.Named) string {
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

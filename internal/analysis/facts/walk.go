@@ -1,0 +1,384 @@
+package facts
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The flow walker evaluates a function body in execution order with
+// branch forking and conservative joins — the same discipline as
+// hopcheck's hand-rolled walker, generalized over an analyzer-owned
+// abstract state. It is the engine under the interprocedural summaries
+// (sync ordering, held-lock sets, namespace obligations).
+//
+// Precision contract:
+//
+//   - each branch of an if/switch/select is walked against a fork of the
+//     entry state, and only branches that do not end in `return` (or
+//     panic/os.Exit) are joined back;
+//   - a construct that can be skipped entirely (if without else, switch
+//     without default, loops) also joins the entry state;
+//   - loop bodies are walked twice, so state created on iteration one is
+//     observed by iteration two (a lock acquired late in the body is
+//     "held" at the body's top on the second pass);
+//   - `break`, `continue`, and `goto` are treated as falling through,
+//     which over-approximates the path set — sound for the union-style
+//     joins every client uses;
+//   - function literals are not descended into here: they are walk units
+//     of their own (see Analyze), and their effects apply at resolved
+//     call sites only.
+
+// State is an analyzer-owned abstract state for one walk.
+type State interface {
+	// Fork returns an independent copy for a branch.
+	Fork() State
+	// Join folds another branch's exit state into the receiver,
+	// conservatively.
+	Join(State)
+	// Replace overwrites the receiver's contents with another state's
+	// (used when only one branch of a construct continues).
+	Replace(State)
+}
+
+// CallKind distinguishes how a call site runs its callee.
+type CallKind int
+
+const (
+	CallNormal CallKind = iota
+	CallGo              // `go f()` — runs on another goroutine
+	CallDefer           // `defer f()` — runs at function exit
+)
+
+// Hooks are the walker's client callbacks. Any may be nil.
+type Hooks struct {
+	// Call fires for every call expression after its arguments were
+	// walked, with the state at the call.
+	Call func(call *ast.CallExpr, kind CallKind, st State)
+	// Block fires at structural blocking points: channel send/receive,
+	// select without a default clause, range over a channel.
+	Block func(n ast.Node, st State)
+	// Assign fires after an assignment's right-hand side was walked and
+	// before the statement completes (for binding call results to
+	// variables).
+	Assign func(s *ast.AssignStmt, st State)
+	// Exit fires at every return statement and once at the fall-off end
+	// of the body.
+	Exit func(n ast.Node, st State)
+	// FuncLit fires when a literal appears in expression position; the
+	// literal body is not walked.
+	FuncLit func(lit *ast.FuncLit, st State)
+}
+
+// Walker drives one function body.
+type Walker struct {
+	Info  *types.Info
+	Hooks Hooks
+}
+
+// Walk runs the body against the entry state, firing hooks. The final
+// state (all non-returning paths joined) is left in st.
+func (w *Walker) Walk(body *ast.BlockStmt, st State) {
+	if terminated := w.walkBody(body, st); !terminated {
+		if w.Hooks.Exit != nil {
+			w.Hooks.Exit(body, st)
+		}
+	}
+}
+
+// walkBody walks a statement list, mutating st; it reports whether the
+// list definitely terminates (ends the function) on every path.
+func (w *Walker) walkBody(blk *ast.BlockStmt, st State) bool {
+	return w.walkList(blk.List, st)
+}
+
+func (w *Walker) walkList(list []ast.Stmt, st State) bool {
+	for _, stmt := range list {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt walks one statement; true means the statement terminates the
+// function on every path through it.
+func (w *Walker) walkStmt(stmt ast.Stmt, st State) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.walkExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				w.walkExpr(lhs, st)
+			}
+		}
+		if w.Hooks.Assign != nil {
+			w.Hooks.Assign(s, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						w.walkExpr(val, st)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, st)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.terminates(call) {
+			return true
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkExpr(s.Cond, st)
+		thenSt := st.Fork()
+		thenTerm := w.walkBody(s.Body, thenSt)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, st)
+		}
+		if thenTerm && elseTerm {
+			return true
+		}
+		if !thenTerm {
+			if elseTerm {
+				// Only the then-branch continues: adopt its state.
+				w.copyInto(st, thenSt)
+			} else {
+				st.Join(thenSt)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, st)
+		}
+		w.walkLoop(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, st)
+		if t := w.Info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && w.Hooks.Block != nil {
+				w.Hooks.Block(s, st)
+			}
+		}
+		w.walkLoop(s.Body, nil, st)
+	case *ast.BlockStmt:
+		return w.walkBody(s, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, st)
+		}
+		return w.walkBranches(s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkStmt(s.Assign, st)
+		return w.walkBranches(s.Body, st, false)
+	case *ast.SelectStmt:
+		if w.Hooks.Block != nil && !selectHasDefault(s) {
+			w.Hooks.Block(s, st)
+		}
+		return w.walkBranches(s.Body, st, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.walkExpr(r, st)
+		}
+		if w.Hooks.Exit != nil {
+			w.Hooks.Exit(s, st)
+		}
+		return true
+	case *ast.DeferStmt:
+		w.walkCallParts(s.Call, st)
+		if w.Hooks.Call != nil {
+			w.Hooks.Call(s.Call, CallDefer, st)
+		}
+	case *ast.GoStmt:
+		w.walkCallParts(s.Call, st)
+		if w.Hooks.Call != nil {
+			w.Hooks.Call(s.Call, CallGo, st)
+		}
+	case *ast.SendStmt:
+		w.walkExpr(s.Chan, st)
+		w.walkExpr(s.Value, st)
+		if w.Hooks.Block != nil {
+			w.Hooks.Block(s, st)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+// walkBranches walks each case clause against a fork of the entry state
+// and joins the non-terminating exits. exhaustive means one clause is
+// always taken (select); a switch is exhaustive only with a default
+// clause.
+func (w *Walker) walkBranches(body *ast.BlockStmt, st State, exhaustive bool) bool {
+	var exits []State
+	hasDefault := false
+	for _, c := range body.List {
+		branch := st.Fork()
+		term := false
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.walkExpr(e, branch)
+			}
+			term = w.walkList(cc.Body, branch)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				w.walkStmt(cc.Comm, branch)
+			}
+			term = w.walkList(cc.Body, branch)
+		}
+		if !term {
+			exits = append(exits, branch)
+		}
+	}
+	skippable := !exhaustive && !hasDefault
+	if len(exits) == 0 {
+		// Every taken branch returns; the construct terminates unless it
+		// can be skipped entirely.
+		return !skippable && len(body.List) > 0
+	}
+	if !skippable {
+		w.copyInto(st, exits[0])
+		exits = exits[1:]
+	}
+	for _, e := range exits {
+		st.Join(e)
+	}
+	return false
+}
+
+// walkLoop walks a loop body twice (so first-iteration state reaches the
+// body top) and joins the zero-iteration entry state with both exits.
+func (w *Walker) walkLoop(body *ast.BlockStmt, post ast.Stmt, st State) {
+	exit := st.Fork() // zero iterations
+	for i := 0; i < 2; i++ {
+		if w.walkBody(body, st) {
+			break
+		}
+		if post != nil {
+			w.walkStmt(post, st)
+		}
+		exit.Join(st)
+	}
+	w.copyInto(st, exit)
+}
+
+func (w *Walker) copyInto(dst, src State) { dst.Replace(src) }
+
+// walkCallParts walks a call's function and argument expressions without
+// firing the Call hook (used for go/defer where the hook fires with a
+// kind).
+func (w *Walker) walkCallParts(call *ast.CallExpr, st State) {
+	w.walkExprNoHook(call.Fun, st)
+	for _, arg := range call.Args {
+		w.walkExpr(arg, st)
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a call never returns: panic, os.Exit,
+// runtime.Goexit.
+func (w *Walker) terminates(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isb := w.Info.Uses[id].(*types.Builtin); isb && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := Callee(w.Info, call)
+	return IsPkgFunc(fn, "os", "Exit") || IsPkgFunc(fn, "runtime", "Goexit")
+}
+
+// walkExpr walks an expression in evaluation order, firing hooks.
+func (w *Walker) walkExpr(expr ast.Expr, st State) {
+	w.walkExprInner(expr, st, true)
+}
+
+func (w *Walker) walkExprNoHook(expr ast.Expr, st State) {
+	w.walkExprInner(expr, st, false)
+}
+
+func (w *Walker) walkExprInner(expr ast.Expr, st State, hook bool) {
+	if expr == nil {
+		return
+	}
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		w.walkExprInner(e.Fun, st, hook)
+		for _, arg := range e.Args {
+			w.walkExpr(arg, st)
+		}
+		if hook && w.Hooks.Call != nil {
+			w.Hooks.Call(e, CallNormal, st)
+		}
+	case *ast.FuncLit:
+		if w.Hooks.FuncLit != nil {
+			w.Hooks.FuncLit(e, st)
+		}
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X, st)
+		if e.Op.String() == "<-" && w.Hooks.Block != nil {
+			w.Hooks.Block(e, st)
+		}
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X, st)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, st)
+		w.walkExpr(e.Index, st)
+	case *ast.IndexListExpr:
+		w.walkExpr(e.X, st)
+		for _, i := range e.Indices {
+			w.walkExpr(i, st)
+		}
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, st)
+		w.walkExpr(e.Y, st)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, st)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key, st)
+		w.walkExpr(e.Value, st)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, st)
+		w.walkExpr(e.Low, st)
+		w.walkExpr(e.High, st)
+		w.walkExpr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, st)
+	}
+}

@@ -262,6 +262,13 @@ func (hc *hopChecker) walkExpr(expr ast.Expr, st *hopState) {
 		}
 		if hc.isHopCall(e) {
 			st.epoch++
+		} else if hc.pass.Facts != nil {
+			// Interprocedural: a helper whose fact summary hops (directly
+			// or transitively) invalidates captured node pointers just
+			// like a literal Hop call at this site.
+			if cs := hc.pass.Facts.CallSummary(hc.pass.Pkg.Info, e); cs != nil && cs.Hops {
+				st.epoch++
+			}
 		}
 	case *ast.FuncLit:
 		// The literal may run later (Compute body, injected child): check

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"repro/internal/analysis/facts"
+)
+
+// NewJobRelease returns the jobrelease analyzer.
+//
+// A job namespace is a durable acquisition: the scheduler mints one per
+// attempt (`//navplint:fact mint` on sched.namespace), injects work
+// under it, and must release it — ReleaseJob plus ClearVarsPrefix — on
+// every exit, or the cluster's per-job Mattern counters, dedup entries,
+// and j-prefixed variables leak for the life of the deployment
+// (DESIGN.md §12's drain-ordered cleanup).
+//
+// The obligation starts at the call to a mint-annotated function and is
+// bound to the variable the namespace was assigned to. Any path that
+// reaches an exit while the obligation is pending reports at the mint.
+// A release clears it when the namespace variable appears in the
+// releasing call's arguments — directly (cl.ReleaseJob(ns)) or through
+// a helper whose summary releases (s.cleanup(ns, failed)); a release
+// that *may* not run to completion (cleanup's drain-timeout early
+// return) still clears, matching the documented bounded-leak contract.
+//
+// Work.Run implementations inject under a namespace but never mint one,
+// so they carry no obligation: the scheduler owns cleanup, Run only
+// computes. A helper that intentionally mints and hands the namespace
+// off unreleased needs a `//lint:ignore jobrelease <reason>`.
+func NewJobRelease() *Analyzer {
+	a := &Analyzer{
+		Name: "jobrelease",
+		Doc: "flags exit paths on which a minted job namespace is never released " +
+			"(ReleaseJob/ClearVarsPrefix) — the namespace-leak rule",
+	}
+	a.Run = func(pass *Pass) {
+		for _, sum := range pass.Facts.PackageSummaries(pass.Pkg.Path) {
+			for _, f := range sum.Findings {
+				if f.Code == facts.FindLeak {
+					pass.Reportf(f.Pos,
+						"job namespace minted here is not released on every exit path; "+
+							"every attempt must end in ReleaseJob/ClearVarsPrefix or the "+
+							"cluster leaks its counters and variables")
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/facts"
+)
+
+// NewLockOrder returns the lockorder analyzer.
+//
+// Lock discipline for the serving layers, proven statically instead of
+// sampled by the race detector:
+//
+//  1. The static lock graph (edges "acquired B while holding A", with
+//     acquisitions reached through callee summaries included) must be
+//     acyclic. A cycle is a deadlock two goroutines can reach by taking
+//     the edges in opposite orders.
+//  2. No mutex may be held across an indefinitely-blocking operation:
+//     channel send/receive, select without default, conn I/O, net.Dial,
+//     time.Sleep, WaitGroup.Wait, an agent Hop, or a call whose summary
+//     may block. One slow peer must never stall every other user of the
+//     lock (the daemon.link dial bug class).
+//  3. A mutex acquired on a path must be released on it (or deferred);
+//     returning while holding is reported at the acquisition.
+//  4. Re-acquiring a lock already held on the path is reported: Go
+//     mutexes are not reentrant, so "lock, call helper that locks the
+//     same mutex" self-deadlocks.
+//
+// sync.Cond.Wait is deliberately not rule 2: it atomically releases the
+// mutex it was built over, so the scheduler's worker loop and the events
+// table are the idiom, not a bug — but a function containing it is
+// "may block" to its callers.
+//
+// Lock identity is instance-insensitive ("pkg.Type.field"), so two
+// instances of one type used in a hand-over-hand pattern would need a
+// `//lint:ignore lockorder <reason>`; the runtime has no such pattern.
+func NewLockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc: "builds the static lock graph across wire+sched and flags acquisition " +
+			"cycles, mutexes held across blocking calls, unreleased paths, and re-acquisition",
+	}
+	a.Run = func(pass *Pass) {
+		for _, sum := range pass.Facts.PackageSummaries(pass.Pkg.Path) {
+			for _, f := range sum.Findings {
+				switch f.Code {
+				case facts.FindBlockHeld:
+					pass.Reportf(f.Pos,
+						"mutex %s — a lock held across an indefinite wait stalls every contender; "+
+							"release it before blocking", f.Detail)
+				case facts.FindReacquire:
+					pass.Reportf(f.Pos,
+						"mutex %s acquired while already held on this path — Go mutexes are not "+
+							"reentrant, so this self-deadlocks", f.Detail)
+				case facts.FindExitHeld:
+					pass.Reportf(f.Pos,
+						"mutex %s is still held when some path returns and no unlock is deferred", f.Detail)
+				}
+			}
+		}
+		reportLockCycles(pass)
+	}
+	return a
+}
+
+// reportLockCycles runs cycle detection over the whole analyzed set's
+// lock graph and reports the edges of each cycle that sit in this
+// package (cross-package cycles surface in every participating package;
+// Run's dedup keeps one diagnostic per position).
+func reportLockCycles(pass *Pass) {
+	edges := pass.Facts.Edges()
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]bool{}
+		}
+		adj[e.From][e.To] = true
+	}
+	scc := stronglyConnected(adj)
+	comp := map[string]int{}
+	for i, c := range scc {
+		for _, id := range c {
+			comp[id] = i
+		}
+	}
+	size := make(map[int]int, len(scc))
+	for i, c := range scc {
+		size[i] = len(c)
+	}
+	reported := map[string]bool{}
+	for _, e := range edges {
+		ci, oki := comp[e.From]
+		cj, okj := comp[e.To]
+		if !oki || !okj || ci != cj || size[ci] < 2 {
+			continue
+		}
+		// Only report edges whose position lies in this package's files.
+		file := pass.Pkg.Fset.Position(e.Pos).Filename
+		if !strings.HasPrefix(file, pass.Pkg.Dir+"/") && file != pass.Pkg.Dir {
+			continue
+		}
+		key := e.From + "->" + e.To
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		cycle := renderCycle(scc[ci], e.From)
+		pass.Reportf(e.Pos,
+			"acquiring %s while holding %s joins a lock-order cycle (%s); two goroutines "+
+				"taking these edges in opposite orders deadlock",
+			shortLock(e.To), shortLock(e.From), cycle)
+	}
+}
+
+func shortLock(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		id = id[i+1:]
+	}
+	if i := strings.IndexByte(id, '.'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func renderCycle(ids []string, first string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	// Rotate so the cycle reads from the reported edge's source.
+	for i, id := range sorted {
+		if id == first {
+			sorted = append(sorted[i:], sorted[:i]...)
+			break
+		}
+	}
+	parts := make([]string, 0, len(sorted)+1)
+	for _, id := range sorted {
+		parts = append(parts, shortLock(id))
+	}
+	parts = append(parts, shortLock(sorted[0]))
+	return strings.Join(parts, " → ")
+}
+
+// stronglyConnected is Tarjan's algorithm over the lock graph.
+func stronglyConnected(adj map[string]map[string]bool) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var nodes []string
+	seen := map[string]bool{}
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for to := range adj[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if _, ok := index[to]; !ok {
+				strong(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// metricsPath is the module's metrics package.
+const metricsPath = "repro/internal/metrics"
+
+// NewMetricSafe returns the metricsafe analyzer.
+//
+// Two hot-path rules for the metrics layer:
+//
+//  1. Registry instrument lookups (Counter/Gauge/Histogram) are a map
+//     hit under a mutex. Inside a loop, a lookup whose name cannot
+//     change across iterations resolves the same instrument every time
+//     — hoist the handle out of the loop (the wireMetrics/schedMetrics
+//     structs of pre-resolved handles are the idiom). A lookup whose
+//     name depends on a loop variable is a registration loop creating
+//     distinct instruments and is fine.
+//
+//  2. The nil-registry discard path must be allocation-free: metrics
+//     are designed to be compiled out by passing a nil registry, so a
+//     discard branch that allocates (&T{...}, new, make) on every call
+//     defeats the point. Return a shared package-level discard instance
+//     instead.
+//
+// Rule 1 matches the module's metrics.Registry; rule 2 matches any
+// method guarding on a nil receiver, so fixture registries exercise it
+// too.
+func NewMetricSafe() *Analyzer {
+	a := &Analyzer{
+		Name: "metricsafe",
+		Doc: "flags loop-invariant registry instrument lookups inside loops and " +
+			"allocations on nil-registry discard paths",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkLoopLookups(pass, fn.Body)
+				checkDiscardAllocs(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+// lookupMethod reports whether call is an instrument lookup on the
+// metrics registry, returning the method name.
+func lookupMethod(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := funcFor(pass.Pkg.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !namedIn(sig.Recv().Type(), metricsPath, "Registry") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkLoopLookups flags instrument lookups inside for/range loops whose
+// name argument is invariant with respect to every enclosing loop.
+func checkLoopLookups(pass *Pass, body *ast.BlockStmt) {
+	reported := map[token.Pos]bool{}
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			var loopBody *ast.BlockStmt
+			switch l := m.(type) {
+			case *ast.ForStmt:
+				loopBody = l.Body
+			case *ast.RangeStmt:
+				loopBody = l.Body
+			default:
+				return true
+			}
+			vars := loopAssignedVars(pass, m)
+			ast.Inspect(loopBody, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := lookupMethod(pass, call)
+				if !ok || len(call.Args) == 0 || reported[call.Pos()] {
+					return true
+				}
+				if !mentionsVars(pass, call.Args[0], vars) {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(),
+						"registry %s lookup inside a loop with a loop-invariant name resolves "+
+							"the same instrument every iteration; hoist the handle out of the loop "+
+							"(each lookup is a map hit under the registry mutex)", name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	visit(body)
+}
+
+// loopAssignedVars collects every variable the loop defines or assigns:
+// range key/value, for-init variables, and anything assigned in the
+// body. A lookup name mentioning one of these can differ per iteration.
+func loopAssignedVars(pass *Pass, loop ast.Node) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	addIdent := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := pass.ObjectOf(id).(*types.Var); ok {
+			vars[v] = true
+		}
+	}
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		if init, ok := l.Init.(*ast.AssignStmt); ok {
+			for _, lhs := range init.Lhs {
+				addIdent(lhs)
+			}
+		}
+		body = l.Body
+	case *ast.RangeStmt:
+		if l.Key != nil {
+			addIdent(l.Key)
+		}
+		if l.Value != nil {
+			addIdent(l.Value)
+		}
+		body = l.Body
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				addIdent(lhs)
+			}
+		case *ast.IncDecStmt:
+			addIdent(s.X)
+		}
+		return true
+	})
+	return vars
+}
+
+// mentionsVars reports whether expr references any of the given
+// variables at any depth.
+func mentionsVars(pass *Pass, expr ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDiscardAllocs flags allocations inside `if recv == nil { ... }`
+// branches of methods — the discard path disabled metrics take on every
+// single instrument operation.
+func checkDiscardAllocs(pass *Pass, fn *ast.FuncDecl) {
+	recv := receiverVar(pass, fn)
+	if recv == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || !isNilCheckOf(pass, ifStmt.Cond, recv) {
+			return true
+		}
+		ast.Inspect(ifStmt.Body, func(m ast.Node) bool {
+			switch alloc := m.(type) {
+			case *ast.UnaryExpr:
+				if alloc.Op == token.AND {
+					if _, isLit := ast.Unparen(alloc.X).(*ast.CompositeLit); isLit {
+						reportDiscardAlloc(pass, alloc.Pos())
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(alloc.Fun).(*ast.Ident); ok {
+					if b, isb := pass.Pkg.Info.Uses[id].(*types.Builtin); isb &&
+						(b.Name() == "new" || b.Name() == "make") {
+						reportDiscardAlloc(pass, alloc.Pos())
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func reportDiscardAlloc(pass *Pass, pos token.Pos) {
+	pass.Reportf(pos,
+		"nil-receiver discard path allocates on every call; return a shared "+
+			"package-level discard instance so disabled metrics stay allocation-free")
+}
+
+// receiverVar returns the method's receiver variable, or nil.
+func receiverVar(pass *Pass, fn *ast.FuncDecl) *types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pass.Pkg.Info.Defs[fn.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// isNilCheckOf matches `recv == nil` / `nil == recv`.
+func isNilCheckOf(pass *Pass, cond ast.Expr, recv *types.Var) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, _ := pass.Pkg.Info.Uses[id].(*types.Var)
+		return v == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"repro/internal/analysis/facts"
+)
+
+// NewSyncOrder returns the syncorder analyzer.
+//
+// The persist-before-acknowledge rule (persist.go, DESIGN.md §13.2):
+// a daemon must sync the persister before externalizing the effect of a
+// durable mutation — before the hop ack for an accepted agent, before
+// the msgOK reply to a control write. A crash between mutation and sync
+// is then indistinguishable from a crash before the mutation, because
+// no remote party ever saw an acknowledgement.
+//
+// The analysis is interprocedural over the fact layer's sync lattice:
+// functions annotated `//navplint:fact durable` (store.set, accept,
+// inject, cancel marks, namespace release) make a path dirty; functions
+// annotated `//navplint:fact sync` (nodeState.sync) make it clean;
+// summaries propagate DirtyAtExit / CleansAtExit / ExternalizesUnsynced
+// through helpers and single-assignment closure bindings (the daemon's
+// reply path). A conn write — direct, or through a callee that may
+// write before its own first sync — on a definitely-dirty path is
+// reported at the externalizing call.
+//
+// Suppress with `//lint:ignore syncorder <reason>` on the reported call
+// when an unsynced externalization is genuinely not an acknowledgement
+// (none exist in the runtime today).
+func NewSyncOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "syncorder",
+		Doc: "flags paths that externalize a durable mutation's effect (conn write, " +
+			"ack, msgOK) before the persister synced it — the persist-before-acknowledge rule",
+	}
+	a.Run = func(pass *Pass) {
+		for _, sum := range pass.Facts.PackageSummaries(pass.Pkg.Path) {
+			for _, f := range sum.Findings {
+				if f.Code == facts.FindExternUnsynced {
+					pass.Reportf(f.Pos,
+						"call to %s externalizes the effect of a durable mutation that has not "+
+							"been synced on this path; sync the persister first (persist-before-acknowledge)",
+						f.Detail)
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,26 @@
+package jobrelease
+
+// leakOnError releases on success but forgets the error path.
+func leakOnError(c *cluster, id uint64) error {
+	ns := mint(id, 0) // want `not released on every exit path`
+	if err := c.run(ns); err != nil {
+		return err
+	}
+	c.ReleaseJob(ns)
+	c.ClearVarsPrefix("job:")
+	return nil
+}
+
+// neverReleased hands the namespace back raw; no path releases it.
+func neverReleased(c *cluster, id uint64) uint64 {
+	return mint(id, 1) // want `not released on every exit path`
+}
+
+// branchLeak releases on one arm only.
+func branchLeak(c *cluster, id uint64, failed bool) {
+	ns := mint(id, 2) // want `not released on every exit path`
+	if failed {
+		return
+	}
+	c.ReleaseJob(ns)
+}

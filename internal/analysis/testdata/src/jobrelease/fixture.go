@@ -1,0 +1,22 @@
+// Package jobrelease exercises the namespace-leak analyzer over a
+// miniature of the scheduler: a mint-annotated namespace allocator and
+// a cluster with the two releasing methods.
+package jobrelease
+
+// mint allocates one attempt's namespace, obligating the caller to
+// release it on every exit path.
+//
+//navplint:fact mint
+func mint(id uint64, attempt int) uint64 {
+	return id<<8 | uint64(attempt+1)
+}
+
+type cluster struct{}
+
+// ReleaseJob and ClearVarsPrefix are releases by name, like the wire
+// Cluster's methods.
+func (c *cluster) ReleaseJob(ns uint64)       {}
+func (c *cluster) ClearVarsPrefix(pfx string) {}
+
+// run stands in for Work.Run under the namespace.
+func (c *cluster) run(ns uint64) error { return nil }

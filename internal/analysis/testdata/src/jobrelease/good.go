@@ -1,0 +1,46 @@
+package jobrelease
+
+// releaseAllPaths releases whether or not the attempt failed.
+func releaseAllPaths(c *cluster, id uint64) error {
+	ns := mint(id, 0)
+	err := c.run(ns)
+	c.ReleaseJob(ns)
+	c.ClearVarsPrefix("job:")
+	return err
+}
+
+// cleanup releases on behalf of its caller; its summary carries the
+// release, like Scheduler.cleanup.
+func cleanup(c *cluster, ns uint64) {
+	c.ReleaseJob(ns)
+	c.ClearVarsPrefix("job:")
+}
+
+// releaseViaHelper delegates the release to cleanup.
+func releaseViaHelper(c *cluster, id uint64) error {
+	ns := mint(id, 0)
+	err := c.run(ns)
+	cleanup(c, ns)
+	return err
+}
+
+// attemptLoop mints one namespace per attempt and cleans each before
+// the next (or before any return), like Scheduler.run's retry loop.
+func attemptLoop(c *cluster, id uint64, retries int) error {
+	var last error
+	for a := 0; a <= retries; a++ {
+		ns := mint(id, a)
+		last = c.run(ns)
+		cleanup(c, ns)
+		if last == nil {
+			return nil
+		}
+	}
+	return last
+}
+
+// noMint injects under a namespace it was handed but never minted, so
+// it carries no obligation — the Work.Run shape.
+func noMint(c *cluster, ns uint64) error {
+	return c.run(ns)
+}

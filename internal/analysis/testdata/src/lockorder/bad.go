@@ -1,0 +1,103 @@
+package lockorder
+
+import (
+	"net"
+	"time"
+)
+
+// sleepHeld parks in wall-clock time while holding the box mutex.
+func sleepHeld(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `held across an indefinite wait`
+	b.mu.Unlock()
+}
+
+// sendHeld blocks on a channel send while holding.
+func sendHeld(b *box, v int) {
+	b.mu.Lock()
+	b.ch <- v // want `held across an indefinite wait`
+	b.mu.Unlock()
+}
+
+// recvHeld blocks on a channel receive while holding.
+func recvHeld(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `held across an indefinite wait`
+}
+
+// dialHeld is the daemon.link bug class: a dial to one slow peer stalls
+// every contender on the mutex.
+func dialHeld(b *box, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	conn, err := net.Dial("tcp", addr) // want `held across an indefinite wait`
+	if err == nil {
+		b.conn = conn
+	}
+}
+
+// writeHeld holds across conn I/O.
+func writeHeld(b *box, frame []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.conn.Write(frame) // want `held across an indefinite wait`
+}
+
+// waitAround may block; its summary says so.
+func waitAround(ch chan int) int { return <-ch }
+
+// helperHeld blocks through a callee, not an intrinsic.
+func helperHeld(b *box, ch chan int) {
+	b.mu.Lock()
+	waitAround(ch) // want `held across an indefinite wait`
+	b.mu.Unlock()
+}
+
+// lockTwice re-acquires on the same path; Go mutexes are not reentrant.
+func lockTwice(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want `not reentrant`
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockIt acquires the box mutex; its summary carries the acquisition.
+func lockIt(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// lockViaHelper re-acquires through a callee's acquisition summary.
+func lockViaHelper(b *box) {
+	b.mu.Lock()
+	lockIt(b) // want `not reentrant`
+	b.mu.Unlock()
+}
+
+// exitHeld forgets the unlock on the early-return path.
+func exitHeld(b *box, bad bool) {
+	b.mu.Lock() // want `still held when some path returns`
+	if bad {
+		return
+	}
+	b.mu.Unlock()
+}
+
+// abOrder and baOrder take muA and muB in opposite orders: the classic
+// two-goroutine deadlock, visible as a cycle in the static lock graph.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock-order cycle`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock-order cycle`
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package lockorder exercises the static lock-graph analyzer: blocking
+// while holding, re-acquisition, paths that return still holding, and
+// acquisition-order cycles.
+package lockorder
+
+import (
+	"net"
+	"sync"
+)
+
+// muC and muD are only ever taken C-before-D (good.go), so they stay
+// off every cycle; muA and muB are taken in both orders (bad.go).
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// box is a miniature of the daemon: one mutex guarding a counter, a
+// condition built over it, and a conn.
+type box struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	conn net.Conn
+	ch   chan int
+	n    int
+}

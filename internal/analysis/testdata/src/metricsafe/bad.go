@@ -1,0 +1,58 @@
+// Package metricsafe exercises the metrics hot-path analyzer: registry
+// instrument lookups inside loops with loop-invariant names, and
+// allocating nil-receiver discard paths.
+package metricsafe
+
+import "repro/internal/metrics"
+
+// hotLoop resolves the same counter on every iteration; the lookup is a
+// map hit under the registry mutex and belongs outside the loop.
+func hotLoop(r *metrics.Registry, frames [][]byte) {
+	for _, f := range frames {
+		c := r.Counter("frames_sent") // want `hoist the handle out of the loop`
+		c.Add(int64(len(f)))
+	}
+}
+
+// nestedInvariant is invariant with respect to both enclosing loops.
+func nestedInvariant(r *metrics.Registry, rows [][]int) {
+	for _, row := range rows {
+		for range row {
+			r.Gauge("depth").Set(1) // want `hoist the handle out of the loop`
+		}
+	}
+}
+
+// histLoop covers the third instrument kind and a classic counted loop.
+func histLoop(r *metrics.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Histogram("latency_us", nil).Observe(int64(i)) // want `hoist the handle out of the loop`
+	}
+}
+
+// gauges is a fixture-local registry for the discard rule.
+type gauges struct{ v int64 }
+
+type registry struct{ m map[string]*gauges }
+
+// gauge allocates a fresh discard gauge per call on the nil path —
+// disabled metrics would allocate on every instrument operation.
+func (r *registry) gauge(name string) *gauges {
+	if r == nil {
+		return &gauges{} // want `stay allocation-free`
+	}
+	g, ok := r.m[name]
+	if !ok {
+		g = &gauges{}
+		r.m[name] = g
+	}
+	return g
+}
+
+// buckets allocates a slice on the nil path.
+func (r *registry) buckets(n int) []int64 {
+	if r == nil {
+		return make([]int64, n) // want `stay allocation-free`
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package metricsafe
+
+import "repro/internal/metrics"
+
+// hoisted resolves the counter once and reuses the handle — the
+// wireMetrics/schedMetrics struct idiom.
+func hoisted(r *metrics.Registry, frames [][]byte) {
+	c := r.Counter("frames_sent")
+	for _, f := range frames {
+		c.Add(int64(len(f)))
+	}
+}
+
+// register is a registration loop: the name depends on the loop
+// variable, so every iteration resolves a distinct instrument.
+func register(r *metrics.Registry, states []string) map[string]*metrics.Gauge {
+	out := make(map[string]*metrics.Gauge, len(states))
+	for _, s := range states {
+		out[s] = r.Gauge("state_" + s)
+	}
+	return out
+}
+
+// derivedName mutates the name inside the loop body, so the lookup is
+// variant even though the loop variable never appears in the argument.
+func derivedName(r *metrics.Registry, n int) {
+	name := "shard_0"
+	for i := 0; i < n; i++ {
+		r.Counter(name).Inc()
+		name = "shard_1"
+	}
+}
+
+// outsideLoop is the plain non-loop lookup.
+func outsideLoop(r *metrics.Registry) {
+	r.Counter("one_shot").Inc()
+}
+
+// sharedDiscard is the allocation-free nil path: one package-level
+// instance serves every disabled call.
+var sharedDiscard gauges
+
+func (r *registry) gaugeShared(name string) *gauges {
+	if r == nil {
+		return &sharedDiscard
+	}
+	return r.m[name]
+}
+
+// valueReturn returns a value, not a fresh heap object; copying a zero
+// value is fine on the discard path (the real Snapshot shape).
+func (r *registry) snapshot() gauges {
+	if r == nil {
+		return gauges{}
+	}
+	return *r.m["all"]
+}
+
+// suppressedAlloc documents an intentional nil-path allocation.
+func (r *registry) suppressedAlloc() []int64 {
+	if r == nil {
+		//lint:ignore metricsafe this path runs once at startup, never per-operation; the fresh slice is deliberate.
+		return make([]int64, 4)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// edge.go exercises the corners of line-level suppression. Unlike
+// suppress.go this file carries no file-wide exemption, so every
+// directive here must pull its own weight; the companion test asserts
+// that none of these sites produce a finding.
+package suppress
+
+import "time"
+
+// multiLineStatement puts the flagged call mid-way through a statement
+// that spans several lines: the end-of-line directive sits on the line
+// the diagnostic is reported at, which is not the statement's first
+// line.
+func multiLineStatement() int64 {
+	sum := add(
+		time.Now().UnixNano(), //lint:ignore simsafe deliberate wall-clock read, fixture for end-of-line suppression mid-statement
+		1,
+	)
+	return sum
+}
+
+func add(a, b int64) int64 { return a + b }
+
+// nextLine uses the directive's own-line-plus-next reach.
+func nextLine() time.Time {
+	//lint:ignore simsafe deliberate wall-clock read, fixture for next-line suppression
+	return time.Now()
+}
+
+// multiName suppresses two analyzers with one comma-separated directive:
+// the nil-path allocation (metricsafe) and the wall-clock read (simsafe)
+// land on the same line.
+type lazyClock struct{ last time.Time }
+
+func (c *lazyClock) stamp() []time.Time {
+	if c == nil {
+		//lint:ignore metricsafe,simsafe one startup-only allocation and wall-clock read, fixture for multi-analyzer suppression
+		return []time.Time{time.Now()}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// realtime.go checks that a navplint:exempt directive attached to a
+// grouped declaration — not the package clause — still exempts the
+// file: the index scans every comment in the file, so the directive can
+// live next to the state it justifies.
+package suppress
+
+import "time"
+
+// The wall-clock epoch pair is real-backend state by design; both
+// initializers in the group are covered by the one directive.
+//
+//navplint:exempt simsafe
+var (
+	epoch   = time.Now()
+	started = time.Now()
+)
+
+// laterInSameFile is also covered: the exemption is file-scoped no
+// matter where in the file the directive sits.
+func laterInSameFile() time.Time {
+	return time.Now()
+}
+
+func init() {
+	_ = epoch
+	_ = started
+}

@@ -1,0 +1,32 @@
+// Package syncorder exercises the persist-before-acknowledge analyzer
+// over a miniature of the wire daemon: an annotated durable mutation, an
+// annotated persister sync, and a conn that replies leave on. The same
+// //navplint:fact vocabulary the real runtime uses seeds the fact layer
+// here.
+package syncorder
+
+import "net"
+
+type node struct {
+	conn net.Conn
+}
+
+// mutate stands in for accept/inject/store.set: it changes state the
+// persister owns, so the path is dirty until sync runs.
+//
+//navplint:fact durable
+func (n *node) mutate() {}
+
+// sync stands in for nodeState.sync: the image is on disk when it
+// returns.
+//
+//navplint:fact sync
+func (n *node) sync() error { return nil }
+
+// send externalizes — a conn write a remote peer can observe. Its
+// summary carries "externalizes before its own first sync", so callers
+// are judged by their own sigma at the call.
+func (n *node) send(b []byte) bool {
+	_, err := n.conn.Write(b)
+	return err == nil
+}

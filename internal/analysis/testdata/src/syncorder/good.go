@@ -1,0 +1,43 @@
+package syncorder
+
+// syncThenSend is the contract: mutate, persist, acknowledge.
+func syncThenSend(n *node, b []byte) {
+	n.mutate()
+	if err := n.sync(); err != nil {
+		return
+	}
+	n.send(b)
+}
+
+// persisted cleans before returning, so callers inherit a clean path.
+func persisted(n *node) {
+	n.mutate()
+	n.sync()
+}
+
+// throughCleanHelper trusts the helper's cleans-at-exit summary.
+func throughCleanHelper(n *node, b []byte) {
+	persisted(n)
+	n.send(b)
+}
+
+// closureSynced is the daemon's reply-closure idiom on the correct
+// ordering.
+func closureSynced(n *node, b []byte) {
+	reply := func() bool { return n.send(b) }
+	n.mutate()
+	n.sync()
+	reply()
+}
+
+// sendOnly externalizes with nothing durable pending — reads, pings,
+// and snapshots never need a sync.
+func sendOnly(n *node, b []byte) {
+	n.send(b)
+}
+
+// dirtyExitWithoutSend leaves durable state unsynced but externalizes
+// nothing; promptness is the persister's problem, not syncorder's.
+func dirtyExitWithoutSend(n *node) {
+	n.mutate()
+}

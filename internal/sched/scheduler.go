@@ -380,6 +380,12 @@ func (s *Scheduler) place(j *job) int {
 // shifted past an attempt byte, so every attempt of every job is
 // globally unique and a trace viewer can decode track "job N" as job
 // N>>8, attempt N&0xff.
+//
+// Minting a namespace obligates the caller to release it (ReleaseJob +
+// ClearVarsPrefix, via cleanup) on every exit path — navplint's
+// jobrelease analyzer enforces this.
+//
+//navplint:fact mint
 func namespace(id uint64, attempt int) uint64 {
 	return id<<8 | uint64(attempt+1)
 }

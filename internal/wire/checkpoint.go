@@ -76,6 +76,10 @@ type cancelSet struct {
 
 func newCancelSet() *cancelSet { return &cancelSet{m: map[uint64]struct{}{}} }
 
+// cancel marks job cancelled. The mark is part of the persisted node
+// image: a crash must not resurrect a cancelled namespace.
+//
+//navplint:fact durable
 func (cs *cancelSet) cancel(job uint64) {
 	cs.mu.Lock()
 	cs.m[job] = struct{}{}
@@ -89,6 +93,10 @@ func (cs *cancelSet) cancelled(job uint64) bool {
 	return ok
 }
 
+// release forgets job's cancel mark once its namespace is freed; like
+// the mark itself, the removal is part of the persisted image.
+//
+//navplint:fact durable
 func (cs *cancelSet) release(job uint64) {
 	cs.mu.Lock()
 	delete(cs.m, job)
@@ -120,6 +128,8 @@ func (ns *nodeState) jobCounters(job uint64) *counters {
 
 // releaseJob drops job's counter slice (called by the cluster after the
 // namespace is quiescent and its results are collected).
+//
+//navplint:fact durable
 func (ns *nodeState) releaseJob(job uint64) {
 	ns.mu.Lock()
 	if _, ok := ns.perJob[job]; ok {
@@ -243,6 +253,8 @@ func (ns *nodeState) newAgentID() uint64 {
 // inject records a newly created agent: counted created, checkpointed at
 // hop zero so a crash before its first step replays it. Returns the
 // node's accepted-arrival count (the kill trigger clock).
+//
+//navplint:fact durable
 func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
 	snap, err := encodeState(msg.State)
 	if err != nil {
@@ -263,6 +275,8 @@ func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
 // below the highest already accepted for the agent) are reported without
 // side effects; fresh frames are counted, recorded in the dedup table,
 // and checkpointed before the caller dispatches the step.
+//
+//navplint:fact durable
 func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error) {
 	snap, err := encodeState(msg.State)
 	if err != nil {

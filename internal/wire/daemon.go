@@ -77,6 +77,33 @@ func (d *daemon) serve() {
 	}
 }
 
+// replier writes reply envelopes back on one inbound connection. It is
+// the only path by which a daemon externalizes the outcome of inbound
+// traffic — hop acks, msgOK control replies, snapshots — so the
+// persist-before-acknowledge ordering (sync the node image, then send)
+// is a property of where send is called, and navplint's syncorder
+// analyzer checks exactly that: send on a path carrying an unsynced
+// durable mutation is a diagnostic.
+type replier struct {
+	conn net.Conn
+	d    *daemon
+}
+
+// send encodes env and writes it on the connection, reporting whether
+// the peer can still hear us. Encode failures are daemon-fatal (they
+// mean a malformed reply, not a broken peer); write failures just end
+// the connection — the peer redials and retries.
+func (rp *replier) send(env *envelope) bool {
+	f, err := encodeFrame(env)
+	if err != nil {
+		rp.d.fail(err)
+		return false
+	}
+	_, err = rp.conn.Write(f.bytes())
+	f.release()
+	return err == nil
+}
+
 // handle serves one inbound connection. Any read or decode error drops
 // the connection: the peer redials and the retry protocol re-delivers
 // whatever was in flight.
@@ -93,16 +120,7 @@ func (d *daemon) handle(conn net.Conn) {
 		d.node.met.inboundConns.Add(-1)
 	}()
 	r := bufio.NewReader(conn)
-	reply := func(env *envelope) bool {
-		f, err := encodeFrame(env)
-		if err != nil {
-			d.fail(err)
-			return false
-		}
-		_, err = conn.Write(f.bytes())
-		f.release()
-		return err == nil
-	}
+	rp := &replier{conn: conn, d: d}
 	for {
 		env, err := readFrame(r)
 		if err != nil {
@@ -116,16 +134,18 @@ func (d *daemon) handle(conn net.Conn) {
 				d.fail(err)
 				return
 			}
-			if !dup {
-				// Persist the acceptance BEFORE acknowledging it: once the
-				// ack is out, the sender retires its checkpoint and this
-				// node owns the only durable copy of the agent.
-				if err := d.node.sync(); err != nil {
-					d.fail(err)
-					return
-				}
+			// Persist the acceptance BEFORE acknowledging it: once the
+			// ack is out, the sender retires its checkpoint and this
+			// node owns the only durable copy of the agent. The sync is
+			// unconditional — on a duplicate it persists an unchanged
+			// image, which the persister coalesces — so the
+			// persist-before-acknowledge ordering holds on every path,
+			// not just the ones that happen to correlate with !dup.
+			if err := d.node.sync(); err != nil {
+				d.fail(err)
+				return
 			}
-			acked := reply(&envelope{Kind: msgAck, Ack: ackMsg{ID: msg.ID, Hop: msg.Hop, Dup: dup}})
+			acked := rp.send(&envelope{Kind: msgAck, Ack: ackMsg{ID: msg.ID, Hop: msg.Hop, Dup: dup}})
 			if dup {
 				// Already accepted earlier: the original acceptance
 				// dispatched the agent (or a checkpoint replay will), so a
@@ -153,18 +173,18 @@ func (d *daemon) handle(conn net.Conn) {
 			if env.Job != 0 {
 				c = d.node.countersForJob(env.Job)
 			}
-			if !reply(&envelope{Kind: msgCounters, Counters: c, Job: env.Job}) {
+			if !rp.send(&envelope{Kind: msgCounters, Counters: c, Job: env.Job}) {
 				return
 			}
 		case msgPing:
-			if !reply(&envelope{Kind: msgPong}) {
+			if !rp.send(&envelope{Kind: msgPong}) {
 				return
 			}
 		case msgShutdown:
 			d.terminate()
 			return
 		default:
-			if !d.handleControl(env, reply) {
+			if !d.handleControl(env, rp) {
 				return
 			}
 		}
@@ -175,19 +195,19 @@ func (d *daemon) handle(conn net.Conn) {
 // an inbound connection. It reports whether the connection should keep
 // being served. Control mutations are persisted before the reply leaves
 // (same ordering contract as the hop ack).
-func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
+func (d *daemon) handleControl(env *envelope, rp *replier) bool {
 	ok := func(err error) bool {
 		out := &envelope{Kind: msgOK}
 		if err != nil {
 			out.Err = err.Error()
 		}
-		return reply(out)
+		return rp.send(out)
 	}
 	synced := func() error { return d.node.sync() }
 	switch env.Kind {
 	case msgJoin:
 		if env.Addr == "" { // observer: just report the membership
-			return reply(&envelope{Kind: msgMembers, Members: d.members.list(), You: -1})
+			return rp.send(&envelope{Kind: msgMembers, Members: d.members.list(), You: -1})
 		}
 		// Id assignment is serialized through node 0. If every member
 		// handed out len(addrs) itself, two joins racing through
@@ -203,7 +223,7 @@ func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
 			if err != nil {
 				return ok(fmt.Errorf("wire: daemon %d forward join to node 0: %w", d.id, err))
 			}
-			return reply(fwd)
+			return rp.send(fwd)
 		}
 		id, err := d.members.add(env.Addr)
 		if err != nil {
@@ -211,7 +231,7 @@ func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
 		}
 		members := d.members.list()
 		d.broadcastMembers(members)
-		return reply(&envelope{Kind: msgMembers, Members: members, You: id})
+		return rp.send(&envelope{Kind: msgMembers, Members: members, You: id})
 	case msgMembers:
 		if err := d.members.update(env.Members); err != nil {
 			return ok(err)
@@ -235,7 +255,7 @@ func (d *daemon) handleControl(env *envelope, reply func(*envelope) bool) bool {
 		d.node.vars.set(env.Name, v)
 		return ok(synced())
 	case msgGetVar:
-		return reply(&envelope{Kind: msgVar, Value: &stateBox{V: d.node.vars.get(env.Name)}})
+		return rp.send(&envelope{Kind: msgVar, Value: &stateBox{V: d.node.vars.get(env.Name)}})
 	case msgCancel:
 		d.node.cancels.cancel(env.Job)
 		return ok(synced())
@@ -304,12 +324,15 @@ func (d *daemon) broadcastMembers(members []string) {
 // d.fail, remote injection returns it to the coordinator.
 func (d *daemon) injectLocal(job uint64, behaviorName string, state any) error {
 	msg := &agentMsg{ID: d.node.newAgentID(), Job: job, Behavior: behaviorName, State: state}
+	// Sync unconditionally, even when inject failed: a failed injection
+	// can still have advanced durable counters before erroring, and the
+	// coordinator's error reply is an acknowledgement like any other —
+	// nothing is externalized before the image is safe on disk.
 	arrivals, err := d.node.inject(msg)
-	if err != nil {
-		d.fail(err)
-		return err
+	if serr := d.node.sync(); err == nil {
+		err = serr
 	}
-	if err := d.node.sync(); err != nil {
+	if err != nil {
 		d.fail(err)
 		return err
 	}
@@ -535,15 +558,23 @@ func secondsToDuration(s float64) time.Duration {
 }
 
 // link returns the cached outbound link to peer dst, dialing if needed.
+// The dial happens OUTSIDE linkMu: holding the lock across a dial to one
+// slow or dead peer would stall every sender to every other peer (and
+// serve's inbound registration, and terminate) for up to AckTimeout.
+// Concurrent callers may both dial; the loser closes its connection and
+// adopts the winner's link, so the cache still holds one link per peer.
 func (d *daemon) link(dst int) (*link, error) {
 	d.linkMu.Lock()
-	defer d.linkMu.Unlock()
 	if d.dead.Load() {
+		d.linkMu.Unlock()
 		return nil, errKilled
 	}
 	if l, ok := d.links[dst]; ok {
+		d.linkMu.Unlock()
 		return l, nil
 	}
+	d.linkMu.Unlock()
+
 	addr, err := d.members.addr(dst)
 	if err != nil {
 		return nil, err
@@ -552,8 +583,23 @@ func (d *daemon) link(dst int) (*link, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: daemon %d dial %d: %w", d.id, dst, err)
 	}
+
+	d.linkMu.Lock()
+	if d.dead.Load() {
+		d.linkMu.Unlock()
+		conn.Close()
+		return nil, errKilled
+	}
+	if l, ok := d.links[dst]; ok {
+		// Lost the dial race; the first link in wins so that expect/ack
+		// routing stays on one connection per peer.
+		d.linkMu.Unlock()
+		conn.Close()
+		return l, nil
+	}
 	l := newLink(conn)
 	d.links[dst] = l
+	d.linkMu.Unlock()
 	d.node.met.linkDials.Inc()
 	go l.readAcks()
 	return l, nil
@@ -641,6 +687,7 @@ func newLink(conn net.Conn) *link {
 func (l *link) writeFrame(frame []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
+	//lint:ignore lockorder wmu exists to keep concurrent senders' frames from interleaving on the shared connection, so holding it across the write IS the invariant; a stalled peer already stalls every sender to it by definition, and deliver's ack timeout recovers.
 	_, err := l.conn.Write(frame)
 	return err
 }

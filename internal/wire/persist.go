@@ -207,6 +207,8 @@ func (ns *nodeState) restore(img *persistedState) error {
 // would lose acknowledged work. Serializing capture-with-write makes the
 // on-disk image monotone: whatever snapshot rename lands last observed
 // every mutation any earlier sync's caller went on to acknowledge.
+//
+//navplint:fact sync
 func (ns *nodeState) sync() error {
 	if ns.persist == nil {
 		return nil

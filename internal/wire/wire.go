@@ -181,6 +181,11 @@ func (s *store) get(name string) any {
 	return s.m[name]
 }
 
+// set writes one variable. Variables are part of the persisted node
+// image, so a set must reach the persister before any reply that
+// implies it happened.
+//
+//navplint:fact durable
 func (s *store) set(name string, v any) {
 	s.mu.Lock()
 	s.m[name] = v
@@ -188,6 +193,9 @@ func (s *store) set(name string, v any) {
 }
 
 // deletePrefix removes every variable whose name begins with prefix.
+// Like set, the removal is a durable mutation of the node image.
+//
+//navplint:fact durable
 func (s *store) deletePrefix(prefix string) {
 	s.mu.Lock()
 	for name := range s.m {
