@@ -1,11 +1,13 @@
 // Command navplint statically checks that the repository's NavP
 // programs obey the model the plan transformations assume and that the
-// serving layers keep their runtime invariants. It runs eight analyzers
+// serving layers keep their runtime invariants. It runs nine analyzers
 // (see internal/analysis): hopcheck (node references must not survive a
 // Hop, including hops buried in helpers), gobsafe (checkpointed agent
 // state must round-trip through gob), simsafe (simulation-domain code
 // must stay bit-reproducible), planfootprint (plan items must declare
-// the footprint their bodies use), syncorder (persist-before-
+// the footprint their bodies use), asmsafe (assembly-backed functions
+// stay unexported and are called only through their declaring file's
+// feature-detect dispatcher), syncorder (persist-before-
 // acknowledge: no conn write of a durable mutation's effect before the
 // persister synced), lockorder (acyclic static lock graph; no mutex
 // held across a blocking call), jobrelease (every minted job namespace

@@ -10,6 +10,7 @@
 //	paperbench -ablations          # pointer-swap / overlap / block-size
 //	paperbench -quick              # truncated tables (smoke test)
 //	paperbench -regress            # measure the fast data paths, write BENCH_*.json
+//	paperbench -tune               # autotune GEMM blocking for this host, cache the winner
 //	paperbench -serve              # open-loop scaling sweep over real daemon processes,
 //	                               # write BENCH_sched.json
 package main
@@ -22,10 +23,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/matmul"
+	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -47,11 +51,33 @@ func main() {
 	regressOut := flag.String("regress-out", ".", "directory the -regress and -serve JSON files are written to")
 	observe := flag.String("observe", "", "run a small deterministic chaos sim and write Perfetto + metrics artifacts into this directory")
 	serve := flag.Bool("serve", false, "run the open-loop serving scaling sweep over real daemon processes and write BENCH_sched.json")
+	tune := flag.Bool("tune", false, "search GEMM blocking parameters for this host and cache the winner")
+	modern := flag.Bool("modern", false, "re-run the paper's tables on a modern machine model fed by this host's measured kernel rate, plus a real-backend anchor run")
 	flag.Parse()
 
-	if *table == "" && !*stagger && !*ablations && !*report && !*regress && !*serve && *observe == "" {
+	if *table == "" && !*stagger && !*ablations && !*report && !*regress && !*serve && !*tune && !*modern && *observe == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *tune {
+		if err := runTune(*quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *table == "" && !*stagger && !*ablations && !*report && !*regress && !*serve && !*modern {
+			return
+		}
+	}
+
+	if *modern {
+		if err := runModern(*quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *table == "" && !*stagger && !*ablations && !*report && !*regress && !*serve {
+			return
+		}
 	}
 
 	if *serve {
@@ -137,6 +163,83 @@ func main() {
 	}
 }
 
+// runTune searches the MC/KC/NC blocking space for every micro-kernel
+// variant this host can execute, prints the measured table, and caches
+// the per-variant winners so every later Kernel user (tables,
+// benchmarks, the regression harness) runs with them.
+func runTune(quick bool) error {
+	fmt.Printf("autotuning GEMM on %s %v\n", matrix.CPUModel(), matrix.CPUFeatures())
+	f := matrix.TuneSearch(matrix.TuneOptions{Quick: quick, Progress: func(t matrix.TuneTrial) {
+		fmt.Printf("  %-10s mc=%-4d kc=%-4d nc=%-5d %7.2f GFLOP/s\n", t.Variant, t.MC, t.KC, t.NC, t.GFlops)
+	}})
+	fmt.Println("winners:")
+	for _, b := range f.Best {
+		fmt.Printf("  %-10s mc=%-4d kc=%-4d nc=%-5d %7.2f GFLOP/s\n", b.Variant, b.MC, b.KC, b.NC, b.GFlops)
+	}
+	path, err := matrix.SaveTune(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cached to %s\n", path)
+	return nil
+}
+
+// runModern re-runs the paper's table structure on the modern machine
+// model (machine.Modern) with the CPU rate anchored to this host's
+// measured kernel throughput, then closes the loop with a real-backend
+// anchor: the same sequential-vs-NavP comparison executed as actual
+// float64 GEMM through the dispatched kernel, wall-clock timed here
+// (cmd/ is outside the sim domain, so reading the clock is lint-legal).
+func runModern(quick bool) error {
+	mn, mreps := 1024, 3
+	if quick {
+		mn, mreps = 512, 1
+	}
+	rate := matrix.MeasureActiveRate(mn, mreps)
+	mc, kc, nc, src := matrix.ActiveBlocking()
+	fmt.Printf("measured kernel: %s at %.2f GFLOP/s (n=%d, mc=%d kc=%d nc=%d %s)\n\n",
+		matrix.ActiveKernel(), rate/1e9, mn, mc, kc, nc, src)
+
+	tables, err := bench.ModernTables(rate, quick)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Print(t.Format())
+		fmt.Println()
+	}
+
+	// Real-backend anchor: N chosen so NB=N/BS is divisible by P=3.
+	n, bs := 1536, 256
+	if quick {
+		n, bs = 768, 128
+	}
+	seqS, err := timedReal(matmul.Sequential, n, bs, 1)
+	if err != nil {
+		return fmt.Errorf("real sequential: %w", err)
+	}
+	navS, err := timedReal(matmul.Phase1D, n, bs, 3)
+	if err != nil {
+		return fmt.Errorf("real 1D phase: %w", err)
+	}
+	gf := 2 * float64(n) * float64(n) * float64(n) / 1e9
+	fmt.Printf("real backend anchor (N=%d, BS=%d, GOMAXPROCS=%d):\n", n, bs, runtime.GOMAXPROCS(0))
+	fmt.Printf("  sequential      %8.3fs  %6.2f GFLOP/s\n", seqS, gf/seqS)
+	fmt.Printf("  NavP 1D phase   %8.3fs  %6.2f GFLOP/s  (P=3 real goroutines; speedup %.2fx)\n",
+		navS, gf/navS, seqS/navS)
+	return nil
+}
+
+// timedReal wall-clock times one real-backend matmul run.
+func timedReal(stage matmul.Stage, n, bs, p int) (float64, error) {
+	cfg := matmul.Config{N: n, BS: bs, P: p, Real: true}
+	start := time.Now()
+	if _, err := matmul.Run(stage, cfg); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
 // runRegress measures the fast data paths (with -quick: shrunken sizes
 // for CI smoke runs) and writes the machine-readable regression files.
 func runRegress(dir string, quick bool) error {
@@ -144,6 +247,8 @@ func runRegress(dir string, quick bool) error {
 	if err := writeRegressFile(filepath.Join(dir, "BENCH_kernels.json"), kernels); err != nil {
 		return err
 	}
+	fmt.Printf("kernel: %s, blocking mc=%d kc=%d nc=%d (%s)\n",
+		kernels.Kernel, kernels.BlockMC, kernels.BlockKC, kernels.BlockNC, kernels.BlockSource)
 	if n, ratio, err := kernels.KernelSpeedup(); err == nil {
 		fmt.Printf("kernel vs naive at n=%d: %.2fx GFLOP/s\n", n, ratio)
 	}
@@ -151,7 +256,19 @@ func runRegress(dir string, quick bool) error {
 	if err != nil {
 		return err
 	}
-	return writeRegressFile(filepath.Join(dir, "BENCH_wire.json"), wireFile)
+	if err := writeRegressFile(filepath.Join(dir, "BENCH_wire.json"), wireFile); err != nil {
+		return err
+	}
+	// Gates run after both files are written so a red run still leaves
+	// the measurements on disk for diagnosis.
+	if violations := kernels.CheckGates(); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		return fmt.Errorf("regression gates: %d violation(s)", len(violations))
+	}
+	fmt.Println("regression gates: pass")
+	return nil
 }
 
 // spawnServeCluster starts n daemon OS processes (node 0 bootstraps on

@@ -16,6 +16,10 @@
 //   - planfootprint: an execution plan item's body must agree with the
 //     Accesses footprint it declares, so core.Check's dependence
 //     verification cannot be lied to (§9.4).
+//   - asmsafe: assembly-backed functions (bodyless declarations) must
+//     be unexported and referenced only from their declaring file, so
+//     every call routes through the CPU feature-detect dispatcher and
+//     the pure-Go fallback stays selectable (§15).
 //
 // Four more analyzers prove the serving layers' runtime invariants over
 // the interprocedural fact layer (analysis/facts; DESIGN.md §14):
@@ -32,7 +36,7 @@
 //     when their name is loop-invariant, and nil-registry discard paths
 //     never allocate.
 //
-// The cmd/navplint CLI runs all eight over the module (with the domain
+// The cmd/navplint CLI runs all nine over the module (with the domain
 // scoping in ApplyDomainFilters); each analyzer has a `// want`-style
 // golden suite under testdata/src.
 //
@@ -109,6 +113,7 @@ func All() []*Analyzer {
 		NewGobSafe(),
 		NewSimSafe(),
 		NewPlanFootprint(),
+		NewAsmSafe(),
 		NewSyncOrder(),
 		NewLockOrder(),
 		NewJobRelease(),

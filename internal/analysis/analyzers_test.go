@@ -14,6 +14,7 @@ func TestHopCheckFixtures(t *testing.T)      { RunWantTest(t, "hopcheck", NewHop
 func TestGobSafeFixtures(t *testing.T)       { RunWantTest(t, "gobsafe", NewGobSafe()) }
 func TestSimSafeFixtures(t *testing.T)       { RunWantTest(t, "simsafe", NewSimSafe()) }
 func TestPlanFootprintFixtures(t *testing.T) { RunWantTest(t, "planfootprint", NewPlanFootprint()) }
+func TestAsmSafeFixtures(t *testing.T)       { RunWantTest(t, "asmsafe", NewAsmSafe()) }
 func TestSyncOrderFixtures(t *testing.T)     { RunWantTest(t, "syncorder", NewSyncOrder()) }
 func TestLockOrderFixtures(t *testing.T)     { RunWantTest(t, "lockorder", NewLockOrder()) }
 func TestJobReleaseFixtures(t *testing.T)    { RunWantTest(t, "jobrelease", NewJobRelease()) }

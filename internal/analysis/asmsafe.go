@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewAsmSafe returns the asmsafe analyzer.
+//
+// Assembly-backed functions (a Go func declaration with no body,
+// implemented in a .s file) sit outside every portability guarantee
+// the dispatcher provides: they assume ISA features the host may not
+// have, and they skip the bounds-checked wrapper that turns a driver
+// bug into a Go panic instead of a segfault. The matrix package's
+// contract (DESIGN.md §15) is that such entry points are reachable
+// only through the runtime feature-detect dispatcher in their own
+// declaring file — never called directly from sim-domain or any other
+// code. asmsafe enforces the two halves of that contract structurally:
+//
+//   - an assembly-backed function must be unexported, so no other
+//     package can name it at all;
+//   - every reference to it must come from the file that declares it —
+//     the file that owns the wrapper and the CPU-feature dispatch —
+//     so a reviewer can check the safety argument in one screen.
+func NewAsmSafe() *Analyzer {
+	a := &Analyzer{
+		Name: "asmsafe",
+		Doc: "requires assembly-backed functions (bodyless declarations) to be " +
+			"unexported and referenced only from their declaring file, so every " +
+			"call is routed through the feature-detect dispatcher next to them",
+	}
+	a.Run = func(pass *Pass) {
+		// Pass 1: collect the assembly-backed declarations and the file
+		// each one lives in.
+		declFile := map[*types.Func]string{}
+		for _, f := range pass.Pkg.Files {
+			fname := pass.Pkg.Fset.Position(f.Pos()).Filename
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body != nil {
+					continue
+				}
+				obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				declFile[obj] = fname
+				if fd.Name.IsExported() {
+					pass.Reportf(fd.Name.Pos(),
+						"assembly-backed function %s is exported: other packages could "+
+							"call it without the feature-detect dispatch; unexport it and "+
+							"export a dispatching wrapper instead", fd.Name.Name)
+				}
+			}
+		}
+		if len(declFile) == 0 {
+			return
+		}
+		// Pass 2: every use must come from the declaring file.
+		for _, f := range pass.Pkg.Files {
+			fname := pass.Pkg.Fset.Position(f.Pos()).Filename
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				home, tracked := declFile[fn]
+				if !tracked || home == fname {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"%s is assembly-backed and declared in %s: call it only from that "+
+						"file's feature-detect dispatcher so the pure-Go fallback stays "+
+						"selectable on every path", fn.Name(), shortPath(home))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// shortPath trims a filename to its base for diagnostics; full paths
+// vary by checkout and would make the golden fixtures unportable.
+func shortPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

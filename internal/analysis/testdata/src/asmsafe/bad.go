@@ -1,0 +1,14 @@
+package asmsafe
+
+// KernExported is an assembly-backed entry point other packages could
+// name directly, skipping the dispatcher.
+func KernExported(n int) // want `assembly-backed function KernExported is exported`
+
+// callDirect bypasses the dispatcher from another file.
+func callDirect(p *float64) {
+	kernfast(3, p) // want `kernfast is assembly-backed and declared in stub.go`
+}
+
+// takeRef leaks the assembly entry point as a value — just as unsafe
+// as calling it, since the dispatch decision is lost.
+var takeRef = kernfast // want `kernfast is assembly-backed and declared in stub.go`

@@ -1,0 +1,8 @@
+package asmsafe
+
+// user reaches the fast kernel only through the dispatcher; calling
+// the portable fallback directly is also fine — it has a body.
+func user(p *float64) {
+	dispatch(4, p)
+	kernSlow(4, p)
+}

@@ -1,0 +1,28 @@
+// Package asmsafe exercises the asmsafe analyzer: assembly-backed
+// functions (bodyless declarations) must stay unexported and be
+// referenced only from the file that declares them, which owns the
+// feature-detect dispatcher.
+package asmsafe
+
+// kernfast is assembly-backed: a declaration with no body.
+func kernfast(n int, p *float64)
+
+// hasFMA stands in for the CPU feature probe.
+var hasFMA bool
+
+// dispatch is the feature-detect dispatcher living next to the
+// declaration; its reference to kernfast is the one legal call site.
+func dispatch(n int, p *float64) {
+	if hasFMA {
+		kernfast(n, p)
+		return
+	}
+	kernSlow(n, p)
+}
+
+// kernSlow is the portable fallback.
+func kernSlow(n int, p *float64) {
+	for i := 0; i < n; i++ {
+		*p += 1
+	}
+}

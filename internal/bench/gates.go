@@ -1,0 +1,133 @@
+package bench
+
+// Regression gates over a freshly measured kernels RegressFile. The
+// harness FAILS (paperbench -regress exits non-zero) when a gate is
+// violated — recording a regression is not enough, the run itself must
+// go red. The thresholds encode the issue's acceptance floors:
+//
+//   - the packed kernel must hold ≥3× the naive baseline (the original
+//     roofline gap this repo's compute path exists to close);
+//   - the assembly path, when dispatched, must hold ≥22.2 GFLOP/s at
+//     n=1024 (3× the 7.4 GFLOP/s the pure-Go kernel measured when the
+//     gate was set);
+//   - threading must help where the host can express it: with ≥4 CPUs,
+//     t=4 must reach ≥2.5× t=1, and any t within NumCPU may not be
+//     slower than single-threaded (beyond NumCPU the points measure
+//     scheduling overhead and are held to a bounded cost instead).
+//
+// Quick (CI smoke) runs use loosened thresholds: at n=128 the kernel's
+// cache blocking barely engages and thread overhead dominates, so the
+// quick gates only catch catastrophic breakage, not drift.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+const (
+	// gateKernelSpeedup is the kernel-vs-naive GFLOP/s floor (full runs).
+	gateKernelSpeedup = 3.0
+	// gateQuickSpeedup is the loosened floor for -quick smoke runs.
+	gateQuickSpeedup = 1.2
+	// gateASMFloorGF is the absolute GFLOP/s floor at n=1024 when the
+	// assembly micro-kernel is the dispatched variant.
+	gateASMFloorGF = 22.2
+	// gateThreadScale is the required t=4 over t=1 ratio on hosts with
+	// at least 4 CPUs.
+	gateThreadScale = 2.5
+	// gateNotSlower tolerates measurement noise on the "a threaded
+	// point within NumCPU may not be slower than t=1" gate.
+	gateNotSlower = 0.95
+	// gateOverhead bounds the cost of oversubscription: points with
+	// t > NumCPU must keep at least this fraction of t=1 throughput.
+	// On a 1-CPU host the whole curve measures scheduler overhead and
+	// run-to-run noise sits within a few percent, so the bound leaves
+	// headroom below the ~0.8x such hosts typically measure.
+	gateOverhead = 0.75
+	// gateQuickOverhead is the loosened oversubscription bound for
+	// -quick runs (n=128, where per-panel overhead is proportionally
+	// large).
+	gateQuickOverhead = 0.50
+)
+
+// CheckGates evaluates every regression gate against a kernels suite
+// and returns the violations (empty means the run passes). Non-kernel
+// suites have no gates.
+func (f *RegressFile) CheckGates() []error {
+	if f.Suite != "kernels" {
+		return nil
+	}
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("gate: "+format, args...))
+	}
+
+	floor := gateKernelSpeedup
+	if f.Quick {
+		floor = gateQuickSpeedup
+	}
+	if n, ratio, err := f.KernelSpeedup(); err != nil {
+		fail("kernel speedup unmeasurable: %v", err)
+	} else if ratio < floor {
+		fail("kernel vs naive at n=%d is %.2fx, below the %.1fx floor", n, ratio, floor)
+	}
+
+	if !f.Quick && strings.HasPrefix(f.Kernel, "avx2") {
+		r := f.Find("BenchmarkKernelMul/n=1024")
+		if r == nil {
+			fail("asm kernel dispatched but no n=1024 measurement recorded")
+		} else if r.GFlops < gateASMFloorGF {
+			fail("asm kernel at n=1024 is %.2f GFLOP/s, below the %.1f floor", r.GFlops, gateASMFloorGF)
+		}
+	}
+
+	errs = append(errs, f.checkThreadGates()...)
+	return errs
+}
+
+// checkThreadGates applies the thread-scaling gates to whatever
+// BenchmarkKernelMulThreads points the file recorded. The host's CPU
+// count decides which gate each point faces: real scaling within
+// NumCPU, bounded overhead beyond it. runtime.NumCPU() at check time
+// matches f.NumCPU because the gates run in the same process as the
+// measurement (paperbench -regress).
+func (f *RegressFile) checkThreadGates() []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("gate: "+format, args...))
+	}
+	t1 := f.Find("BenchmarkKernelMulThreads/t=1")
+	if t1 == nil || t1.GFlops == 0 {
+		if f.Quick {
+			return nil // quick files before schema 2 had no t=1 point
+		}
+		fail("no single-threaded KernelMulThreads baseline recorded")
+		return errs
+	}
+	ncpu := f.NumCPU
+	if ncpu == 0 {
+		ncpu = runtime.NumCPU()
+	}
+	notSlower, overhead := gateNotSlower, gateOverhead
+	if f.Quick {
+		notSlower, overhead = gateQuickOverhead, gateQuickOverhead
+	}
+	for _, r := range f.Results {
+		var t int
+		if _, err := fmt.Sscanf(r.Name, "BenchmarkKernelMulThreads/t=%d", &t); err != nil || t <= 1 {
+			continue
+		}
+		ratio := r.GFlops / t1.GFlops
+		switch {
+		case t <= ncpu && ratio < notSlower:
+			fail("t=%d is %.2fx t=1 — a threaded point within NumCPU=%d may not be slower than single-threaded", t, ratio, ncpu)
+		case t > ncpu && ratio < overhead:
+			fail("t=%d (oversubscribed, NumCPU=%d) is %.2fx t=1, below the %.2fx overhead bound", t, ncpu, ratio, overhead)
+		}
+		if !f.Quick && t == 4 && ncpu >= 4 && ratio < gateThreadScale {
+			fail("t=4 is %.2fx t=1 on a %d-CPU host, below the %.1fx scaling floor", ratio, ncpu, gateThreadScale)
+		}
+	}
+	return errs
+}

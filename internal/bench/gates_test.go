@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// gateFile builds a synthetic kernels RegressFile for gate tests.
+func gateFile(numCPU int, kernel string, results []RegressResult) *RegressFile {
+	return &RegressFile{
+		Schema: 2, Suite: "kernels", NumCPU: numCPU, Kernel: kernel,
+		Results: results,
+	}
+}
+
+func hasViolation(errs []error, substr string) bool {
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGatesPassOnHealthyFile pins that a file meeting every floor is
+// green: 3×+ kernel speedup, asm floor held, clean thread scaling.
+func TestGatesPassOnHealthyFile(t *testing.T) {
+	f := gateFile(8, "avx2-6x8", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=1024", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=1024", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=2", GFlops: 52.0},
+		{Name: "BenchmarkKernelMulThreads/t=4", GFlops: 95.0},
+		{Name: "BenchmarkKernelMulThreads/t=8", GFlops: 150.0},
+	})
+	if errs := f.CheckGates(); len(errs) != 0 {
+		t.Fatalf("healthy file violated gates: %v", errs)
+	}
+}
+
+// TestGatesCatchRegressions pins each gate individually.
+func TestGatesCatchRegressions(t *testing.T) {
+	// Kernel barely faster than naive: speedup floor.
+	f := gateFile(1, "go-4x4", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=1024", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=1024", GFlops: 4.0},
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 4.0},
+	})
+	if errs := f.CheckGates(); !hasViolation(errs, "below the 3.0x floor") {
+		t.Fatalf("2x speedup passed the 3x gate: %v", errs)
+	}
+
+	// Asm dispatched but throughput under the absolute floor.
+	f = gateFile(1, "avx2-6x8", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=1024", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=1024", GFlops: 10.0},
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 10.0},
+	})
+	if errs := f.CheckGates(); !hasViolation(errs, "below the 22.2 floor") {
+		t.Fatalf("10 GFLOP/s asm run passed the floor gate: %v", errs)
+	}
+
+	// A threaded point within NumCPU slower than t=1 must FAIL the run,
+	// not merely be recorded.
+	f = gateFile(8, "avx2-6x8", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=1024", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=1024", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=2", GFlops: 20.0},
+		{Name: "BenchmarkKernelMulThreads/t=4", GFlops: 95.0},
+	})
+	if errs := f.CheckGates(); !hasViolation(errs, "may not be slower than single-threaded") {
+		t.Fatalf("slower t=2 within NumCPU passed: %v", errs)
+	}
+
+	// t=4 under 2.5× on a host that can express it.
+	f = gateFile(8, "avx2-6x8", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=1024", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=1024", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=4", GFlops: 50.0},
+	})
+	if errs := f.CheckGates(); !hasViolation(errs, "below the 2.5x scaling floor") {
+		t.Fatalf("1.8x t=4 passed the 2.5x gate on an 8-CPU host: %v", errs)
+	}
+
+	// Oversubscribed points (t > NumCPU) face the overhead bound, not
+	// the scaling gate — 0.9x t=1 passes, 0.5x fails.
+	f = gateFile(1, "avx2-6x8", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=1024", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=1024", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 28.0},
+		{Name: "BenchmarkKernelMulThreads/t=4", GFlops: 25.0},
+	})
+	if errs := f.CheckGates(); len(errs) != 0 {
+		t.Fatalf("0.9x oversubscribed point failed on a 1-CPU host: %v", errs)
+	}
+	f.Results[3].GFlops = 14.0
+	if errs := f.CheckGates(); !hasViolation(errs, "overhead bound") {
+		t.Fatalf("0.5x oversubscribed point passed the overhead bound: %v", errs)
+	}
+}
+
+// TestGatesQuickMode pins the loosened CI-smoke thresholds.
+func TestGatesQuickMode(t *testing.T) {
+	f := gateFile(1, "avx2-6x8", []RegressResult{
+		{Name: "BenchmarkNaiveMul/n=128", GFlops: 2.0},
+		{Name: "BenchmarkKernelMul/n=128", GFlops: 3.0}, // 1.5x: fails full, passes quick
+		{Name: "BenchmarkKernelMulThreads/t=1", GFlops: 3.0},
+		{Name: "BenchmarkKernelMulThreads/t=2", GFlops: 1.8}, // 0.6x: passes quick overhead
+	})
+	f.Quick = true
+	if errs := f.CheckGates(); len(errs) != 0 {
+		t.Fatalf("quick file failed loosened gates: %v", errs)
+	}
+	// The asm absolute floor is full-mode only (n=128 cannot reach it).
+	f.Quick = false
+	if errs := f.CheckGates(); !hasViolation(errs, "below the 3.0x floor") {
+		t.Fatalf("full-mode thresholds not applied after clearing Quick: %v", errs)
+	}
+}
+
+// TestGatesIgnoreNonKernelSuites pins that wire files are ungated.
+func TestGatesIgnoreNonKernelSuites(t *testing.T) {
+	f := &RegressFile{Schema: 2, Suite: "wire"}
+	if errs := f.CheckGates(); len(errs) != 0 {
+		t.Fatalf("wire suite hit kernel gates: %v", errs)
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestModernProfile pins the modern machine model: a valid config, the
+// measured kernel rate threaded through as CPURate, and the documented
+// fallback when no measurement is supplied.
+func TestModernProfile(t *testing.T) {
+	m := machine.Modern(25e9)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Modern config invalid: %v", err)
+	}
+	if m.CPURate != 25e9 {
+		t.Fatalf("CPURate = %v, want the measured 25e9", m.CPURate)
+	}
+	if m.ElemBytes != 8 {
+		t.Fatalf("ElemBytes = %d, want float64 width 8", m.ElemBytes)
+	}
+	if fb := machine.Modern(0); fb.CPURate != 20e9 {
+		t.Fatalf("fallback CPURate = %v, want 20e9", fb.CPURate)
+	}
+	// The headline modern sizes must be in-core on the modern node —
+	// that is the point of re-running the tables at scale.
+	if !inCore(m, 16384) {
+		t.Fatal("N=16384 should be in-core on a modern node")
+	}
+}
+
+// TestModernTablesQuick runs the shrunken modern tables end to end and
+// checks structural sanity: both grids, every column present, and the
+// parallel stages actually beating sequential on the model (the sim
+// would have to be badly mis-calibrated for a 4-PE phase run to lose
+// to one PE with zero paging pressure).
+func TestModernTablesQuick(t *testing.T) {
+	tables, err := ModernTables(20e9, true)
+	if err != nil {
+		t.Fatalf("ModernTables: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 1D and 2D", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 2 {
+			t.Fatalf("%s: got %d rows, want 2", tb.Name, len(tb.Rows))
+		}
+		for _, r := range tb.Rows {
+			if len(r.Entries) != len(tb.Columns) {
+				t.Fatalf("%s N=%d: %d entries for %d columns", tb.Name, r.N, len(r.Entries), len(tb.Columns))
+			}
+			for _, e := range r.Entries {
+				if e.Seconds <= 0 {
+					t.Fatalf("%s N=%d %s: non-positive time %v", tb.Name, r.N, e.Column, e.Seconds)
+				}
+				if e.Column == "NavP (1D phase)" || e.Column == "NavP (2D phase)" {
+					if e.Speedup <= 1 || e.Speedup > 4 {
+						t.Fatalf("%s N=%d %s: speedup %v outside (1, 4] on 4 PEs", tb.Name, r.N, e.Column, e.Speedup)
+					}
+				}
+			}
+		}
+	}
+}

@@ -34,23 +34,43 @@ type RegressResult struct {
 }
 
 // RegressFile is the schema of BENCH_kernels.json and BENCH_wire.json.
+// Schema 2 adds the host identity block (CPU model, ISA features,
+// NumCPU) and the kernel dispatch state (active variant, blocking
+// parameters and whether they came from the autotune cache), so a
+// recorded number can always be traced to the hardware and kernel that
+// produced it.
 type RegressFile struct {
-	Schema     int             `json:"schema"`
-	Suite      string          `json:"suite"`
-	GoVersion  string          `json:"go_version"`
-	GOOS       string          `json:"goos"`
-	GOARCH     string          `json:"goarch"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Quick      bool            `json:"quick"`
-	Results    []RegressResult `json:"results"`
+	Schema      int             `json:"schema"`
+	Suite       string          `json:"suite"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
+	CPUModel    string          `json:"cpu_model"`
+	CPUFeatures []string        `json:"cpu_features,omitempty"`
+	Kernel      string          `json:"kernel,omitempty"`
+	BlockMC     int             `json:"block_mc,omitempty"`
+	BlockKC     int             `json:"block_kc,omitempty"`
+	BlockNC     int             `json:"block_nc,omitempty"`
+	BlockSource string          `json:"block_source,omitempty"`
+	Quick       bool            `json:"quick"`
+	Results     []RegressResult `json:"results"`
 }
 
 func newRegressFile(suite string, quick bool) *RegressFile {
-	return &RegressFile{
-		Schema: 1, Suite: suite,
+	f := &RegressFile{
+		Schema: 2, Suite: suite,
 		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		CPUModel: matrix.CPUModel(), CPUFeatures: matrix.CPUFeatures(),
+		Quick: quick,
 	}
+	if suite == "kernels" {
+		f.Kernel = matrix.ActiveKernel()
+		f.BlockMC, f.BlockKC, f.BlockNC, f.BlockSource = matrix.ActiveBlocking()
+	}
+	return f
 }
 
 // sinkDense defeats dead-code elimination of benchmark results.
@@ -81,6 +101,23 @@ func withMBPerSec(res RegressResult, bytes int) RegressResult {
 		res.MBPerSec = float64(bytes) / res.NsPerOp * 1e9 / 1e6
 	}
 	return res
+}
+
+// regressThreadCounts is the measured thread curve: 1, 2, 4 always
+// (the gated points), then powers of two up to NumCPU and NumCPU
+// itself, so the file records the full scaling curve this host can
+// express. Points beyond NumCPU still run — they measure scheduling
+// overhead, and the gate holds them to a bounded cost rather than a
+// speedup.
+func regressThreadCounts() []int {
+	ts := []int{1, 2, 4}
+	for p := 8; p <= runtime.NumCPU(); p *= 2 {
+		ts = append(ts, p)
+	}
+	if n := runtime.NumCPU(); n > 4 && ts[len(ts)-1] != n {
+		ts = append(ts, n)
+	}
+	return ts
 }
 
 // regressPair returns a deterministic n×n multiplicand pair (same seed
@@ -124,9 +161,9 @@ func RegressKernels(quick bool) *RegressFile {
 		}
 	}
 	threadN := 1024
-	threads := []int{1, 2, 4}
+	threads := regressThreadCounts()
 	if quick {
-		threadN, threads = 128, []int{2}
+		threadN, threads = 128, []int{1, 2}
 	}
 	for _, t := range threads {
 		t := t

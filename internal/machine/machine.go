@@ -83,6 +83,33 @@ func SunBlade100() Config {
 	}
 }
 
+// Modern returns a model of a present-day commodity cluster node, for
+// re-running the paper's experiments at scales its 2005 testbed could
+// not hold: 10 GbE networking (~1.18 GB/s effective), microsecond-class
+// switch and protocol overheads, 16 GB of RAM, NVMe-backed paging, and
+// float64 elements (the fast kernel's native width).
+//
+// kernelRate is the measured flop/s of this host's GEMM kernel —
+// matrix.MeasureActiveRate feeds the real measured number in, so the
+// simulated tables are anchored to the hardware that generated them
+// rather than to a guessed peak. A non-positive kernelRate falls back
+// to 20 Gflop/s, a mid-range single-core AVX2 figure.
+func Modern(kernelRate float64) Config {
+	if kernelRate <= 0 {
+		kernelRate = 20e9
+	}
+	return Config{
+		CPURate:       kernelRate,
+		NICBandwidth:  1.18e9,
+		SwitchLatency: 10e-6,
+		SendOverhead:  5e-6,
+		RecvOverhead:  5e-6,
+		MemoryBytes:   15 << 30, // 16 GB minus OS footprint
+		PageInRate:    500e6,    // NVMe swap, sustained
+		ElemBytes:     8,
+	}
+}
+
 // Cluster is a set of PEs sharing a collision-free switch, driven by one
 // simulation kernel.
 type Cluster struct {

@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -97,12 +98,21 @@ func BenchmarkKernelMul(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelMulThreads scales the worker pool at n=1024. (On a
-// single-core host the threads>1 rows measure pool overhead, not
-// speedup — the JSON regression file records GOMAXPROCS alongside.)
+// BenchmarkKernelMulThreads scales the column-panel worker pool at
+// n=1024 across t=1,2,4 and up through NumCPU. On a host with fewer
+// CPUs than t, a row measures pool overhead, not speedup — the JSON
+// regression file records NumCPU alongside and gates those rows on
+// bounded overhead instead of scaling.
 func BenchmarkKernelMulThreads(b *testing.B) {
 	const n = 1024
-	for _, threads := range []int{1, 2, 4} {
+	threadCounts := []int{1, 2, 4}
+	for p := 8; p <= runtime.NumCPU(); p *= 2 {
+		threadCounts = append(threadCounts, p)
+	}
+	if c := runtime.NumCPU(); c > 4 && threadCounts[len(threadCounts)-1] != c {
+		threadCounts = append(threadCounts, c)
+	}
+	for _, threads := range threadCounts {
 		threads := threads
 		b.Run("t="+itoa(threads), func(b *testing.B) {
 			x, y := benchPair(n)

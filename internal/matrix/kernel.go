@@ -6,9 +6,13 @@ import (
 )
 
 // This file is the repository's GEMM fast path: a cache-aware, packed,
-// register-blocked multiply kernel in the BLIS/GotoBLAS style, kept in
-// pure stdlib Go so the reproduction builds anywhere the go toolchain
-// does (see DESIGN.md §10 for the layout diagram and measurements).
+// register-blocked multiply kernel in the BLIS/GotoBLAS style. The
+// driver and packing layer are pure Go; the innermost register block is
+// pluggable (a microKernel variant), so the same driver runs either the
+// portable 4×4 pure-Go micro-kernel or the AVX2+FMA 6×8 assembly
+// micro-kernel selected at runtime by CPU-feature detection
+// (kernel_amd64.go). See DESIGN.md §10 for the packing layout and §15
+// for the assembly ABI and dispatch rules.
 //
 // The driver walks three cache-blocking loops (jc over C columns, pc
 // over the inner dimension, ic over C rows). Each (pc, jc) iteration
@@ -19,20 +23,40 @@ import (
 // and writes one small C tile — no strided access, no data-dependent
 // branches, edge tiles handled by zero padding.
 
-// Micro-kernel register block: mr×nr accumulators.
+// microKernel is one register-block variant: an mr×nr C tile accumulated
+// over the packed panels by kern. kern receives the packed A micro-panel
+// (kcc groups of mr values), the packed B micro-panel (kcc groups of nr
+// values), and the C tile at c with leading dimension ldc; it must
+// compute c[i*ldc+j] += Σ_p ap[p*mr+i]·bp[p*nr+j] for the full mr×nr
+// tile (callers pass a zeroed scratch tile for edges).
+type microKernel struct {
+	name   string
+	mr, nr int
+	kern   func(kcc int, ap, bp, c []float64, ldc int)
+}
+
+// maxMR/maxNR bound the register-block shapes of every compiled variant;
+// edge-tile scratch buffers are sized by them.
 const (
-	mr = 4
-	nr = 4
+	maxMR = 8
+	maxNR = 8
 )
 
-// Default cache-blocking parameters. kc×nr and mr×kc micro-panels are
-// sized so a B panel slice and an A panel slice sit in L1 together;
-// mc×kc A panels target L2.
-const (
-	defaultMC = 256
-	defaultKC = 256
-	defaultNC = 2048
-)
+// goKernel is the portable fallback variant — and the equivalence oracle
+// the assembly variant is tested against. Always compiled, selected when
+// the host lacks AVX2+FMA or NAVP_NOSIMD is set.
+var goKernel = &microKernel{name: "go-4x4", mr: 4, nr: 4, kern: kernGo4x4}
+
+// defaults returns the untuned cache-blocking parameters for a variant.
+// kc×nr and mr×kc micro-panels are sized so a B panel slice and an A
+// panel slice sit in L1 together; mc×kc A panels target L2. The
+// autotuner (tune.go) overrides these per host.
+func (v *microKernel) defaults() (mc, kc, nc int) {
+	if v.mr == 6 { // the AVX2 6×8 block wants taller A panels
+		return 180, 256, 4096
+	}
+	return 256, 256, 2048
+}
 
 // smallGemmFlops is the problem size (m·n·k) below which packing
 // overhead exceeds its cache benefit and the kernel falls back to a
@@ -40,38 +64,68 @@ const (
 const smallGemmFlops = 24 * 24 * 24
 
 // Kernel is a configurable GEMM driver. The zero value is the serial
-// fast path used by Mul, MulBlocked, and Block MulAdd. Threads > 1
-// additionally spreads row panels of C over a worker pool (real OS
-// concurrency — see parallel.go for why this stays outside the
+// fast path used by Mul, MulBlocked, and Block MulAdd: it runs the best
+// micro-kernel the host supports with the tuned (or default) blocking.
+// Threads > 1 additionally spreads column panels of C over a worker pool
+// (real OS concurrency — see parallel.go for why this stays outside the
 // simulation domain).
 type Kernel struct {
-	// Threads is the number of row-panel workers; 0 and 1 both mean
+	// Threads is the number of column-panel workers; 0 and 1 both mean
 	// serial.
 	Threads int
 
 	// Cache-blocking overrides used by tests to force panel edges with
-	// small inputs; zero means the tuned defaults.
+	// small inputs; zero means the tuned (or default) parameters.
 	mc, kc, nc int
+
+	// variant forces a specific micro-kernel; nil means the dispatcher's
+	// choice (activeVariant). Tests use it to cross-check variants.
+	variant *microKernel
 }
 
-func (k Kernel) params() (mc, kc, nc int) {
+// config resolves the micro-kernel variant and cache-blocking parameters
+// for one gemm call: explicit overrides win, then the per-host tuned
+// parameters (tune.go), then the variant defaults. Panels are rounded up
+// to whole micro-tiles.
+func (k Kernel) config() (v *microKernel, mc, kc, nc int) {
+	v = k.variant
+	if v == nil {
+		v = activeVariant()
+	}
 	mc, kc, nc = k.mc, k.kc, k.nc
-	if mc <= 0 {
-		mc = defaultMC
+	if mc <= 0 || kc <= 0 || nc <= 0 {
+		tmc, tkc, tnc := tunedFor(v)
+		if mc <= 0 {
+			mc = tmc
+		}
+		if kc <= 0 {
+			kc = tkc
+		}
+		if nc <= 0 {
+			nc = tnc
+		}
 	}
-	if kc <= 0 {
-		kc = defaultKC
-	}
-	if nc <= 0 {
-		nc = defaultNC
-	}
-	// Panels must hold whole micro-tiles.
-	mc = roundUp(mc, mr)
-	nc = roundUp(nc, nr)
-	return mc, kc, nc
+	mc = roundUp(mc, v.mr)
+	nc = roundUp(nc, v.nr)
+	return v, mc, kc, nc
 }
 
 func roundUp(v, q int) int { return (v + q - 1) / q * q }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ActiveKernel reports the micro-kernel variant the dispatcher selected
+// for this host ("avx2-6x8", or "go-4x4" when SIMD is unavailable or
+// NAVP_NOSIMD is set). Recorded in the BENCH_kernels.json header.
+func ActiveKernel() string { return activeVariant().name }
+
+// ActiveBlocking reports the cache-blocking parameters a zero-value
+// Kernel will run with and where they came from ("tuned" when the
+// per-host autotune cache supplied them, "default" otherwise).
+func ActiveBlocking() (mc, kc, nc int, source string) {
+	_, mc, kc, nc = Kernel{}.config()
+	return mc, kc, nc, tunedSource(activeVariant())
+}
 
 // Mul returns a×b through the packed kernel.
 func (k Kernel) Mul(a, b *Dense) *Dense {
@@ -103,26 +157,25 @@ func (k Kernel) gemm(m, n, kk int, a []float64, lda int, b []float64, ldb int, c
 		gemmDirect(m, n, kk, a, lda, b, ldb, c, ldc)
 		return
 	}
-	mc, kc, nc := k.params()
-	ncMax := roundUp(min(nc, n), nr)
-	bp := getPackBuf(kc * ncMax)
+	v, mc, kc, nc := k.config()
+	if k.Threads > 1 {
+		k.gemmParallel(v, mc, kc, nc, m, n, kk, a, lda, b, ldb, c, ldc)
+		return
+	}
+	bp := getPackBuf(kc * roundUp(min(nc, n), v.nr))
+	ap := getPackBuf(mc * kc)
 	defer putPackBuf(bp)
+	defer putPackBuf(ap)
 	for jc := 0; jc < n; jc += nc {
 		ncc := min(nc, n-jc)
 		for pc := 0; pc < kk; pc += kc {
 			kcc := min(kc, kk-pc)
-			packB(bp.s, kcc, ncc, b[pc*ldb+jc:], ldb)
-			if k.Threads > 1 {
-				k.rowPanels(m, mc, kcc, ncc, a[pc:], lda, bp.s, c[jc:], ldc)
-				continue
-			}
-			ap := getPackBuf(mc * kc)
+			packB(bp.s, kcc, ncc, b[pc*ldb+jc:], ldb, v.nr)
 			for ic := 0; ic < m; ic += mc {
 				mcc := min(mc, m-ic)
-				packA(ap.s, mcc, kcc, a[ic*lda+pc:], lda)
-				macroKernel(mcc, ncc, kcc, ap.s, bp.s, c[ic*ldc+jc:], ldc)
+				packA(ap.s, mcc, kcc, a[ic*lda+pc:], lda, v.mr)
+				macroKernel(v, mcc, ncc, kcc, ap.s, bp.s, c[ic*ldc+jc:], ldc)
 			}
-			putPackBuf(ap)
 		}
 	}
 }
@@ -130,7 +183,8 @@ func (k Kernel) gemm(m, n, kk int, a []float64, lda int, b []float64, ldb int, c
 // macroKernel sweeps the micro-kernel over one packed A panel (mcc×kcc)
 // and one packed B panel (kcc×ncc), updating the C tile at c (leading
 // dimension ldc).
-func macroKernel(mcc, ncc, kcc int, ap, bp []float64, c []float64, ldc int) {
+func macroKernel(v *microKernel, mcc, ncc, kcc int, ap, bp []float64, c []float64, ldc int) {
+	mr, nr := v.mr, v.nr
 	for jr := 0; jr < ncc; jr += nr {
 		nrr := min(nr, ncc-jr)
 		bpanel := bp[(jr/nr)*kcc*nr:]
@@ -138,20 +192,14 @@ func macroKernel(mcc, ncc, kcc int, ap, bp []float64, c []float64, ldc int) {
 			mrr := min(mr, mcc-ir)
 			apanel := ap[(ir/mr)*kcc*mr:]
 			if mrr == mr && nrr == nr {
-				r0 := (ir+0)*ldc + jr
-				r1 := (ir+1)*ldc + jr
-				r2 := (ir+2)*ldc + jr
-				r3 := (ir+3)*ldc + jr
-				kern4x4(kcc, apanel, bpanel,
-					c[r0:r0+nr], c[r1:r1+nr], c[r2:r2+nr], c[r3:r3+nr])
+				v.kern(kcc, apanel, bpanel, c[ir*ldc+jr:], ldc)
 				continue
 			}
 			// Edge tile: accumulate into a zeroed scratch tile (the
 			// packed panels are zero padded, so the extra lanes compute
 			// harmless zeros), then fold the valid region into C.
-			var scratch [mr * nr]float64
-			kern4x4(kcc, apanel, bpanel,
-				scratch[0:4], scratch[4:8], scratch[8:12], scratch[12:16])
+			var scratch [maxMR * maxNR]float64
+			v.kern(kcc, apanel, bpanel, scratch[:], nr)
 			for i := 0; i < mrr; i++ {
 				crow := c[(ir+i)*ldc+jr : (ir+i)*ldc+jr+nrr]
 				srow := scratch[i*nr : i*nr+nrr]
@@ -163,23 +211,25 @@ func macroKernel(mcc, ncc, kcc int, ap, bp []float64, c []float64, ldc int) {
 	}
 }
 
-// kern4x4 is the micro-kernel: a 4×4 C tile accumulated over kcc steps
-// of the packed panels, computed as two register-blocked 2×4 halves.
-// Two halves rather than one 16-accumulator body because amd64 has 16
-// XMM registers: 8 accumulators plus operands stay register resident,
-// 16 spill to the stack every iteration (measured: the split kernel is
-// ~1.7× the monolithic one). The nr-wide B micro-panel is only
-// kc×nr×8 bytes, so the second pass reads it from L1.
-func kern4x4(kcc int, ap, bp []float64, c0, c1, c2, c3 []float64) {
-	half2x4(kcc, 0, ap, bp, c0, c1)
-	half2x4(kcc, 2, ap, bp, c2, c3)
+// kernGo4x4 is the portable micro-kernel: a 4×4 C tile accumulated over
+// kcc steps of the packed panels, computed as two register-blocked 2×4
+// halves. Two halves rather than one 16-accumulator body because amd64
+// has 16 XMM registers without AVX: 8 accumulators plus operands stay
+// register resident, 16 spill to the stack every iteration (measured:
+// the split kernel is ~1.7× the monolithic one). The nr-wide B
+// micro-panel is only kc×nr×8 bytes, so the second pass reads it from
+// L1.
+func kernGo4x4(kcc int, ap, bp, c []float64, ldc int) {
+	half2x4(kcc, 0, ap, bp, c[0:], c[ldc:])
+	half2x4(kcc, 2, ap, bp, c[2*ldc:], c[3*ldc:])
 }
 
 // half2x4 accumulates rows off and off+1 of a 4×4 tile: a 2×4 register
 // block with the k-loop unrolled by four. ap holds kcc groups of mr
 // column values of A; bp holds kcc groups of nr row values of B; both
-// are read sequentially (A at stride mr with offset off).
+// are read sequentially (A at stride 4 with offset off).
 func half2x4(kcc, off int, ap, bp []float64, c0, c1 []float64) {
+	const mr, nr = 4, 4
 	var (
 		c00, c01, c02, c03 float64
 		c10, c11, c12, c13 float64
@@ -251,9 +301,8 @@ func half2x4(kcc, off int, ap, bp []float64, c0, c1 []float64) {
 // packA copies an mcc×kcc panel of A (leading dimension lda) into dst
 // as mr-tall micro-panels: micro-panel i holds columns of rows
 // [i·mr, i·mr+mr) interleaved k-major, so the micro-kernel reads its
-// four A operands from consecutive memory. Rows past mcc are zero
-// padded.
-func packA(dst []float64, mcc, kcc int, a []float64, lda int) {
+// mr A operands from consecutive memory. Rows past mcc are zero padded.
+func packA(dst []float64, mcc, kcc int, a []float64, lda, mr int) {
 	di := 0
 	for ir := 0; ir < mcc; ir += mr {
 		rows := min(mr, mcc-ir)
@@ -273,7 +322,7 @@ func packA(dst []float64, mcc, kcc int, a []float64, lda int) {
 // nr-wide micro-panels: micro-panel j holds rows of columns
 // [j·nr, j·nr+nr) interleaved k-major. Columns past ncc are zero
 // padded.
-func packB(dst []float64, kcc, ncc int, b []float64, ldb int) {
+func packB(dst []float64, kcc, ncc int, b []float64, ldb, nr int) {
 	di := 0
 	for jr := 0; jr < ncc; jr += nr {
 		cols := min(nr, ncc-jr)
@@ -312,7 +361,7 @@ func gemmDirect(m, n, kk int, a []float64, lda int, b []float64, ldb int, c []fl
 // rather than parked in the pool.
 type packBuf struct{ s []float64 }
 
-const maxPooledPanel = defaultKC * defaultNC
+const maxPooledPanel = 256 * 4096
 
 var packPool = sync.Pool{New: func() any { return &packBuf{} }}
 

@@ -1,0 +1,71 @@
+//go:build amd64
+
+package matrix
+
+import (
+	"os"
+	"sync"
+)
+
+// This file is the micro-kernel dispatch layer for amd64: the assembly
+// entry point declaration, its bounds-checked wrapper, and the runtime
+// feature-detect selection between the AVX2+FMA variant and the
+// portable Go fallback. Per the asmsafe rule (DESIGN.md §15), the
+// assembly-backed symbol kernavx2 is referenced only from this file —
+// every consumer goes through the selected microKernel value, so the
+// pure-Go fallback stays selectable on every path.
+
+// kernavx2 is implemented in kernel_amd64.s.
+//
+//go:noescape
+func kernavx2(kc int64, ap, bp, c *float64, ldc int64)
+
+// avx2Kernel is the 6×8 AVX2+FMA register-block variant. Its packed-A
+// micro-panels are 6 tall and packed-B micro-panels 8 wide — the n
+// dimension rides the YMM vectors because C is row-major, so tile rows
+// load and store as two contiguous 32-byte vectors.
+var avx2Kernel = &microKernel{name: "avx2-6x8", mr: 6, nr: 8, kern: kernAVX2}
+
+// kernAVX2 adapts the assembly ABI to the microKernel contract. The
+// driver guarantees a full 6×8 tile: ap holds kcc groups of 6, bp kcc
+// groups of 8, and c at least (5·ldc + 8) elements.
+func kernAVX2(kcc int, ap, bp, c []float64, ldc int) {
+	if kcc == 0 {
+		return
+	}
+	// Explicit bounds assertions: the assembly reads/writes exactly
+	// these extents, so a driver bug faults here, not in the kernel.
+	_ = ap[6*kcc-1]
+	_ = bp[8*kcc-1]
+	_ = c[5*ldc+7]
+	kernavx2(int64(kcc), &ap[0], &bp[0], &c[0], int64(ldc))
+}
+
+var (
+	dispatchOnce sync.Once
+	dispatched   *microKernel
+)
+
+// activeVariant returns the micro-kernel the host runs with: the AVX2
+// variant when the CPU and OS support it and NAVP_NOSIMD is unset, the
+// portable Go variant otherwise. Decided once per process.
+func activeVariant() *microKernel {
+	dispatchOnce.Do(func() {
+		dispatched = goKernel
+		if os.Getenv("NAVP_NOSIMD") == "" && cpuHasAVX2FMA() {
+			dispatched = avx2Kernel
+		}
+	})
+	return dispatched
+}
+
+// kernelVariants lists every micro-kernel this host can execute, the
+// portable oracle first. Used by the equivalence tests and the
+// autotuner; NAVP_NOSIMD restricts dispatch, not testability.
+func kernelVariants() []*microKernel {
+	vs := []*microKernel{goKernel}
+	if cpuHasAVX2FMA() {
+		vs = append(vs, avx2Kernel)
+	}
+	return vs
+}

@@ -1,0 +1,159 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// kernavx2 is the AVX2+FMA micro-kernel: a 6×8 tile of C accumulated
+// over kc steps of the packed panels (DESIGN.md §15 documents the ABI).
+//
+//	C[i][j] += Σ_p ap[p*6+i] · bp[p*8+j]   for i in 0..5, j in 0..7
+//
+// Register plan (16 YMM registers, all live):
+//
+//	Y0..Y11  twelve accumulators — row i of the tile is Y(2i) (columns
+//	         0..3) and Y(2i+1) (columns 4..7)
+//	Y12,Y13  the current 8-wide B row, loaded once per k step
+//	Y14,Y15  broadcast A values, double-buffered so the next broadcast
+//	         issues while two FMAs still read the previous one
+//
+// Per k step: 2 vector loads + 6 broadcasts + 12 FMAs. The 12
+// independent accumulators cover the FMA latency×throughput product
+// (4-5 cycles × 2/cycle) so the loop sustains ~2 FMAs/cycle; the k loop
+// is unrolled ×2 to halve loop overhead. Panels are read sequentially
+// (A at 48 B/step, B at 64 B/step), so the hardware prefetchers track
+// them without explicit PREFETCH hints.
+//
+// func kernavx2(kc int64, ap, bp, c *float64, ldc int64)
+TEXT ·kernavx2(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX            // ldc in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+	MOVQ CX, AX
+	SHRQ $1, AX
+	JZ   tail
+
+loop2:
+	// k step 0
+	VMOVUPD      (BX), Y12
+	VMOVUPD      32(BX), Y13
+	VBROADCASTSD (SI), Y14
+	VBROADCASTSD 8(SI), Y15
+	VFMADD231PD  Y12, Y14, Y0
+	VFMADD231PD  Y13, Y14, Y1
+	VFMADD231PD  Y12, Y15, Y2
+	VFMADD231PD  Y13, Y15, Y3
+	VBROADCASTSD 16(SI), Y14
+	VBROADCASTSD 24(SI), Y15
+	VFMADD231PD  Y12, Y14, Y4
+	VFMADD231PD  Y13, Y14, Y5
+	VFMADD231PD  Y12, Y15, Y6
+	VFMADD231PD  Y13, Y15, Y7
+	VBROADCASTSD 32(SI), Y14
+	VBROADCASTSD 40(SI), Y15
+	VFMADD231PD  Y12, Y14, Y8
+	VFMADD231PD  Y13, Y14, Y9
+	VFMADD231PD  Y12, Y15, Y10
+	VFMADD231PD  Y13, Y15, Y11
+
+	// k step 1
+	VMOVUPD      64(BX), Y12
+	VMOVUPD      96(BX), Y13
+	VBROADCASTSD 48(SI), Y14
+	VBROADCASTSD 56(SI), Y15
+	VFMADD231PD  Y12, Y14, Y0
+	VFMADD231PD  Y13, Y14, Y1
+	VFMADD231PD  Y12, Y15, Y2
+	VFMADD231PD  Y13, Y15, Y3
+	VBROADCASTSD 64(SI), Y14
+	VBROADCASTSD 72(SI), Y15
+	VFMADD231PD  Y12, Y14, Y4
+	VFMADD231PD  Y13, Y14, Y5
+	VFMADD231PD  Y12, Y15, Y6
+	VFMADD231PD  Y13, Y15, Y7
+	VBROADCASTSD 80(SI), Y14
+	VBROADCASTSD 88(SI), Y15
+	VFMADD231PD  Y12, Y14, Y8
+	VFMADD231PD  Y13, Y14, Y9
+	VFMADD231PD  Y12, Y15, Y10
+	VFMADD231PD  Y13, Y15, Y11
+
+	ADDQ $96, SI
+	ADDQ $128, BX
+	DECQ AX
+	JNE  loop2
+
+tail:
+	TESTQ $1, CX
+	JZ    store
+
+	VMOVUPD      (BX), Y12
+	VMOVUPD      32(BX), Y13
+	VBROADCASTSD (SI), Y14
+	VBROADCASTSD 8(SI), Y15
+	VFMADD231PD  Y12, Y14, Y0
+	VFMADD231PD  Y13, Y14, Y1
+	VFMADD231PD  Y12, Y15, Y2
+	VFMADD231PD  Y13, Y15, Y3
+	VBROADCASTSD 16(SI), Y14
+	VBROADCASTSD 24(SI), Y15
+	VFMADD231PD  Y12, Y14, Y4
+	VFMADD231PD  Y13, Y14, Y5
+	VFMADD231PD  Y12, Y15, Y6
+	VFMADD231PD  Y13, Y15, Y7
+	VBROADCASTSD 32(SI), Y14
+	VBROADCASTSD 40(SI), Y15
+	VFMADD231PD  Y12, Y14, Y8
+	VFMADD231PD  Y13, Y14, Y9
+	VFMADD231PD  Y12, Y15, Y10
+	VFMADD231PD  Y13, Y15, Y11
+
+store:
+	// C += accumulators, row by row (rows are ldc bytes apart).
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y2, Y2
+	VMOVUPD Y2, (DI)
+	VADDPD  32(DI), Y3, Y3
+	VMOVUPD Y3, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y4, Y4
+	VMOVUPD Y4, (DI)
+	VADDPD  32(DI), Y5, Y5
+	VMOVUPD Y5, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y6, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD  32(DI), Y7, Y7
+	VMOVUPD Y7, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y8, Y8
+	VMOVUPD Y8, (DI)
+	VADDPD  32(DI), Y9, Y9
+	VMOVUPD Y9, 32(DI)
+	ADDQ    DX, DI
+	VADDPD  (DI), Y10, Y10
+	VMOVUPD Y10, (DI)
+	VADDPD  32(DI), Y11, Y11
+	VMOVUPD Y11, 32(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,222 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Cross-variant equivalence suite: every micro-kernel this host can
+// execute (the pure-Go oracle and, on capable amd64 hosts, the
+// AVX2+FMA assembly variant) must agree with the naive triple loop on
+// adversarial shapes — tile edges, degenerate dimensions, strided
+// views, aliased operands, and non-finite values. The suite runs under
+// -race in CI, so the threaded driver is exercised for data races too.
+
+// equivKernels returns one Kernel per executable variant, each with
+// small blocking so multi-panel paths engage at test sizes.
+func equivKernels() map[string]Kernel {
+	ks := map[string]Kernel{}
+	for _, v := range kernelVariants() {
+		ks[v.name] = Kernel{mc: 2 * v.mr, kc: 7, nc: 2 * v.nr, variant: v}
+	}
+	return ks
+}
+
+// TestVariantsMatchNaiveAdversarialShapes sweeps shapes chosen to land
+// on every edge-handling path: non-multiples of both register block
+// dimensions, single rows/columns, and tall/skinny panels.
+func TestVariantsMatchNaiveAdversarialShapes(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1},    // degenerate everything
+		{1, 1, 5},    // dot product
+		{1, 17, 3},   // single row, ragged n
+		{17, 1, 3},   // single column
+		{5, 7, 9},    // all dims off-block
+		{6, 8, 4},    // exactly one avx2 tile
+		{7, 9, 4},    // one tile + 1 edge row/col
+		{12, 16, 13}, // full tiles, k crosses kc=7
+		{13, 17, 13}, // full tiles + edges, k crosses kc
+		{37, 5, 29},  // tall and skinny
+		{5, 37, 29},  // short and wide
+		{23, 23, 1},  // k=1: single rank-1 update
+		{48, 48, 48}, // several cache blocks in every dim
+	}
+	for name, kern := range equivKernels() {
+		for _, s := range shapes {
+			t.Run(fmt.Sprintf("%s/%dx%dx%d", name, s.m, s.n, s.k), func(t *testing.T) {
+				rng := NewSeeded(int64(7*s.m + 5*s.n + 3*s.k))
+				a, b := NewDense(s.m, s.k), NewDense(s.k, s.n)
+				a.FillRandom(rng)
+				b.FillRandom(rng)
+				equalOrBothNaN(t, kern.Mul(a, b), mulNaive(a, b), kernelTol(s.k))
+			})
+		}
+	}
+}
+
+// TestVariantsAgreeExactly pins that the assembly variant and the Go
+// oracle produce *bitwise identical* results, not merely close ones:
+// both accumulate c[i][j] as an ordered sum over p of a[i][p]·b[p][j]
+// in float64, FMA contraction aside — and FMA only tightens each step.
+// Bitwise agreement is what lets the sim tables be regenerated on any
+// host without a tolerance footnote.
+//
+// The inputs are small integers, for which FMA contraction is exact,
+// so any divergence is a real layout or ordering bug.
+func TestVariantsAgreeExactly(t *testing.T) {
+	vs := kernelVariants()
+	if len(vs) < 2 {
+		t.Skip("host has only the portable variant")
+	}
+	for _, s := range []struct{ m, n, k int }{{6, 8, 16}, {13, 19, 31}, {40, 40, 40}} {
+		a, b := NewDense(s.m, s.k), NewDense(s.k, s.n)
+		for i := range a.Data {
+			a.Data[i] = float64(i%5 - 2)
+		}
+		for i := range b.Data {
+			b.Data[i] = float64(i%7 - 3)
+		}
+		ref := (Kernel{variant: vs[0], mc: 12, kc: 8, nc: 16}).Mul(a, b)
+		for _, v := range vs[1:] {
+			got := (Kernel{variant: v, mc: 12, kc: 8, nc: 16}).Mul(a, b)
+			for i := range ref.Data {
+				if got.Data[i] != ref.Data[i] {
+					t.Fatalf("%s diverges from %s at %dx%dx%d flat index %d: %v != %v",
+						v.name, vs[0].name, s.m, s.n, s.k, i, got.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVariantsKZero pins the k=0 contract: a multiply with an empty
+// inner dimension is a no-op accumulation, so MulAdd must leave a
+// pre-filled C untouched. NewDense rejects zero dims, so the views are
+// built directly.
+func TestVariantsKZero(t *testing.T) {
+	for name, kern := range equivKernels() {
+		t.Run(name, func(t *testing.T) {
+			a := &Dense{Rows: 3, Cols: 0, Stride: 1, Data: nil}
+			b := &Dense{Rows: 0, Cols: 4, Stride: 4, Data: nil}
+			c := NewDense(3, 4)
+			for i := range c.Data {
+				c.Data[i] = float64(i) + 0.25
+			}
+			want := c.Clone()
+			kern.MulAdd(c, a, b)
+			for i := range c.Data {
+				if c.Data[i] != want.Data[i] {
+					t.Fatalf("k=0 MulAdd modified C at %d: %v != %v", i, c.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestVariantsStridedViews runs every variant over operands whose
+// Stride exceeds Cols (sub-matrix views), the layout the distributed
+// blocks use; the packing routines must honor lda/ldb/ldc, not assume
+// compact rows.
+func TestVariantsStridedViews(t *testing.T) {
+	const m, n, k, pad = 11, 13, 9, 5
+	rng := NewSeeded(99)
+	backA := NewDense(m, k+pad)
+	backB := NewDense(k, n+pad)
+	backA.FillRandom(rng)
+	backB.FillRandom(rng)
+	a := &Dense{Rows: m, Cols: k, Stride: k + pad, Data: backA.Data}
+	b := &Dense{Rows: k, Cols: n, Stride: n + pad, Data: backB.Data}
+	want := mulNaive(a, b)
+	for name, kern := range equivKernels() {
+		t.Run(name, func(t *testing.T) {
+			backC := NewDense(m, n+pad)
+			c := &Dense{Rows: m, Cols: n, Stride: n + pad, Data: backC.Data}
+			kern.MulAdd(c, a, b)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					if math.Abs(c.At(i, j)-want.At(i, j)) > kernelTol(k) {
+						t.Fatalf("strided C (%d,%d): %v != %v", i, j, c.At(i, j), want.At(i, j))
+					}
+				}
+				// The padding lane must stay untouched.
+				for j := n; j < n+pad; j++ {
+					if backC.At(i, j) != 0 {
+						t.Fatalf("padding (%d,%d) written: %v", i, j, backC.At(i, j))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVariantsAliasedSquare pins Mul(a, a): the packing step snapshots
+// both operands before any C write, so squaring in place of distinct
+// operands must match the naive result.
+func TestVariantsAliasedSquare(t *testing.T) {
+	for name, kern := range equivKernels() {
+		t.Run(name, func(t *testing.T) {
+			a := NewDense(19, 19)
+			a.FillRandom(NewSeeded(5))
+			equalOrBothNaN(t, kern.Mul(a, a), mulNaive(a, a), kernelTol(19))
+		})
+	}
+}
+
+// TestVariantsNaNInf pins IEEE semantics through every variant: NaN
+// and ±Inf in either operand must propagate exactly as the naive
+// triple loop propagates them (the padded tile edges must not bleed
+// zeros into the contamination pattern).
+func TestVariantsNaNInf(t *testing.T) {
+	const m, n, k = 9, 11, 7
+	rng := NewSeeded(31)
+	a, b := NewDense(m, k), NewDense(k, n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	a.Set(2, 3, math.NaN())
+	a.Set(8, 0, math.Inf(1))
+	b.Set(4, 10, math.Inf(-1))
+	want := mulNaive(a, b)
+	for name, kern := range equivKernels() {
+		t.Run(name, func(t *testing.T) {
+			got := kern.Mul(a, b)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					g, w := got.At(i, j), want.At(i, j)
+					if math.IsNaN(w) != math.IsNaN(g) {
+						t.Fatalf("(%d,%d): NaN mismatch got %v want %v", i, j, g, w)
+					}
+					if !math.IsNaN(w) && g != w && math.Abs(g-w) > kernelTol(k)*math.Max(1, math.Abs(w)) {
+						t.Fatalf("(%d,%d): got %v want %v", i, j, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVariantsThreadedEquivalence runs the column-panel parallel driver
+// for every variant and thread count against the serial result. The
+// partition is by disjoint jc panels with identical packing, so the
+// results must be bitwise equal, and under -race this doubles as the
+// driver's data-race test.
+func TestVariantsThreadedEquivalence(t *testing.T) {
+	const n = 70 // several panels wide at nc=2·nr
+	a, b := RandomPair(NewSeeded(11), n)
+	for name, kern := range equivKernels() {
+		serial := kern.Mul(a, b)
+		for _, threads := range []int{2, 3, 5, 16} {
+			kt := kern
+			kt.Threads = threads
+			t.Run(fmt.Sprintf("%s/t=%d", name, threads), func(t *testing.T) {
+				got := kt.Mul(a, b)
+				for i := range serial.Data {
+					if got.Data[i] != serial.Data[i] {
+						t.Fatalf("threaded result diverges from serial at flat index %d: %v != %v",
+							i, got.Data[i], serial.Data[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package matrix
+
+// Non-amd64 hosts have no assembly micro-kernel: the dispatcher always
+// selects the portable Go variant and NAVP_NOSIMD is a no-op.
+
+// activeVariant returns the micro-kernel the host runs with.
+func activeVariant() *microKernel { return goKernel }
+
+// kernelVariants lists every micro-kernel this host can execute.
+func kernelVariants() []*microKernel { return []*microKernel{goKernel} }

@@ -233,6 +233,7 @@ func TestMulBlockedStillMatches(t *testing.T) {
 // micro-panels, k-major within a panel, zero padding past the last row.
 func TestPackAPadsAndInterleaves(t *testing.T) {
 	const m, k, lda = 5, 3, 4 // 5 rows → one full micro-panel + 1-row edge
+	const mr = 4              // packing block under test
 	a := make([]float64, (m-1)*lda+k)
 	for i := 0; i < m; i++ {
 		for p := 0; p < k; p++ {
@@ -240,7 +241,7 @@ func TestPackAPadsAndInterleaves(t *testing.T) {
 		}
 	}
 	dst := make([]float64, roundUp(m, mr)*k)
-	packA(dst, m, k, a, lda)
+	packA(dst, m, k, a, lda, mr)
 	// Micro-panel 0, k=1 group must be rows 0..3 at column 1.
 	group := dst[mr*1 : mr*1+mr]
 	for i, v := range group {
