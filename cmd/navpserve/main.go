@@ -23,15 +23,28 @@
 //	navpserve -connect 127.0.0.1:9000          # discover members via one
 //	navpserve -seeds @cluster.seeds            # or take the static list
 //
-// The API (see DESIGN.md §12-13 and the README's Serving section):
+// Elastic operations (see DESIGN.md §16): a daemon started with -join
+// becomes placeable after POST /cluster/refresh on the front-end, and
 //
-//	POST /jobs             submit a job (JSON body)
-//	GET  /jobs             list retained jobs
-//	GET  /jobs/{id}        job status
-//	GET  /jobs/{id}/result result, exactly once
-//	POST /jobs/{id}/cancel cancel/evict
-//	GET  /metrics          wire.* + sched.* registry snapshot
-//	     /debug/pprof/...  pprof (in-process mode)
+//	navpserve -drain 2 -connect 127.0.0.1:9000            # shrink: evacuate node 2
+//	navpserve -drain 2 -drain-stop -seeds @cluster.seeds  # ...and stop its process
+//
+// evacuates a member through live agent migration before it leaves.
+//
+// The API (see DESIGN.md §12-13, §16 and the README's Serving section):
+//
+//	POST /jobs                submit a job (JSON body)
+//	GET  /jobs                list retained jobs
+//	GET  /jobs/{id}           job status
+//	GET  /jobs/{id}/result    result, exactly once
+//	POST /jobs/{id}/cancel    cancel/evict
+//	POST /jobs/{id}/suspend   preempt: checkpoint agents, release worker
+//	POST /jobs/{id}/resume    requeue a suspended job
+//	GET  /cluster/nodes       placeable (live, undrained) node set
+//	POST /cluster/drain       ?node=N[&timeout_ms=M] evacuate a member
+//	POST /cluster/refresh     adopt daemons that joined mid-run
+//	GET  /metrics             wire.* + sched.* registry snapshot
+//	     /debug/pprof/...     pprof (in-process mode)
 //
 // SIGINT/SIGTERM drain gracefully: admission stops, queued jobs are
 // evicted, running jobs finish, then the cluster shuts down.
@@ -46,6 +59,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sched"
@@ -70,10 +84,17 @@ func main() {
 	seeds := flag.String("seeds", "", "static seed list: comma-separated addresses, or @file (one per line)")
 	node := flag.Int("node", 0, "this daemon's index in the static seed list")
 	state := flag.String("state", "", "daemon state directory (empty disables persistence)")
+
+	// Operator commands against a live cluster.
+	drain := flag.Int("drain", -1, "drain this node (evacuate its agents to the survivors, absorb its counters, leave the membership), then exit; needs -connect or -seeds")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "evacuation deadline for -drain")
+	drainStop := flag.Bool("drain-stop", false, "with -drain: also ask the drained daemon's process to exit")
 	flag.Parse()
 
 	var err error
 	switch {
+	case *drain >= 0:
+		err = runDrain(*connect, *seeds, *drain, *drainTimeout, *drainStop)
 	case *daemon:
 		err = runDaemon(*listen, *advertise, *join, *seeds, *node, *state)
 	case *connect != "" || *seeds != "":
@@ -139,25 +160,54 @@ func runDaemon(listen, advertise, join, seedSpec string, node int, state string)
 	}
 }
 
+// dialRemote resolves -connect/-seeds into a remote cluster client.
+func dialRemote(connect, seedSpec string, opts wire.RemoteOptions) (*wire.RemoteCluster, error) {
+	switch {
+	case connect != "" && seedSpec != "":
+		return nil, fmt.Errorf("navpserve: -connect and -seeds are mutually exclusive")
+	case connect != "":
+		return wire.DialCluster(connect, opts)
+	case seedSpec != "":
+		peers, err := loadSeeds(seedSpec)
+		if err != nil {
+			return nil, err
+		}
+		return wire.StaticCluster(peers, opts)
+	default:
+		return nil, fmt.Errorf("navpserve: need -connect or -seeds to reach the cluster")
+	}
+}
+
+// runDrain is the -drain operator command: evacuate one member's agents
+// into the survivors through live migration, absorb its counter history,
+// and remove it from the membership — the elastic shrink step. With
+// -drain-stop the drained daemon's process is also asked to exit.
+func runDrain(connect, seedSpec string, node int, timeout time.Duration, stop bool) error {
+	rc, err := dialRemote(connect, seedSpec, wire.RemoteOptions{})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	if err := rc.Drain(node, timeout); err != nil {
+		return fmt.Errorf("navpserve: drain node %d: %w", node, err)
+	}
+	fmt.Printf("navpserve: node %d drained (%d members remain placeable)\n", node, len(rc.LiveNodes()))
+	if stop {
+		if err := rc.ShutdownNode(node); err != nil {
+			return fmt.Errorf("navpserve: stop drained node %d: %w", node, err)
+		}
+		fmt.Printf("navpserve: node %d asked to exit\n", node)
+	}
+	return nil
+}
+
 // runFrontend serves HTTP over a cluster of remote daemon processes.
 func runFrontend(connect, seedSpec, addr string, workers, queue int, placement string) error {
-	if connect != "" && seedSpec != "" {
-		return fmt.Errorf("navpserve: -connect and -seeds are mutually exclusive")
-	}
 	pol, err := sched.NewPlacement(placement)
 	if err != nil {
 		return err
 	}
-	var rc *wire.RemoteCluster
-	if connect != "" {
-		rc, err = wire.DialCluster(connect, wire.RemoteOptions{Heartbeat: true})
-	} else {
-		var peers []string
-		if peers, err = loadSeeds(seedSpec); err != nil {
-			return err
-		}
-		rc, err = wire.StaticCluster(peers, wire.RemoteOptions{Heartbeat: true})
-	}
+	rc, err := dialRemote(connect, seedSpec, wire.RemoteOptions{Heartbeat: true})
 	if err != nil {
 		return err
 	}

@@ -357,6 +357,83 @@ func servePoint(processes, workers, queue int, ol sched.OpenLoopConfig) (sched.O
 	return *res, nil
 }
 
+// serveElasticPoint measures one open-loop run against a cluster that
+// shrinks mid-batch: `from` daemons serve the first half of the offered
+// window, then members drain one by one (live agent migration, counter
+// absorption, membership leave) until `to` remain. A job whose carriers
+// were planned over the old live set can lose one attempt when its ring
+// rides into a drained member; the short attempt timeout fails it fast
+// and the retry re-plans on the survivors — the zero-lost-results
+// contract is Failed == 0 and Evicted == 0 at the end.
+func serveElasticPoint(from, to, workers, queue int, ol sched.OpenLoopConfig) (sched.OpenLoopResult, error) {
+	var none sched.OpenLoopResult
+	stateRoot, err := os.MkdirTemp("", "navp-elastic-")
+	if err != nil {
+		return none, err
+	}
+	defer os.RemoveAll(stateRoot)
+	procs, rc, err := spawnServeCluster(from, stateRoot)
+	if err != nil {
+		return none, err
+	}
+	defer func() {
+		rc.Shutdown()
+		for _, p := range procs {
+			if _, exited := p.Wait(5 * time.Second); !exited {
+				p.Kill9()
+			}
+		}
+	}()
+	s, err := sched.New(sched.Config{Cluster: rc, Workers: workers, QueueDepth: queue,
+		Placement: &sched.ConsistentHash{},
+		// Fail a mid-drain attempt fast instead of riding the default
+		// 30s budget; the retry budget absorbs it.
+		AttemptTimeout: 4 * time.Second,
+	})
+	if err != nil {
+		return none, err
+	}
+	defer s.Close()
+	mux := http.NewServeMux()
+	sched.NewServer(s).Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return none, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	ol.BaseURL = "http://" + ln.Addr().String()
+
+	var drainErr error
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		time.Sleep(ol.Duration / 2)
+		for node := from - 1; node >= to; node-- {
+			if err := rc.Drain(node, 30*time.Second); err != nil {
+				drainErr = fmt.Errorf("drain node %d: %w", node, err)
+				return
+			}
+		}
+	}()
+	res, err := sched.RunOpenLoop(ol)
+	<-drained
+	if err != nil {
+		return none, err
+	}
+	if drainErr != nil {
+		return none, drainErr
+	}
+	if live := len(rc.LiveNodes()); live != to {
+		return none, fmt.Errorf("after shrink %d members placeable, want %d", live, to)
+	}
+	if res.Done == 0 || res.Failed != 0 || res.Evicted != 0 {
+		return none, fmt.Errorf("elastic shrink lost results: %d done, %d failed, %d evicted", res.Done, res.Failed, res.Evicted)
+	}
+	return *res, nil
+}
+
 // runServe sweeps the serving stack across real daemon-process counts
 // under a fixed open-loop Poisson load and records the horizontal
 // scaling curve — throughput, latency percentiles, SLO verdicts per
@@ -396,6 +473,26 @@ func runServe(dir string, quick bool) error {
 			res.Done, res.Failed, res.Evicted, res.Rejected)
 		sc.AddPoint(n, res)
 	}
+
+	// The elastic experiment: 8 daemons take the batch, half of them
+	// drain mid-run (live migration evacuates their agents), and the
+	// acceptance bar is zero lost results on the 4 survivors.
+	const elasticFrom, elasticTo = 8, 4
+	eol := ol
+	eol.Duration = 8 * time.Second
+	if quick {
+		eol.Duration = 4 * time.Second
+	}
+	eol.Request.Retries = 3
+	eres, err := serveElasticPoint(elasticFrom, elasticTo, workers, queue, eol)
+	if err != nil {
+		return fmt.Errorf("elastic shrink %d->%d: %w", elasticFrom, elasticTo, err)
+	}
+	fmt.Printf("elastic %d->%d daemons mid-batch: %6.1f/s done  p50 %6.1fms  p99 %6.1fms  (%d done, %d failed, %d evicted — zero lost)\n",
+		elasticFrom, elasticTo, eres.Throughput, eres.P50MS, eres.P99MS, eres.Done, eres.Failed, eres.Evicted)
+	esc := f.AddScenario(fmt.Sprintf("elastic-shrink-%dto%d", elasticFrom, elasticTo), "wirematmul", "", eol.Rate)
+	esc.AddPoint(elasticFrom, eres)
+
 	path := filepath.Join(dir, "BENCH_sched.json")
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -18,6 +18,9 @@
 //	//navplint:fact durable      — mutates node-durable state
 //	//navplint:fact sync         — syncs the persister (dominates exit)
 //	//navplint:fact mint         — mints a job namespace to be released
+//	//navplint:fact handoff      — transfers a namespace's release
+//	                               obligation to another owner (reaper,
+//	                               migration destination)
 //	//navplint:fact externalize | blocking | hop | release
 //
 // Everything else is structural: channel operations, selects without
@@ -84,6 +87,7 @@ type Summary struct {
 	Externalizes   bool // may make an effect visible to a remote party
 	Syncs          bool // may sync the persister
 	Releases       bool // may release a job namespace
+	Hands          bool // may transfer a namespace's release obligation to another owner
 	MutatesDurable bool // may mutate node-durable state
 
 	// Ordered persist/externalize facts (the syncorder lattice).
@@ -297,6 +301,9 @@ func applyAnnotation(sum *Summary) {
 	if a.Release {
 		sum.Releases = true
 	}
+	if a.Handoff {
+		sum.Hands = true
+	}
 	if a.Mint {
 		sum.Mints = true
 	}
@@ -313,6 +320,7 @@ func (s *Set) install(u *unit, next *Summary) {
 	cur := s.summaryOf(u)
 	cur.MayBlock, cur.Hops, cur.Externalizes = next.MayBlock, next.Hops, next.Externalizes
 	cur.Syncs, cur.Releases, cur.MutatesDurable = next.Syncs, next.Releases, next.MutatesDurable
+	cur.Hands = next.Hands
 	cur.DirtyAtExit, cur.CleansAtExit = next.DirtyAtExit, next.CleansAtExit
 	cur.ExternalizesUnsynced = next.ExternalizesUnsynced
 	cur.Acquires = next.Acquires
@@ -321,7 +329,8 @@ func (s *Set) install(u *unit, next *Summary) {
 
 func summariesEqual(a, b *Summary) bool {
 	if a.MayBlock != b.MayBlock || a.Hops != b.Hops || a.Externalizes != b.Externalizes ||
-		a.Syncs != b.Syncs || a.Releases != b.Releases || a.MutatesDurable != b.MutatesDurable ||
+		a.Syncs != b.Syncs || a.Releases != b.Releases || a.Hands != b.Hands ||
+		a.MutatesDurable != b.MutatesDurable ||
 		a.DirtyAtExit != b.DirtyAtExit || a.CleansAtExit != b.CleansAtExit ||
 		a.ExternalizesUnsynced != b.ExternalizesUnsynced {
 		return false
@@ -624,9 +633,16 @@ func (s *Set) compute(u *unit, rec *recorder) *Summary {
 				}
 			}
 
-			// Namespace obligations.
+			// Namespace obligations. A hand-off clears like a release —
+			// the obligation is transferred to its new owner (background
+			// reaper, migration destination), not discharged — and the
+			// new owner's own exit paths are checked separately.
 			if releaseIntrinsic(fn) || (cs != nil && cs.Releases) {
 				out.Releases = true
+				clearObligations(info, f, call)
+			}
+			if cs != nil && cs.Hands {
+				out.Hands = true
 				clearObligations(info, f, call)
 			}
 			if cs != nil && cs.Mints {

@@ -24,6 +24,7 @@ type Annotation struct {
 	Hop         bool // performs an agent hop
 	Mint        bool // mints a job namespace the caller must release
 	Release     bool // releases a job namespace
+	Handoff     bool // transfers a namespace's release obligation to another owner
 }
 
 // parseAnnotation extracts the navplint:fact bits from a doc comment.
@@ -55,6 +56,8 @@ func parseAnnotation(doc *ast.CommentGroup) (Annotation, bool) {
 				ann.Mint = true
 			case "release":
 				ann.Release = true
+			case "handoff":
+				ann.Handoff = true
 			}
 		}
 	}

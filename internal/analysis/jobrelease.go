@@ -22,10 +22,19 @@ import (
 // that *may* not run to completion (cleanup's drain-timeout early
 // return) still clears, matching the documented bounded-leak contract.
 //
+// The obligation can also be *transferred* instead of discharged: a
+// call to a `//navplint:fact handoff` function naming the namespace —
+// Scheduler.enqueueReap handing an undrained namespace to the
+// background reaper, a migration handing a checkpointed agent to its
+// destination — moves ownership to the new party (whose own exit paths
+// are analyzed separately) and clears the obligation here, exactly as
+// the runtime protocol does (DESIGN.md §16.1's replay-ownership rule).
+//
 // Work.Run implementations inject under a namespace but never mint one,
 // so they carry no obligation: the scheduler owns cleanup, Run only
 // computes. A helper that intentionally mints and hands the namespace
-// off unreleased needs a `//lint:ignore jobrelease <reason>`.
+// off unreleased through an unannotated path needs a
+// `//lint:ignore jobrelease <reason>`.
 func NewJobRelease() *Analyzer {
 	a := &Analyzer{
 		Name: "jobrelease",

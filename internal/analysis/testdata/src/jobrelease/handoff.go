@@ -1,0 +1,48 @@
+package jobrelease
+
+// handoffReaper transfers the release obligation to another owner —
+// the shape of Scheduler.enqueueReap (cleanup hands an undrained
+// namespace to the background reaper) and of a migration hand-off
+// (the destination daemon owns the shipped checkpoint from the ack
+// on). The obligation moves, it is not discharged here.
+//
+//navplint:fact handoff
+func handoffReaper(ns uint64) {}
+
+// transferOnTimeout mints, and on the slow path hands the namespace
+// off instead of releasing — a transfer, not a leak.
+func transferOnTimeout(c *cluster, id uint64, slow bool) {
+	ns := mint(id, 3)
+	if slow {
+		handoffReaper(ns)
+		return
+	}
+	c.ReleaseJob(ns)
+	c.ClearVarsPrefix("job:")
+}
+
+// reapLater wraps the hand-off; the fact propagates through its
+// summary the way a release does.
+func reapLater(ns uint64) { handoffReaper(ns) }
+
+// transferViaHelper hands off through the wrapper on every path.
+func transferViaHelper(c *cluster, id uint64) {
+	ns := mint(id, 4)
+	reapLater(ns)
+}
+
+// dropRaw looks like a hand-off but carries no annotation, so calling
+// it transfers nothing.
+func dropRaw(ns uint64) {}
+
+// dropOnTimeout has transferOnTimeout's shape with an unannotated
+// sink — the slow path is still a leak.
+func dropOnTimeout(c *cluster, id uint64, slow bool) {
+	ns := mint(id, 5) // want `not released on every exit path`
+	if slow {
+		dropRaw(ns)
+		return
+	}
+	c.ReleaseJob(ns)
+	c.ClearVarsPrefix("job:")
+}

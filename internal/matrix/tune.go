@@ -92,7 +92,16 @@ func SaveTune(f *TuneFile) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	// Write-to-temp then rename, like the wire persister: a crash (or a
+	// concurrent tuner on the same host) mid-write must never leave a
+	// truncated cache at the final path — rename on the same filesystem
+	// is atomic, so readers see the old file or the new one, never a
+	// torn one.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		return "", err
 	}
 	resetTunedCache() // make the new parameters visible in-process

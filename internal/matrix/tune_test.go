@@ -88,6 +88,57 @@ func TestTuneCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTuneCacheCorruptionRecovers pins the durability contract SaveTune
+// gained with the tmp+rename write: a corrupt (torn, truncated, or
+// garbage) cache at the final path is rejected cleanly by every reader,
+// and the next SaveTune replaces it atomically — no reader ever sees
+// the half-state, and no stale .tmp file lingers.
+func TestTuneCacheCorruptionRecovers(t *testing.T) {
+	useTempTuneCache(t)
+	v := activeVariant()
+	dmc, dkc, dnc := v.defaults()
+
+	path, err := TuneCachePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated JSON prefix — what a bare WriteFile interrupted by a
+	// crash used to leave behind.
+	if err := os.WriteFile(path, []byte(`{"schema":2,"cpu":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := LoadTune(); ok {
+		t.Fatal("LoadTune accepted a truncated cache")
+	}
+	resetTunedCache()
+	if mc, kc, nc := tunedFor(v); mc != dmc || kc != dkc || nc != dnc {
+		t.Fatalf("corrupt cache leaked into blocking: got %d/%d/%d want defaults %d/%d/%d",
+			mc, kc, nc, dmc, dkc, dnc)
+	}
+
+	// SaveTune over the corrupt file must fully replace it.
+	want := [3]int{roundUp(120, v.mr), 192, roundUp(1536, v.nr)}
+	f := &TuneFile{
+		Schema: tuneSchema, CPU: CPUModel(), GOARCH: runtime.GOARCH, N: 64,
+		Best: []TuneTrial{{Variant: v.name, MC: want[0], KC: want[1], NC: want[2], GFlops: 1}},
+	}
+	if _, err := SaveTune(f); err != nil {
+		t.Fatalf("SaveTune over corrupt cache: %v", err)
+	}
+	if got, _, ok := LoadTune(); !ok || len(got.Best) != 1 || got.Best[0].MC != want[0] {
+		t.Fatalf("recovered cache wrong: %+v ok=%v", got, ok)
+	}
+	if mc, kc, nc := tunedFor(v); [3]int{mc, kc, nc} != want {
+		t.Fatalf("recovered blocking %d/%d/%d, want %v", mc, kc, nc, want)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after SaveTune: %v", err)
+	}
+}
+
 // TestTuneSearchQuick runs the real (shrunk) search and checks the
 // result is well-formed: every executable variant gets a winner with
 // legal blocking, and persisting it round-trips through LoadTune.

@@ -75,6 +75,10 @@ const (
 	TraceRetry
 	TraceKill
 	TraceRecover
+	// TraceMigrate is an agent shipped between daemons as a synthetic
+	// hop by the elasticity layer (migration, drain, reroute) rather
+	// than by its own behavior.
+	TraceMigrate
 )
 
 // String returns the kind's name.
@@ -98,6 +102,8 @@ func (k TraceKind) String() string {
 		return "kill"
 	case TraceRecover:
 		return "recover"
+	case TraceMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }

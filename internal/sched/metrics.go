@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/metrics"
 )
@@ -26,6 +27,16 @@ const (
 	// Per-node load: jobs whose base PE is node i, sched.node.load.<i>.
 	// The least-loaded placement policy reads these.
 	MetricNodeLoadPrefix = "sched.node.load."
+	// Jobs preempted to checkpoint (Suspend) and brought back (Resume).
+	MetricSuspends = "sched.suspends"
+	MetricResumes  = "sched.resumes"
+	// Namespaces whose post-attempt drain timed out and were later
+	// reclaimed by the background reaper, and how many are still pending
+	// — before the reaper existed these leaked forever.
+	MetricDrainReaped  = "sched.drain.reaped"
+	MetricDrainPending = "sched.drain.pending"
+	// Agents the rebalancer migrated off overloaded nodes.
+	MetricRebalanceMoved = "sched.rebalance.moved"
 )
 
 // MetricJobState returns the gauge name for one lifecycle state.
@@ -39,31 +50,74 @@ func MetricNodeLoad(i int) string { return fmt.Sprintf("%s%d", MetricNodeLoadPre
 var e2eLatencyBounds = metrics.ExponentialBounds(1000, 2, 20)
 
 // schedMetrics holds the scheduler's pre-resolved handles, one atomic
-// op per event on the hot paths.
+// op per event on the hot paths. The node-load table alone is guarded
+// by a mutex: an elastic cluster can grow mid-run (Refresh), and the
+// placement policies read the table while the grower appends to it.
 type schedMetrics struct {
-	queueDepth    *metrics.Gauge
-	admitRejected *metrics.Counter
-	retries       *metrics.Counter
-	e2eLatency    *metrics.Histogram
-	states        map[State]*metrics.Gauge
-	nodeLoad      []*metrics.Gauge
+	queueDepth     *metrics.Gauge
+	admitRejected  *metrics.Counter
+	retries        *metrics.Counter
+	suspends       *metrics.Counter
+	resumes        *metrics.Counter
+	drainReaped    *metrics.Counter
+	drainPending   *metrics.Gauge
+	rebalanceMoved *metrics.Counter
+	e2eLatency     *metrics.Histogram
+	states         map[State]*metrics.Gauge
+
+	reg      *metrics.Registry
+	mu       sync.Mutex
+	nodeLoad []*metrics.Gauge
 }
 
 func newSchedMetrics(r *metrics.Registry, nodes int) *schedMetrics {
 	m := &schedMetrics{
-		queueDepth:    r.Gauge(MetricQueueDepth),
-		admitRejected: r.Counter(MetricAdmitRejected),
-		retries:       r.Counter(MetricRetries),
-		e2eLatency:    r.Histogram(MetricE2ELatencyUS, e2eLatencyBounds),
-		states:        map[State]*metrics.Gauge{},
+		queueDepth:     r.Gauge(MetricQueueDepth),
+		admitRejected:  r.Counter(MetricAdmitRejected),
+		retries:        r.Counter(MetricRetries),
+		suspends:       r.Counter(MetricSuspends),
+		resumes:        r.Counter(MetricResumes),
+		drainReaped:    r.Counter(MetricDrainReaped),
+		drainPending:   r.Gauge(MetricDrainPending),
+		rebalanceMoved: r.Counter(MetricRebalanceMoved),
+		e2eLatency:     r.Histogram(MetricE2ELatencyUS, e2eLatencyBounds),
+		states:         map[State]*metrics.Gauge{},
+		reg:            r,
 	}
 	for _, s := range States {
 		m.states[s] = r.Gauge(MetricJobState(s))
 	}
-	for i := 0; i < nodes; i++ {
-		m.nodeLoad = append(m.nodeLoad, r.Gauge(MetricNodeLoad(i)))
-	}
+	m.ensureNodes(nodes)
 	return m
+}
+
+// ensureNodes grows the load table to cover n nodes (never shrinks — a
+// drained node keeps its gauge, which simply stays at zero).
+func (m *schedMetrics) ensureNodes(n int) {
+	m.mu.Lock()
+	for i := len(m.nodeLoad); i < n; i++ {
+		m.nodeLoad = append(m.nodeLoad, m.reg.Gauge(MetricNodeLoad(i)))
+	}
+	m.mu.Unlock()
+}
+
+// addLoad moves node i's load gauge by d.
+func (m *schedMetrics) addLoad(i int, d int64) {
+	m.mu.Lock()
+	g := m.nodeLoad[i]
+	m.mu.Unlock()
+	g.Add(d)
+}
+
+// loads snapshots the per-node load gauges.
+func (m *schedMetrics) loads() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, len(m.nodeLoad))
+	for i, g := range m.nodeLoad {
+		out[i] = g.Value()
+	}
+	return out
 }
 
 // transition moves the state gauges: one job leaves from, one enters to.

@@ -259,3 +259,162 @@ func TestCrossProcessVarPersistence(t *testing.T) {
 		t.Fatalf("acknowledged variable did not survive kill -9: got %v (%T), want 42", v, v)
 	}
 }
+
+// migRelayState is the migration chaos probe: an agent that stays on
+// its current node for Hops paused steps, counting every step it
+// executes in Total (the count rides the checkpoint, so a replayed
+// step restores the pre-step count first), and deposits Total under
+// mig:res:<ID> on whatever node it finishes on. Exactly-once execution
+// therefore means: each ID's result exists on exactly one node and
+// equals Hops — a lost agent leaves a hole, a duplicated one deposits
+// twice or over-counts.
+type migRelayState struct {
+	ID    int
+	Hops  int
+	Total int
+	Pause time.Duration
+}
+
+func init() {
+	wire.RegisterState(&migRelayState{})
+	wire.Register("sched.testMigRelay", func(ctx *wire.Ctx) wire.Verdict {
+		st := ctx.State().(*migRelayState)
+		if st.Pause > 0 {
+			time.Sleep(st.Pause)
+		}
+		st.Total++
+		if st.Total >= st.Hops {
+			ctx.Set(fmt.Sprintf("mig:res:%d", st.ID), int64(st.Total))
+			return ctx.Done()
+		}
+		return ctx.HopTo(ctx.NodeID())
+	})
+}
+
+// crossProcessMigrationChaos runs one migration kill interleaving:
+// agents working on a source daemon are live-migrated to a destination
+// daemon, and mid-migration one side is SIGKILLed and respawned from
+// its state directory. Whichever side dies, the replay-ownership rule
+// must keep execution exactly-once: a migrated checkpoint is retired at
+// the source only after the destination's persist-then-ack, so a dead
+// destination means the source still owns the agent, and a dead source
+// means the pinned, persisted migration mark re-ships it on replay —
+// never both running it, never neither.
+func crossProcessMigrationChaos(t *testing.T, killDst bool) {
+	if testing.Short() {
+		t.Skip("cross-process chaos test")
+	}
+	const (
+		src    = 1
+		dst    = 2
+		agents = 4
+		hops   = 300
+		ns     = uint64(91)
+	)
+	procs := spawnTestCluster(t, 3)
+	rc, err := wire.DialCluster(procs[0].Addr, wire.RemoteOptions{Heartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	members := rc.Members()
+
+	for i := 0; i < agents; i++ {
+		st := &migRelayState{ID: i, Hops: hops, Pause: 2 * time.Millisecond}
+		if err := rc.InjectJob(src, ns, "sched.testMigRelay", st); err != nil {
+			t.Fatalf("inject %d: %v", i, err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // let the agents get airborne
+
+	moved, err := rc.MigrateAgents(src, dst, ns, 0)
+	if err != nil {
+		t.Fatalf("MigrateAgents: %v", err)
+	}
+	if moved < 1 {
+		t.Fatalf("migration marked %d agents, want >= 1", moved)
+	}
+
+	victim := dst
+	if killDst {
+		// Kill the destination before it can persist-then-ack the
+		// incoming checkpoints: the source must keep ownership and
+		// retry the ship into the respawned incarnation.
+		procs[dst].Kill9()
+	} else {
+		// Let checkpoints ship, then kill the source before the
+		// retirements settle: the respawned source must not replay an
+		// agent the destination already acknowledged.
+		victim = src
+		time.Sleep(50 * time.Millisecond)
+		procs[src].Kill9()
+	}
+	time.Sleep(200 * time.Millisecond)
+	respawned, err := procs[victim].Respawn(members)
+	if err != nil {
+		t.Fatalf("respawn daemon %d: %v", victim, err)
+	}
+	procs[victim] = respawned
+
+	// Quiescence: every agent ran to completion despite the kill. The
+	// client's cached control connections may point at the dead
+	// incarnation, so retry through transient errors.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if err = rc.WaitJob(ns, 5*time.Second); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never drained after kill -9 of daemon %d: %v", victim, err)
+		}
+	}
+
+	// Zero lost, zero duplicated: each agent's result on exactly one
+	// node, with exactly Hops steps executed.
+	for i := 0; i < agents; i++ {
+		foundOn, total := -1, int64(0)
+		for node := 0; node < 3; node++ {
+			var v any
+			getDeadline := time.Now().Add(10 * time.Second)
+			for {
+				if v, err = rc.GetVar(node, fmt.Sprintf("mig:res:%d", i)); err == nil {
+					break
+				}
+				if time.Now().After(getDeadline) {
+					t.Fatalf("GetVar(%d) never answered: %v", node, err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if v == nil {
+				continue
+			}
+			if foundOn >= 0 {
+				t.Errorf("agent %d deposited results on nodes %d and %d — executed twice", i, foundOn, node)
+			}
+			foundOn = node
+			total = v.(int64)
+		}
+		if foundOn < 0 {
+			t.Errorf("agent %d's result lost — deposited on no node", i)
+			continue
+		}
+		if total != hops {
+			t.Errorf("agent %d executed %d steps, want exactly %d", i, total, hops)
+		}
+	}
+	rc.ReleaseJob(ns)
+	t.Logf("migration chaos (killed %s): %d agents exactly-once across kill -9 of daemon %d",
+		map[bool]string{true: "destination", false: "source"}[killDst], agents, victim)
+}
+
+// TestCrossProcessMigrationKillSource: SIGKILL the migration source
+// after its checkpoints ship but before their retirements settle.
+func TestCrossProcessMigrationKillSource(t *testing.T) {
+	crossProcessMigrationChaos(t, false)
+}
+
+// TestCrossProcessMigrationKillDestination: SIGKILL the migration
+// destination before it can persist-then-ack the incoming checkpoints.
+func TestCrossProcessMigrationKillDestination(t *testing.T) {
+	crossProcessMigrationChaos(t, true)
+}

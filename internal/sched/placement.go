@@ -41,9 +41,10 @@ type LeastLoaded struct {
 // Place implements Placement.
 func (p *LeastLoaded) Place(n int) int {
 	best, bestLoad := 0, int64(1)<<62
-	for i := 0; i < n && i < len(p.met.nodeLoad); i++ {
-		if v := p.met.nodeLoad[i].Value(); v < bestLoad {
-			best, bestLoad = i, v
+	loads := p.met.loads()
+	for i := 0; i < n && i < len(loads); i++ {
+		if loads[i] < bestLoad {
+			best, bestLoad = i, loads[i]
 		}
 	}
 	return best
@@ -151,9 +152,11 @@ func (p *ConsistentHash) PlaceKey(key uint64, n int) int {
 	// being placed, so the cap is never zero and the walk always finds
 	// a PE with headroom.
 	var total int64
+	var loads []int64
 	if p.met != nil {
-		for i := 0; i < n && i < len(p.met.nodeLoad); i++ {
-			total += p.met.nodeLoad[i].Value()
+		loads = p.met.loads()
+		for i := 0; i < n && i < len(loads); i++ {
+			total += loads[i]
 		}
 	}
 	cap64 := int64(p.loadFactor() * float64(total+1) / float64(n))
@@ -171,8 +174,8 @@ func (p *ConsistentHash) PlaceKey(key uint64, n int) int {
 	for i := 0; i < len(ring) && distinct < n; i++ {
 		pt := ring[(idx+i)%len(ring)]
 		var load int64
-		if p.met != nil && pt.node < len(p.met.nodeLoad) {
-			load = p.met.nodeLoad[pt.node].Value()
+		if pt.node < len(loads) {
+			load = loads[pt.node]
 		}
 		if load < cap64 {
 			return pt.node

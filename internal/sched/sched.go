@@ -60,21 +60,61 @@ type Liveness interface {
 	Alive(node int) bool
 }
 
+// Migrator is the optional Backend extension for live agent migration:
+// up to count of node's resident agents (job-scoped when job is
+// nonzero) ship to dst as synthetic hops at their next dispatch
+// boundary. Both wire backends implement it; the rebalancer requires
+// it.
+type Migrator interface {
+	MigrateAgents(node, dst int, job uint64, count int) (int, error)
+}
+
+// Freezer is the optional Backend extension for checkpoint-to-disk
+// preemption: a frozen namespace's agents park at their next dispatch
+// boundary, and the backend's WaitJob fails fast with the job-frozen
+// sentinel instead of timing out. Suspend/Resume require it.
+type Freezer interface {
+	FreezeJob(job uint64) error
+	ThawJob(job uint64) error
+}
+
+// Elastic is the optional Backend extension for cluster membership
+// changes: LiveNodes is the placeable set (drained members excluded),
+// and DrainNode evacuates a member's agents and counter history into
+// the survivors. The scheduler's DrainNode and the autoscaler require
+// it.
+type Elastic interface {
+	LiveNodes() []int
+	DrainNode(node int, timeout time.Duration) error
+}
+
+// Grower is the optional Backend extension for adopting members that
+// joined after the backend dialed in (wire.RemoteCluster.Refresh).
+type Grower interface {
+	Refresh() error
+}
+
 // State is a job's position in the lifecycle
 //
 //	queued → placed → running → done | failed | evicted
+//	                     ↓  ↑
+//	                  suspended
 //
 // with two shortcuts: an admission reject never becomes a job at all,
-// and a cancel or deadline hit while still queued evicts directly.
+// and a cancel or deadline hit while still queued evicts directly. A
+// running job on a Freezer backend can be suspended — its agents
+// checkpoint and park, the worker is released — and later resumed back
+// through the queue.
 type State int
 
 const (
-	StateQueued  State = iota // admitted, waiting for a worker
-	StatePlaced               // claimed by a worker, base PE chosen
-	StateRunning              // an attempt is executing
-	StateDone                 // finished; result awaiting retrieval
-	StateFailed               // retry budget exhausted
-	StateEvicted              // cancelled, or deadline exceeded
+	StateQueued    State = iota // admitted, waiting for a worker
+	StatePlaced                 // claimed by a worker, base PE chosen
+	StateRunning                // an attempt is executing
+	StateSuspended              // preempted; agents frozen on the cluster
+	StateDone                   // finished; result awaiting retrieval
+	StateFailed                 // retry budget exhausted
+	StateEvicted                // cancelled, or deadline exceeded
 )
 
 // String returns the state's wire name (used in the HTTP API and in
@@ -87,6 +127,8 @@ func (s State) String() string {
 		return "placed"
 	case StateRunning:
 		return "running"
+	case StateSuspended:
+		return "suspended"
 	case StateDone:
 		return "done"
 	case StateFailed:
@@ -103,7 +145,7 @@ func (s State) Terminal() bool {
 }
 
 // States lists every lifecycle state, in order.
-var States = []State{StateQueued, StatePlaced, StateRunning, StateDone, StateFailed, StateEvicted}
+var States = []State{StateQueued, StatePlaced, StateRunning, StateSuspended, StateDone, StateFailed, StateEvicted}
 
 // Priority orders jobs in the admission queue. Higher runs first; equal
 // priorities run in submission order.
@@ -155,4 +197,8 @@ var (
 	ErrNotDone        = errors.New("sched: job not finished")
 	ErrResultConsumed = errors.New("sched: result already retrieved")
 	ErrNoResult       = errors.New("sched: job produced no result")
+	// ErrNotSuspendable: Suspend needs a running job and a Freezer
+	// backend; ErrNotSuspended: Resume needs a suspended job.
+	ErrNotSuspendable = errors.New("sched: job not running or backend cannot freeze")
+	ErrNotSuspended   = errors.New("sched: job not suspended")
 )

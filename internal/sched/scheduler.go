@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 // Config configures a Scheduler.
@@ -36,6 +38,18 @@ type Config struct {
 	// DrainTimeout bounds how long cleanup waits for a cancelled
 	// attempt's agents to drain from the cluster (default 10s).
 	DrainTimeout time.Duration
+	// ReapInterval is the background reaper's cadence: namespaces whose
+	// post-attempt drain hit DrainTimeout are retried at this interval
+	// until they drain and release (default 1s). Before the reaper, a
+	// timed-out drain leaked its namespace forever.
+	ReapInterval time.Duration
+	// RebalanceInterval, when positive, runs Rebalance on a timer
+	// (requires a Migrator backend; ignored otherwise).
+	RebalanceInterval time.Duration
+	// RebalanceThreshold is the load spread (hottest live node minus
+	// coldest, in anchored jobs) the rebalancer tolerates before moving
+	// agents (default 2).
+	RebalanceThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +78,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = time.Second
+	}
+	if c.RebalanceThreshold <= 0 {
+		c.RebalanceThreshold = 2
+	}
 	return c
 }
 
@@ -82,7 +102,8 @@ type job struct {
 	result    any
 	consumed  bool
 	cancelled bool
-	curNS     uint64        // live wire namespace of the running attempt
+	curNS     uint64        // live wire namespace of the running (or suspended) attempt
+	resumeNS  uint64        // frozen namespace a resumed job should continue in
 	done      chan struct{} // closed at the terminal transition
 }
 
@@ -99,8 +120,10 @@ type Scheduler struct {
 	queue   jobQueue
 	jobs    map[uint64]*job
 	retired []uint64 // terminal job ids, oldest first (retention ring)
+	reaps   []uint64 // namespaces whose drain timed out, pending re-reap
 	nextID  uint64
 	closed  bool
+	stop    chan struct{} // closes on Close; halts reaper and rebalancer
 	wg      sync.WaitGroup
 }
 
@@ -116,6 +139,7 @@ func New(cfg Config) (*Scheduler, error) {
 		met:   newSchedMetrics(cfg.Metrics, nodes),
 		nodes: nodes,
 		jobs:  map[uint64]*job{},
+		stop:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if ll, ok := cfg.Placement.(*LeastLoaded); ok && ll.met == nil {
@@ -127,6 +151,14 @@ func New(cfg Config) (*Scheduler, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.Cluster != nil {
+		s.wg.Add(1)
+		go s.reaper()
+	}
+	if _, ok := cfg.Cluster.(Migrator); ok && cfg.RebalanceInterval > 0 {
+		s.wg.Add(1)
+		go s.rebalancer()
 	}
 	return s, nil
 }
@@ -255,14 +287,31 @@ func (s *Scheduler) Cancel(id uint64) error {
 	}
 	j.cancelled = true
 	ns := j.curNS
-	if j.state == StateQueued {
+	orphaned := false
+	switch j.state {
+	case StateQueued:
 		// Still in the heap; finish now, the popping worker skips
-		// terminal jobs.
+		// terminal jobs. A resumed job carries a frozen namespace that
+		// no worker will claim once the record is terminal.
+		if j.resumeNS != 0 {
+			ns, orphaned = j.resumeNS, true
+			j.resumeNS = 0
+		}
 		s.finishLocked(j, StateEvicted, "cancelled while queued")
+	case StateSuspended:
+		// No worker owns a suspended job; evict it here and hand its
+		// frozen namespace to the reaper (the cancel below thaws it, so
+		// its agents retire at their next dispatch).
+		j.curNS = 0
+		orphaned = true
+		s.finishLocked(j, StateEvicted, "cancelled while suspended")
 	}
 	s.mu.Unlock()
 	if ns != 0 && s.cfg.Cluster != nil {
 		s.cfg.Cluster.CancelJob(ns)
+		if orphaned {
+			s.enqueueReap(ns)
+		}
 	}
 	return nil
 }
@@ -282,8 +331,8 @@ func (s *Scheduler) Done(id uint64) (<-chan struct{}, error) {
 // Metrics returns the scheduler's registry.
 func (s *Scheduler) Metrics() *metrics.Registry { return s.cfg.Metrics }
 
-// Close stops admission, evicts everything still queued, and waits for
-// running jobs to reach a terminal state. Idempotent.
+// Close stops admission, evicts everything still queued or suspended,
+// and waits for running jobs to reach a terminal state. Idempotent.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -301,9 +350,27 @@ func (s *Scheduler) Close() {
 			s.finishLocked(j, StateEvicted, "scheduler closed")
 		}
 	}
+	// Suspended jobs have no worker to observe the shutdown; evict them
+	// and cancel their frozen namespaces so the agents retire.
+	var orphans []uint64
+	for _, j := range s.jobs {
+		if j.state == StateSuspended {
+			if j.curNS != 0 {
+				orphans = append(orphans, j.curNS)
+				j.curNS = 0
+			}
+			s.finishLocked(j, StateEvicted, "scheduler closed")
+		}
+	}
 	s.met.queueDepth.Set(0)
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.cfg.Cluster != nil {
+		for _, ns := range orphans {
+			s.cfg.Cluster.CancelJob(ns)
+		}
+	}
+	close(s.stop)
 	s.wg.Wait()
 }
 
@@ -345,13 +412,18 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			continue
 		}
-		j.base = s.place(j)
+		// A resumed job keeps its base PE: its frozen agents and node
+		// variables live in the old attempt's placement, so moving the
+		// base would orphan the data the resumed attempt collects.
+		if j.resumeNS == 0 || j.base < 0 {
+			j.base = s.place(j)
+		}
 		s.met.transition(StateQueued, StatePlaced)
 		j.state = StatePlaced
 		s.mu.Unlock()
-		s.met.nodeLoad[j.base].Add(1)
+		s.met.addLoad(j.base, 1)
 		s.run(j)
-		s.met.nodeLoad[j.base].Add(-1)
+		s.met.addLoad(j.base, -1)
 	}
 }
 
@@ -390,65 +462,119 @@ func namespace(id uint64, attempt int) uint64 {
 	return id<<8 | uint64(attempt+1)
 }
 
-// run executes a claimed job's attempt loop to a terminal state.
+// run executes a claimed job's attempt loop to a terminal state (or to
+// suspension, which releases the worker with the job parked on the
+// cluster).
 func (s *Scheduler) run(j *job) {
 	s.mu.Lock()
 	s.met.transition(StatePlaced, StateRunning)
 	j.state = StateRunning
+	resumeNS := j.resumeNS
+	j.resumeNS = 0
 	s.mu.Unlock()
+
 	var lastErr error
-	for attempt := 0; attempt <= j.spec.Retries; attempt++ {
-		s.mu.Lock()
-		if j.cancelled {
-			s.finishLocked(j, StateEvicted, "cancelled")
-			s.mu.Unlock()
-			return
-		}
-		budget := s.cfg.AttemptTimeout
-		if !j.deadline.IsZero() {
-			budget = time.Until(j.deadline)
-			if budget <= 0 {
-				s.finishLocked(j, StateEvicted, "deadline exceeded")
-				s.mu.Unlock()
+	if resumeNS != 0 {
+		// The job was suspended mid-attempt and its namespace thawed at
+		// Resume. A Resumer work continues the frozen attempt in place —
+		// re-injecting would duplicate its agents, so the resume path only
+		// awaits and collects. Other works fall back to cancelling the
+		// thawed attempt and retrying fresh below.
+		if r, ok := j.spec.Work.(Resumer); ok {
+			stop, err := s.attempt(j, resumeNS, r.Resume)
+			if stop {
 				return
 			}
+			lastErr = err
+		} else {
+			s.cleanup(resumeNS, true)
 		}
-		ns := namespace(j.id, attempt)
-		j.curNS = ns
-		j.attempts++
-		if attempt > 0 {
-			s.met.retries.Inc()
-		}
-		s.mu.Unlock()
-
-		rt := &Runtime{Cluster: s.cfg.Cluster, Job: ns, Base: j.base, Timeout: budget}
-		res, err := j.spec.Work.Run(rt)
-		s.cleanup(ns, err != nil)
-
+	}
+	for try := 0; try <= j.spec.Retries; try++ {
 		s.mu.Lock()
-		j.curNS = 0
-		if j.cancelled {
-			s.finishLocked(j, StateEvicted, "cancelled")
-			s.mu.Unlock()
-			return
-		}
-		if err == nil {
-			j.result = res
-			s.finishLocked(j, StateDone, "")
-			s.mu.Unlock()
+		// Mint from the lifetime attempt count, not the loop index: a
+		// resumed or re-resumed job has spent attempts this loop never
+		// saw, and a namespace collision would let a stale agent complete
+		// the wrong attempt.
+		ns := namespace(j.id, j.attempts)
+		s.mu.Unlock()
+		stop, err := s.attempt(j, ns, j.spec.Work.Run)
+		if stop {
 			return
 		}
 		lastErr = err
-		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
-			s.finishLocked(j, StateEvicted, fmt.Sprintf("deadline exceeded (last attempt: %v)", err))
-			s.mu.Unlock()
-			return
-		}
-		s.mu.Unlock()
 	}
 	s.mu.Lock()
 	s.finishLocked(j, StateFailed, fmt.Sprintf("retry budget exhausted: %v", lastErr))
 	s.mu.Unlock()
+}
+
+// attempt runs one execution of a job under namespace ns. It returns
+// stop=true when the job reached a terminal state or suspended (the
+// worker is done with it either way); otherwise the attempt failed and
+// the caller may retry.
+func (s *Scheduler) attempt(j *job, ns uint64, exec func(*Runtime) (any, error)) (stop bool, _ error) {
+	s.mu.Lock()
+	if j.cancelled {
+		s.finishLocked(j, StateEvicted, "cancelled")
+		s.mu.Unlock()
+		return true, nil
+	}
+	budget := s.cfg.AttemptTimeout
+	if !j.deadline.IsZero() {
+		budget = time.Until(j.deadline)
+		if budget <= 0 {
+			s.finishLocked(j, StateEvicted, "deadline exceeded")
+			s.mu.Unlock()
+			return true, nil
+		}
+	}
+	j.curNS = ns
+	j.attempts++
+	if j.attempts > 1 {
+		s.met.retries.Inc()
+	}
+	s.mu.Unlock()
+
+	rt := &Runtime{Cluster: s.cfg.Cluster, Job: ns, Base: j.base, Timeout: budget}
+	res, err := exec(rt)
+
+	if err != nil && errors.Is(err, wire.ErrJobFrozen) {
+		s.mu.Lock()
+		if !j.cancelled {
+			// Suspend caught the attempt: the namespace's agents are
+			// checkpointed and parked, so the worker walks away WITHOUT
+			// cleanup — releasing counters or variables under a frozen
+			// attempt would destroy the state Resume continues from.
+			// curNS stays set; Cancel and Resume both know to find it.
+			s.met.transition(StateRunning, StateSuspended)
+			j.state = StateSuspended
+			s.met.suspends.Inc()
+			s.mu.Unlock()
+			return true, nil
+		}
+		s.mu.Unlock()
+	}
+
+	s.cleanup(ns, err != nil)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.curNS = 0
+	if j.cancelled {
+		s.finishLocked(j, StateEvicted, "cancelled")
+		return true, nil
+	}
+	if err == nil {
+		j.result = res
+		s.finishLocked(j, StateDone, "")
+		return true, nil
+	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		s.finishLocked(j, StateEvicted, fmt.Sprintf("deadline exceeded (last attempt: %v)", err))
+		return true, nil
+	}
+	return false, err
 }
 
 // cleanup reclaims one attempt's cluster footprint. A failed (or timed
@@ -457,9 +583,10 @@ func (s *Scheduler) run(j *job) {
 // release the counter slices and the node variables written under the
 // attempt's prefix — reclaiming either under live agents would let a
 // straggler resurrect partial counter state or panic on a vanished
-// variable. An undrained namespace stays tracked (and its cancellation
-// mark stays set, so stragglers keep retiring); the leak is bounded by
-// the number of drains that ever time out.
+// variable. An undrained namespace is handed to the background reaper,
+// which keeps retrying the drain until it succeeds — before the reaper
+// existed, a timed-out drain leaked its namespace (counter slices,
+// cancellation mark, node variables) forever.
 func (s *Scheduler) cleanup(ns uint64, failed bool) {
 	cl := s.cfg.Cluster
 	if cl == nil {
@@ -468,9 +595,259 @@ func (s *Scheduler) cleanup(ns uint64, failed bool) {
 	if failed {
 		cl.CancelJob(ns)
 		if cl.WaitJob(ns, s.cfg.DrainTimeout) != nil {
+			s.enqueueReap(ns)
 			return
 		}
 	}
 	cl.ReleaseJob(ns)
 	cl.ClearVarsPrefix(jobPrefix(ns))
+}
+
+// enqueueReap hands an undrained namespace to the background reaper:
+// the mint-to-release obligation transfers with it — the reaper's
+// pass, not the enqueuing path, performs the eventual ReleaseJob.
+//
+//navplint:fact handoff
+func (s *Scheduler) enqueueReap(ns uint64) {
+	s.mu.Lock()
+	s.reaps = append(s.reaps, ns)
+	s.met.drainPending.Set(int64(len(s.reaps)))
+	s.mu.Unlock()
+}
+
+// reaper retries the drain of namespaces cleanup gave up on. Each tick
+// it re-cancels (idempotent; keeps stragglers retiring even if the mark
+// was somehow lost), waits one interval for quiescence, and on success
+// releases the namespace's counters and variables — the reclamation the
+// timed-out cleanup never got to.
+func (s *Scheduler) reaper() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		pending := append([]uint64(nil), s.reaps...)
+		s.mu.Unlock()
+		if len(pending) == 0 {
+			continue
+		}
+		cl := s.cfg.Cluster
+		reaped := map[uint64]bool{}
+		for _, ns := range pending {
+			cl.CancelJob(ns)
+			if cl.WaitJob(ns, s.cfg.ReapInterval) != nil {
+				continue
+			}
+			cl.ReleaseJob(ns)
+			cl.ClearVarsPrefix(jobPrefix(ns))
+			s.met.drainReaped.Inc()
+			reaped[ns] = true
+		}
+		if len(reaped) == 0 {
+			continue
+		}
+		// Filter rather than overwrite: enqueueReap may have appended
+		// namespaces this pass never saw.
+		s.mu.Lock()
+		kept := s.reaps[:0]
+		for _, ns := range s.reaps {
+			if !reaped[ns] {
+				kept = append(kept, ns)
+			}
+		}
+		s.reaps = kept
+		s.met.drainPending.Set(int64(len(s.reaps)))
+		s.mu.Unlock()
+	}
+}
+
+// Suspend preempts a running job: its wire namespace freezes, so every
+// agent checkpoints and parks at its next hop boundary, the attempt's
+// WaitJob fails fast with the frozen sentinel, and the worker releases
+// the job in StateSuspended with the namespace intact on the cluster.
+// Requires a Freezer backend.
+func (s *Scheduler) Suspend(id uint64) error {
+	fz, ok := s.cfg.Cluster.(Freezer)
+	if !ok {
+		return ErrNotSuspendable
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if j.state != StateRunning || j.curNS == 0 {
+		s.mu.Unlock()
+		return ErrNotSuspendable
+	}
+	ns := j.curNS
+	s.mu.Unlock()
+	return fz.FreezeJob(ns)
+}
+
+// Resume requeues a suspended job: the frozen namespace thaws (parked
+// agents re-dispatch from their checkpoints) and the job goes back
+// through the queue to a worker, which continues the thawed attempt via
+// the work's Resumer extension when it has one.
+func (s *Scheduler) Resume(id uint64) error {
+	fz, ok := s.cfg.Cluster.(Freezer)
+	if !ok {
+		return ErrNotSuspended
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if j.state != StateSuspended || j.curNS == 0 {
+		s.mu.Unlock()
+		return ErrNotSuspended
+	}
+	ns := j.curNS
+	s.mu.Unlock()
+	if err := fz.ThawJob(ns); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateSuspended { // raced with Cancel or Close
+		return ErrNotSuspended
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	j.resumeNS = ns
+	j.curNS = 0
+	s.met.transition(StateSuspended, StateQueued)
+	j.state = StateQueued
+	s.queue.push(j)
+	s.met.queueDepth.Set(int64(s.queue.Len()))
+	s.met.resumes.Inc()
+	s.cond.Signal()
+	return nil
+}
+
+// Rebalance moves agents from the hottest live node to the coldest when
+// the load spread exceeds Config.RebalanceThreshold, and reports how
+// many migrated. Load is the sched.node.load gauge (jobs anchored per
+// node); the move is live migration of half the spread, so repeated
+// calls converge without thrashing. Requires a Migrator backend.
+func (s *Scheduler) Rebalance() (int, error) {
+	mig, ok := s.cfg.Cluster.(Migrator)
+	if !ok {
+		return 0, fmt.Errorf("sched: backend cannot migrate agents")
+	}
+	live := s.liveNodes()
+	if len(live) < 2 {
+		return 0, nil
+	}
+	loads := s.met.loads()
+	load := func(n int) int64 {
+		if n < len(loads) {
+			return loads[n]
+		}
+		return 0
+	}
+	hot, cold := live[0], live[0]
+	for _, n := range live[1:] {
+		if load(n) > load(hot) {
+			hot = n
+		}
+		if load(n) < load(cold) {
+			cold = n
+		}
+	}
+	spread := load(hot) - load(cold)
+	if spread <= int64(s.cfg.RebalanceThreshold) {
+		return 0, nil
+	}
+	want := int(spread / 2)
+	if want < 1 {
+		want = 1
+	}
+	moved, err := mig.MigrateAgents(hot, cold, 0, want)
+	if moved > 0 {
+		s.met.rebalanceMoved.Add(int64(moved))
+	}
+	return moved, err
+}
+
+// rebalancer runs Rebalance on the configured timer.
+func (s *Scheduler) rebalancer() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RebalanceInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Rebalance() //nolint:errcheck // periodic best-effort pass
+		}
+	}
+}
+
+// liveNodes is the placeable node set: the Elastic backend's verdict
+// when it has one, every node otherwise (filtered through Liveness).
+func (s *Scheduler) liveNodes() []int {
+	if el, ok := s.cfg.Cluster.(Elastic); ok {
+		return el.LiveNodes()
+	}
+	s.mu.Lock()
+	n := s.nodes
+	s.mu.Unlock()
+	live := make([]int, 0, n)
+	lv, hasLv := s.cfg.Cluster.(Liveness)
+	for i := 0; i < n; i++ {
+		if hasLv && !lv.Alive(i) {
+			continue
+		}
+		live = append(live, i)
+	}
+	return live
+}
+
+// DrainNode evacuates a cluster member through the backend: its resident
+// agents migrate to survivors, its counter history is absorbed, and the
+// node leaves the membership — future placements steer around it.
+// Requires an Elastic backend.
+func (s *Scheduler) DrainNode(node int, timeout time.Duration) error {
+	el, ok := s.cfg.Cluster.(Elastic)
+	if !ok {
+		return fmt.Errorf("sched: backend cannot drain nodes")
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DrainTimeout
+	}
+	return el.DrainNode(node, timeout)
+}
+
+// Refresh adopts cluster growth: the backend re-reads its membership
+// (wire.RemoteCluster.Refresh discovers daemons that joined mid-run),
+// and the scheduler widens its placement range and load gauges to match.
+// Shrink is handled by drain, not here — gauges never contract.
+func (s *Scheduler) Refresh() error {
+	if s.cfg.Cluster == nil {
+		return nil
+	}
+	if g, ok := s.cfg.Cluster.(Grower); ok {
+		if err := g.Refresh(); err != nil {
+			return err
+		}
+	}
+	n := s.cfg.Cluster.Size()
+	s.met.ensureNodes(n)
+	s.mu.Lock()
+	if n > s.nodes {
+		s.nodes = n
+	}
+	s.mu.Unlock()
+	return nil
 }

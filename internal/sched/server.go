@@ -130,6 +130,11 @@ func (sv *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /jobs/{id}", sv.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", sv.handleResult)
 	mux.HandleFunc("POST /jobs/{id}/cancel", sv.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/suspend", sv.handleSuspend)
+	mux.HandleFunc("POST /jobs/{id}/resume", sv.handleResume)
+	mux.HandleFunc("GET /cluster/nodes", sv.handleNodes)
+	mux.HandleFunc("POST /cluster/drain", sv.handleDrain)
+	mux.HandleFunc("POST /cluster/refresh", sv.handleRefresh)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -233,4 +238,80 @@ func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}
+
+func (sv *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	switch err := sv.sched.Suspend(id); {
+	case errors.Is(err, ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotSuspendable):
+		writeErr(w, http.StatusConflict, err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "suspended": true})
+	}
+}
+
+func (sv *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	switch err := sv.sched.Resume(id); {
+	case errors.Is(err, ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotSuspended):
+		writeErr(w, http.StatusConflict, err)
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "resumed": true})
+	}
+}
+
+func (sv *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	live := sv.sched.liveNodes()
+	if live == nil {
+		live = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"live": live})
+}
+
+func (sv *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node %q", r.URL.Query().Get("node")))
+		return
+	}
+	var timeout time.Duration
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", ms))
+			return
+		}
+		timeout = time.Duration(v) * time.Millisecond
+	}
+	if err := sv.sched.DrainNode(node, timeout); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "drained": true})
+}
+
+func (sv *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if err := sv.sched.Refresh(); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": sv.sched.liveNodes()})
 }

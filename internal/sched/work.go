@@ -49,6 +49,19 @@ type Work interface {
 	Run(rt *Runtime) (any, error)
 }
 
+// Resumer is the optional Work extension for jobs that survive
+// suspension: Resume continues a thawed attempt whose agents already
+// exist on the cluster — it must only await quiescence and collect,
+// never re-inject (a second injection would duplicate the attempt's
+// agents and corrupt its counters). Works without Resume are restarted
+// from scratch in a fresh namespace after a suspend/resume cycle.
+type Resumer interface {
+	Work
+	// Resume finishes the attempt in rt.Job, which was frozen mid-run
+	// and has just been thawed.
+	Resume(rt *Runtime) (any, error)
+}
+
 // WorkFunc adapts a function to Work (tests, custom jobs).
 type WorkFunc struct {
 	Name string
@@ -69,11 +82,15 @@ func (w WorkFunc) Run(rt *Runtime) (any, error) { return w.Fn(rt) }
 // rowCarrierState is the agent state: one row of A riding the cycle.
 // Every value it writes is a pure function of the carried row and the
 // visited node's B columns, written idempotently, so replays after a
-// daemon kill recompute byte-identical results.
+// daemon kill recompute byte-identical results. Ring, when set, is the
+// explicit visit order (the live node set at injection, rotated to
+// start at the injection node) — on an elastic cluster the agent must
+// not ride 0..Nodes()-1, which would route it into drained members.
 type rowCarrierState struct {
 	Row     int
 	Vals    []int64
 	Visited int
+	Ring    []int
 }
 
 // bPart is a node's slice of B for one job: Cols[j] is column Off+j.
@@ -99,6 +116,12 @@ func init() {
 		}
 		ctx.Set(fmt.Sprintf("%sC:%d", pre, st.Row), c)
 		st.Visited++
+		if len(st.Ring) > 0 {
+			if st.Visited >= len(st.Ring) {
+				return ctx.Done()
+			}
+			return ctx.HopTo(st.Ring[st.Visited])
+		}
 		if st.Visited >= ctx.Nodes() {
 			return ctx.Done()
 		}
@@ -125,7 +148,27 @@ func (w WireMatmul) Kind() string { return "wirematmul" }
 // colRange returns the half-open column range owned by pe.
 func colRange(n, pes, pe int) (lo, hi int) { return pe * n / pes, (pe + 1) * n / pes }
 
-// Run implements Work.
+// liveRing returns the backend's placeable node list: its Elastic view
+// when it has one (drained members excluded), every node otherwise.
+func liveRing(cl Backend) []int {
+	if el, ok := cl.(Elastic); ok {
+		if live := el.LiveNodes(); len(live) > 0 {
+			return live
+		}
+	}
+	ring := make([]int, cl.Size())
+	for i := range ring {
+		ring[i] = i
+	}
+	return ring
+}
+
+// Run implements Work: distribute B over the live nodes, inject the
+// row carriers with an explicit visit ring, then await and collect. On
+// an elastic cluster the live set is captured once here: a drain that
+// lands mid-attempt can fail this attempt (a missing strip is an
+// error, never a wrong answer), and the retry re-plans on the shrunk
+// cluster.
 func (w WireMatmul) Run(rt *Runtime) (any, error) {
 	if rt.Cluster == nil {
 		return nil, fmt.Errorf("sched: wirematmul needs a cluster")
@@ -134,7 +177,8 @@ func (w WireMatmul) Run(rt *Runtime) (any, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sched: wirematmul order %d must be positive", n)
 	}
-	pes := rt.Cluster.Size()
+	live := liveRing(rt.Cluster)
+	pes := len(live)
 	a, b := intMatrices(n, w.Seed)
 	pre := rt.Prefix()
 	for pe := 0; pe < pes; pe++ {
@@ -147,16 +191,57 @@ func (w WireMatmul) Run(rt *Runtime) (any, error) {
 			}
 			cols[j-lo] = col
 		}
-		if err := rt.Cluster.SetVar(pe, pre+"B", &bPart{Off: lo, Cols: cols}); err != nil {
+		if err := rt.Cluster.SetVar(live[pe], pre+"B", &bPart{Off: lo, Cols: cols}); err != nil {
 			return nil, err
+		}
+	}
+	// The base PE anchors the rotation; a base that has since been
+	// drained degrades to a deterministic index, not an error.
+	b0 := rt.Base % pes
+	for i, nd := range live {
+		if nd == rt.Base {
+			b0 = i
+			break
 		}
 	}
 	for i := 0; i < n; i++ {
-		node := (rt.Base + i) % pes
-		if err := rt.Cluster.InjectJob(node, rt.Job, "sched.rowCarrier", &rowCarrierState{Row: i, Vals: a[i]}); err != nil {
+		start := (b0 + i) % pes
+		ring := make([]int, pes)
+		for k := range ring {
+			ring[k] = live[(start+k)%pes]
+		}
+		st := &rowCarrierState{Row: i, Vals: a[i], Ring: ring}
+		if err := rt.Cluster.InjectJob(ring[0], rt.Job, "sched.rowCarrier", st); err != nil {
 			return nil, err
 		}
 	}
+	return w.await(rt, a, b, live)
+}
+
+// Resume implements Resumer: the carriers and B strips already live on
+// the cluster from the frozen attempt (the inputs are a pure function
+// of N and Seed, so the reference is recomputed locally), so resuming
+// is awaiting quiescence and collecting — injection is skipped
+// entirely. If the live set changed while the job was suspended, the
+// collection fails and the scheduler falls back to a fresh attempt.
+func (w WireMatmul) Resume(rt *Runtime) (any, error) {
+	if rt.Cluster == nil {
+		return nil, fmt.Errorf("sched: wirematmul needs a cluster")
+	}
+	if w.N <= 0 {
+		return nil, fmt.Errorf("sched: wirematmul order %d must be positive", w.N)
+	}
+	a, b := intMatrices(w.N, w.Seed)
+	return w.await(rt, a, b, liveRing(rt.Cluster))
+}
+
+// await waits for the attempt's agents to drain, collects the product
+// from the column strips on the given nodes, and self-checks it
+// against a local reference.
+func (w WireMatmul) await(rt *Runtime, a, b [][]int64, live []int) (any, error) {
+	n := w.N
+	pes := len(live)
+	pre := rt.Prefix()
 	if err := rt.Cluster.WaitJob(rt.Job, rt.Timeout); err != nil {
 		return nil, err
 	}
@@ -170,13 +255,13 @@ func (w WireMatmul) Run(rt *Runtime) (any, error) {
 			continue
 		}
 		for i := 0; i < n; i++ {
-			v, err := rt.Cluster.GetVar(pe, fmt.Sprintf("%sC:%d", pre, i))
+			v, err := rt.Cluster.GetVar(live[pe], fmt.Sprintf("%sC:%d", pre, i))
 			if err != nil {
 				return nil, err
 			}
 			crow, ok := v.([]int64)
 			if !ok {
-				return nil, fmt.Errorf("sched: wirematmul row %d missing on PE %d after quiescence", i, pe)
+				return nil, fmt.Errorf("sched: wirematmul row %d missing on PE %d after quiescence", i, live[pe])
 			}
 			copy(got[i][lo:hi], crow)
 		}

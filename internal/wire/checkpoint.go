@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -41,6 +42,23 @@ type nodeState struct {
 	// retiredHead indexes its oldest live element. See retireDedup.
 	retired     []dedupRetired
 	retiredHead int
+
+	// Migration and elasticity state (DESIGN.md §16). migrations and
+	// reroutes pin a destination choice *before* the frame is shipped, so
+	// a crashed-and-replayed sender re-sends to the same node — the
+	// invariant that keeps hop (id, h+1) from being accepted fresh at two
+	// different nodes. frozen/draining/evacuated/drained/absorbed are the
+	// preemption and drain state machines; parked is rebuilt by replay
+	// and not persisted itself.
+	migrations   map[uint64]int          // agent ID → pinned migration destination
+	reroutes     map[uint64]int          // agent ID → pinned stand-in for a departed destination
+	frozen       map[uint64]struct{}     // job namespaces parked at dispatch
+	parked       map[uint64]*parkedAgent // frozen agents awaiting thaw
+	draining     bool                    // evacuation in progress: residents re-migrate at dispatch
+	evacuated    bool                    // checkpoint store emptied; inbound agents refused
+	drained      bool                    // counters absorbed by a survivor; report zeros
+	absorbed     map[int]bool            // node IDs whose drain handed us their counters
+	absorbTarget int                     // pinned absorb destination; -1 until the drain picks one
 
 	// Mattern's four counters. Sent counts only acknowledged, accepted
 	// migrations; Received only deduplicated accepts — so duplicated and
@@ -108,7 +126,10 @@ func newNodeState(id int, met *wireMetrics, retain int, cancels *cancelSet) *nod
 		id: id, vars: newStore(), events: newEvents(), met: met, retain: retain,
 		cancels: cancels,
 		ckpt:    map[uint64]*checkpoint{}, lastHop: map[uint64]uint64{},
-		perJob: map[uint64]*counters{},
+		perJob:     map[uint64]*counters{},
+		migrations: map[uint64]int{}, reroutes: map[uint64]int{},
+		frozen: map[uint64]struct{}{}, parked: map[uint64]*parkedAgent{},
+		absorbed: map[int]bool{}, absorbTarget: -1,
 	}
 }
 
@@ -262,6 +283,12 @@ func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
 	}
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	if ns.evacuated {
+		// An evacuated shell's checkpoint store must stay empty and its
+		// counter history is (or is about to be) absorbed elsewhere; the
+		// coordinator re-places the injection on a live member.
+		return 0, errEvacuated
+	}
 	ns.created++
 	ns.jobCounters(msg.Job).Created++
 	ns.arrivals++
@@ -271,10 +298,19 @@ func (ns *nodeState) inject(msg *agentMsg) (arrivals int64, err error) {
 	return ns.arrivals, nil
 }
 
+// errEvacuated reports a fresh hop frame arriving at an evacuated
+// tombstone shell; the daemon answers with a Refused ack instead of
+// accepting (DESIGN.md §16).
+var errEvacuated = errors.New("wire: node evacuated; fresh frames refused")
+
 // accept processes an arriving hop frame: duplicates (a hop number at or
 // below the highest already accepted for the agent) are reported without
 // side effects; fresh frames are counted, recorded in the dedup table,
-// and checkpointed before the caller dispatches the step.
+// and checkpointed before the caller dispatches the step. On an
+// evacuated node fresh frames fail with errEvacuated — the check lives
+// under ns.mu with the dup guard, so a racing drain either sees this
+// acceptance in its pendingCheckpoints re-check or this accept sees the
+// evacuated flag; there is no in-between.
 //
 //navplint:fact durable
 func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error) {
@@ -286,6 +322,9 @@ func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error)
 	defer ns.mu.Unlock()
 	if last, seen := ns.lastHop[msg.ID]; seen && msg.Hop <= last {
 		return true, ns.arrivals, nil
+	}
+	if ns.evacuated {
+		return false, ns.arrivals, errEvacuated
 	}
 	if cur := ns.ckpt[msg.ID]; cur != nil && cur.hop < msg.Hop {
 		// The agent left this node and is now returning at a higher hop
@@ -302,6 +341,17 @@ func (ns *nodeState) accept(msg *agentMsg) (dup bool, arrivals int64, err error)
 	ns.setLastHop(msg.ID, msg.Hop)
 	ns.putCkpt(msg.ID, &checkpoint{behavior: msg.Behavior, hop: msg.Hop, job: msg.Job, state: snap})
 	return false, ns.arrivals, nil
+}
+
+// isDupHop reports whether hop frame (id, hop) is a known duplicate —
+// at or below the highest hop this node has accepted for the agent. An
+// evacuated tombstone shell uses it to settle acks for frames it
+// accepted before draining while refusing anything fresh.
+func (ns *nodeState) isDupHop(id, hop uint64) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	last, seen := ns.lastHop[id]
+	return seen && hop <= last
 }
 
 // rehop advances an agent's checkpoint across a free local hop (dst ==
@@ -341,8 +391,11 @@ func (ns *nodeState) ackDelivered(id, prevHop uint64) bool {
 	ns.delCkpt(id)
 	ns.sent++
 	ns.jobCounters(cur.job).Sent++
-	// The agent is now owned downstream; its dedup entry here starts
-	// its high-water retirement countdown.
+	// The agent is now owned downstream: its pinned migration and
+	// reroute choices are spent, and its dedup entry here starts its
+	// high-water retirement countdown.
+	delete(ns.migrations, id)
+	delete(ns.reroutes, id)
 	ns.retireDedup(id, prevHop)
 	return true
 }
@@ -360,6 +413,8 @@ func (ns *nodeState) complete(id, hop uint64) bool {
 	ns.finished++
 	ns.jobCounters(cur.job).Finished++
 	ns.met.agentsCompleted.Inc()
+	delete(ns.migrations, id)
+	delete(ns.reroutes, id)
 	// Terminal retirement: the finished agent's dedup entry is queued
 	// for eviction rather than deleted outright, so late duplicates of
 	// its final inbound hop are still recognized for a further `retain`
@@ -368,20 +423,29 @@ func (ns *nodeState) complete(id, hop uint64) bool {
 	return true
 }
 
-// counters reads the termination snapshot contribution.
+// counters reads the termination snapshot contribution. A drained node
+// contributes zeros: its entire history was absorbed by a survivor, and
+// reporting it twice would unbalance every snapshot that still reaches
+// this node's state (the in-process fallback read, a revived state dir).
 func (ns *nodeState) counters() counters {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	if ns.drained {
+		return counters{}
+	}
 	return counters{Created: ns.created, Finished: ns.finished,
 		Sent: ns.sent, Received: ns.received}
 }
 
 // countersForJob reads one job namespace's slice of the termination
 // snapshot. A job this node has never seen contributes zeros (which is
-// balanced, as it must be).
+// balanced, as it must be), and so does a drained node (see counters).
 func (ns *nodeState) countersForJob(job uint64) counters {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	if ns.drained {
+		return counters{}
+	}
 	if c, ok := ns.perJob[job]; ok {
 		return *c
 	}

@@ -48,6 +48,10 @@ type Options struct {
 	// entries: how many (agent, hop) pairs a node keeps after their
 	// checkpoints retire before evicting the oldest (default 1024).
 	DedupRetain int
+	// DrainTimeout bounds a msgDrain evacuation: how long a draining
+	// daemon waits for its resident agents to ship out before giving up
+	// (default 10s; a msgDrain frame can override per request).
+	DrainTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +64,7 @@ func (o Options) withDefaults() Options {
 	def(&o.RetryBackoff, 5*time.Millisecond)
 	def(&o.MaxRetryBackoff, 250*time.Millisecond)
 	def(&o.HeartbeatInterval, 25*time.Millisecond)
+	def(&o.DrainTimeout, 10*time.Second)
 	if o.RestartDelay <= 0 {
 		if o.Fault != nil {
 			o.RestartDelay = secondsToDuration(o.Fault.RestartDelayOrDefault())
@@ -114,6 +119,11 @@ type Cluster struct {
 	ctl     []*ctlConn
 	closed  bool
 
+	// frozenJobs mirrors the daemons' freeze marks on the client side so
+	// WaitJob can fail fast with ErrJobFrozen instead of polling a
+	// namespace that cannot drain. Guarded by mu.
+	frozenJobs map[uint64]struct{}
+
 	closeOnce   sync.Once
 	monitorStop chan struct{}
 	monitorDone chan struct{}
@@ -124,18 +134,24 @@ type Cluster struct {
 // Wait and any number of concurrent WaitJob pollers share these
 // connections.
 type ctlConn struct {
-	mu   sync.Mutex
-	addr string
-	conn net.Conn
-	r    *bufio.Reader
+	mu     sync.Mutex
+	addr   string
+	conn   net.Conn
+	r      *bufio.Reader
+	closed bool
 }
 
 // roundTrip sends one control frame and reads the reply. Any failure
 // closes the connection so the next call redials (reaching the daemon's
-// current incarnation after a restart).
+// current incarnation after a restart) — except an explicit close(),
+// which is terminal: a round trip racing or following Close must fail,
+// not resurrect the connection.
 func (c *ctlConn) roundTrip(env *envelope, timeout time.Duration) (*envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("wire: control connection to %s is closed", c.addr)
+	}
 	if c.conn == nil {
 		//lint:ignore lockorder c.mu exists to serialize whole round trips on this one connection, dial included; every wait under it is deadline-bounded, and a contender stalls only on its own daemon's control channel.
 		conn, err := net.DialTimeout("tcp", c.addr, timeout)
@@ -175,6 +191,7 @@ func (c *ctlConn) roundTrip(env *envelope, timeout time.Duration) (*envelope, er
 func (c *ctlConn) close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
@@ -182,10 +199,11 @@ func (c *ctlConn) close() {
 }
 
 // shutdown writes a best-effort shutdown frame on the live connection,
-// if any, then closes it.
+// if any, then closes it (terminally, like close).
 func (c *ctlConn) shutdown() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return
 	}
@@ -217,10 +235,11 @@ func NewClusterOpts(n int, opts Options) (*Cluster, error) {
 		}
 	}
 	cl := &Cluster{
-		opts:    opts,
-		errs:    make(chan error, n),
-		sink:    &traceSink{tracer: opts.Tracer, epoch: time.Now()},
-		cancels: newCancelSet(),
+		opts:       opts,
+		errs:       make(chan error, n),
+		sink:       &traceSink{tracer: opts.Tracer, epoch: time.Now()},
+		cancels:    newCancelSet(),
+		frozenJobs: map[uint64]struct{}{},
 	}
 	met := newWireMetrics(opts.Metrics)
 	listeners := make([]net.Listener, n)
@@ -282,8 +301,7 @@ func (cl *Cluster) InjectJob(node int, job uint64, behavior string, state any) e
 	if job == 0 {
 		return fmt.Errorf("wire: job id must be nonzero")
 	}
-	cl.daemon(node).injectLocal(job, behavior, state)
-	return nil
+	return cl.daemon(node).injectLocal(job, behavior, state)
 }
 
 // Set places a node variable on a node before (or between) runs — the
@@ -366,6 +384,11 @@ func (cl *Cluster) WaitJob(job uint64, timeout time.Duration) error {
 			return err
 		default:
 		}
+		if cl.JobFrozen(job) {
+			// A frozen namespace cannot drain; report the preemption
+			// instead of burning the caller's whole timeout.
+			return ErrJobFrozen
+		}
 		if time.Now().After(deadline) {
 			cur := cl.snapshotJob(job)
 			return fmt.Errorf("wire: job %d termination timeout after %v (created %d, finished %d, sent %d, received %d)",
@@ -387,9 +410,126 @@ func (cl *Cluster) WaitJob(job uint64, timeout time.Duration) error {
 // which keeps the job's termination counters balanced, so a WaitJob
 // after CancelJob observes the namespace drain. Idempotent.
 func (cl *Cluster) CancelJob(job uint64) {
-	if job != 0 {
-		cl.cancels.cancel(job)
+	if job == 0 {
+		return
 	}
+	cl.cancels.cancel(job) // shared set: durable even if a daemon is mid-restart
+	cl.unfreeze(job)
+	cl.syncAll()
+	// Best-effort control round trips so each daemon also thaws the
+	// job's parked agents — a frozen, cancelled job must still drain.
+	for i := range cl.ctl {
+		cl.ctl[i].roundTrip(&envelope{Kind: msgCancel, Job: job}, cl.opts.AckTimeout)
+	}
+}
+
+// syncAll persists every node's current image — the coordinator-side
+// persist-before-externalize step for mutations of shared durable
+// state (the cancel set, per-job counter slices) that a control frame
+// is about to externalize. Best-effort: a failed sync only delays
+// durability of a mark whose effect replay re-derives.
+//
+//navplint:fact sync
+func (cl *Cluster) syncAll() {
+	for _, ns := range cl.states {
+		ns.sync()
+	}
+}
+
+// MigrateAgents marks up to count resident agents on node (namespace
+// job, 0 = any; count 0 = all) for migration to dst. The agents ship at
+// their next dispatch boundary as synthetic hops through the ordinary
+// delivery path; returns how many were marked.
+func (cl *Cluster) MigrateAgents(node, dst int, job uint64, count int) (int, error) {
+	if node < 0 || node >= len(cl.ctl) || dst < 0 || dst >= len(cl.states) {
+		return 0, fmt.Errorf("wire: migrate %d -> %d outside a cluster of %d", node, dst, len(cl.states))
+	}
+	reply, err := cl.ctl[node].roundTrip(&envelope{Kind: msgMigrate, Node: dst, Job: job, Count: count}, cl.opts.AckTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("wire: migrate on node %d: %w", node, err)
+	}
+	if reply.Kind != msgMigrated {
+		return 0, fmt.Errorf("wire: migrate on node %d: unexpected %s reply", node, reply.Kind)
+	}
+	return reply.Count, nil
+}
+
+// FreezeJob parks a namespace on every node: its agents stop at their
+// next dispatch boundary, checkpointed, counters untouched, until
+// ThawJob. The first per-node failure is returned; the freeze marks
+// that did land still hold.
+func (cl *Cluster) FreezeJob(job uint64) error {
+	if job == 0 {
+		return fmt.Errorf("wire: FreezeJob needs a nonzero job id")
+	}
+	var firstErr error
+	for i := range cl.ctl {
+		_, err := cl.ctl[i].roundTrip(&envelope{Kind: msgFreeze, Job: job}, cl.opts.AckTimeout)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wire: freeze job on node %d: %w", i, err)
+		}
+	}
+	cl.mu.Lock()
+	cl.frozenJobs[job] = struct{}{}
+	cl.mu.Unlock()
+	return firstErr
+}
+
+// JobFrozen reports whether FreezeJob has frozen the namespace (and no
+// ThawJob, CancelJob, or ReleaseJob has since lifted it).
+func (cl *Cluster) JobFrozen(job uint64) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	_, ok := cl.frozenJobs[job]
+	return ok
+}
+
+func (cl *Cluster) unfreeze(job uint64) {
+	cl.mu.Lock()
+	delete(cl.frozenJobs, job)
+	cl.mu.Unlock()
+}
+
+// ThawJob resumes a frozen namespace: every node re-dispatches its
+// parked agents.
+func (cl *Cluster) ThawJob(job uint64) error {
+	if job == 0 {
+		return fmt.Errorf("wire: ThawJob needs a nonzero job id")
+	}
+	cl.unfreeze(job)
+	var firstErr error
+	for i := range cl.ctl {
+		_, err := cl.ctl[i].roundTrip(&envelope{Kind: msgThaw, Job: job}, cl.opts.AckTimeout)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wire: thaw job on node %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// DrainNode evacuates node's agents to the surviving members, hands its
+// counter history to one of them, and tombstones it in the membership.
+// The daemon keeps serving as a shell (duplicate acks settled, fresh
+// frames refused) until the cluster closes.
+func (cl *Cluster) DrainNode(node int, timeout time.Duration) error {
+	if node < 0 || node >= len(cl.ctl) {
+		return fmt.Errorf("wire: no node %d in a cluster of %d", node, len(cl.ctl))
+	}
+	if timeout <= 0 {
+		timeout = cl.opts.DrainTimeout
+	}
+	reply, err := cl.ctl[node].roundTrip(&envelope{Kind: msgDrain, Count: int(timeout / time.Millisecond)}, timeout+cl.opts.AckTimeout)
+	if err != nil {
+		return fmt.Errorf("wire: drain node %d: %w", node, err)
+	}
+	if reply.Kind != msgOK {
+		return fmt.Errorf("wire: drain node %d: unexpected %s reply", node, reply.Kind)
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("wire: drain node %d: %s", node, reply.Err)
+	}
+	cl.members.leave(node)
+	return nil
 }
 
 // ReleaseJob forgets a finished (or cancelled-and-drained) job's
@@ -406,6 +546,34 @@ func (cl *Cluster) ReleaseJob(job uint64) {
 		ns.releaseJob(job)
 	}
 	cl.cancels.release(job)
+	cl.unfreeze(job)
+	cl.syncAll()
+	// Best-effort daemon round trips so each node also drops the job's
+	// freeze mark (msgFree thaws): a suspend that raced the job's own
+	// completion must not leave per-node marks behind.
+	for i := range cl.ctl {
+		cl.ctl[i].roundTrip(&envelope{Kind: msgFree, Job: job}, cl.opts.AckTimeout)
+	}
+}
+
+// LiveNodes lists the nodes that have not drained out of the cluster —
+// the placeable set a scheduler should target.
+func (cl *Cluster) LiveNodes() []int {
+	var nodes []int
+	for i := range cl.states {
+		if !cl.members.left(i) {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
+}
+
+// Alive reports whether a node is a live member (in-process daemons
+// never die silently, so this is simply not-departed). It gives the
+// in-process cluster the same liveness surface the remote client's
+// heartbeat prober provides.
+func (cl *Cluster) Alive(node int) bool {
+	return node >= 0 && node < len(cl.states) && !cl.members.left(node)
 }
 
 // ClearVarsPrefix deletes every node variable whose name begins with

@@ -130,6 +130,31 @@ func (d *daemon) handle(conn net.Conn) {
 		case msgAgent:
 			msg := env.Agent
 			dup, arrivals, err := d.node.accept(msg)
+			if errors.Is(err, errEvacuated) {
+				// Tombstone shell (DESIGN.md §16): an evacuated node keeps
+				// serving so senders can settle, but accepts nothing fresh.
+				// (Known duplicates fall through accept's dup guard above
+				// the evacuated check and get their normal Dup ack — the
+				// ack a sender may have lost before the drain, without
+				// which its retry loop never retires the checkpoint.) The
+				// Refused ack is the sender's proof that no copy of the
+				// agent exists here, which is what makes its reroute to a
+				// live member exactly-once safe. The refusal itself
+				// mutates nothing, but the sync is unconditional — like
+				// the dup-ack sync below, it persists an unchanged image
+				// (coalesced by the persister) so the
+				// persist-before-acknowledge ordering holds on every
+				// path of this loop, not just the accepting ones.
+				d.node.met.framesRefused.Inc()
+				if err := d.node.sync(); err != nil {
+					d.fail(err)
+					return
+				}
+				if !rp.send(&envelope{Kind: msgAck, Ack: ackMsg{ID: msg.ID, Hop: msg.Hop, Refused: true}}) {
+					return
+				}
+				continue
+			}
 			if err != nil {
 				d.fail(err)
 				return
@@ -258,13 +283,78 @@ func (d *daemon) handleControl(env *envelope, rp *replier) bool {
 		return rp.send(&envelope{Kind: msgVar, Value: &stateBox{V: d.node.vars.get(env.Name)}})
 	case msgCancel:
 		d.node.cancels.cancel(env.Job)
-		return ok(synced())
+		// A cancelled job's parked agents would otherwise sleep through
+		// their own cancellation: thaw them so the dispatch prologue's
+		// cancel check absorbs each one and the namespace can quiesce.
+		thawed := d.node.thaw(env.Job)
+		if err := synced(); err != nil {
+			return ok(err)
+		}
+		for _, p := range thawed {
+			d.startStep(p.msg, p.replay)
+		}
+		return ok(nil)
 	case msgFree:
 		d.node.releaseJob(env.Job)
 		d.node.cancels.release(env.Job)
-		return ok(synced())
+		thawed := d.node.thaw(env.Job)
+		if err := synced(); err != nil {
+			return ok(err)
+		}
+		for _, p := range thawed {
+			d.startStep(p.msg, p.replay)
+		}
+		return ok(nil)
 	case msgClear:
 		d.node.vars.deletePrefix(env.Name)
+		return ok(synced())
+	case msgMigrate:
+		// Pin the marks and persist them BEFORE the reply: the count the
+		// coordinator sees is a durable promise, and a crashed daemon's
+		// replay honors the same destinations. Marked agents that are
+		// parked are nudged back through dispatch, where the prologue
+		// ships them.
+		marked := d.node.markMigrations(env.Node, env.Job, env.Count)
+		if err := synced(); err != nil {
+			return ok(err)
+		}
+		for _, id := range marked {
+			if p, wasParked := d.node.takeParked(id); wasParked {
+				d.startStep(p.msg, p.replay)
+			}
+		}
+		return rp.send(&envelope{Kind: msgMigrated, Count: len(marked)})
+	case msgFreeze:
+		d.node.freeze(env.Job)
+		return ok(synced())
+	case msgThaw:
+		thawed := d.node.thaw(env.Job)
+		if err := synced(); err != nil {
+			return ok(err)
+		}
+		for _, p := range thawed {
+			d.startStep(p.msg, p.replay)
+		}
+		return ok(nil)
+	case msgDrain:
+		timeout := d.opts.DrainTimeout
+		if env.Count > 0 {
+			timeout = time.Duration(env.Count) * time.Millisecond
+		}
+		// A failed drain can stop between its state-machine syncs (a
+		// timeout mid-evacuation, say); persist whatever point it
+		// reached before the reply externalizes the verdict, so a
+		// retried drain resumes from the durable truth.
+		err := d.drain(timeout)
+		if serr := d.node.sync(); err == nil {
+			err = serr
+		}
+		return ok(err)
+	case msgAbsorb:
+		// Absorb is dup-safe at the nodeState layer (the absorbed set),
+		// so a draining peer that crashed between our reply and its
+		// drained-flag sync can retry against the same pinned target.
+		d.node.absorb(env.Node, env.Counters, env.PerJob)
 		return ok(synced())
 	default:
 		// Reply kinds (msgAck et al.) arriving on an inbound connection
@@ -315,6 +405,136 @@ func (d *daemon) broadcastMembers(members []string) {
 	}
 }
 
+// drain evacuates this node and retires it from the cluster: every
+// resident agent is shipped to a live member as a synthetic hop, the
+// node's counter history is absorbed by one pinned survivor, and a
+// leave notice is broadcast. The state machine is sequenced on disk —
+// draining before any ship, evacuated before the absorb, drained only
+// after the absorb target's durable acknowledgement — so a kill -9 at
+// any point resumes the drain where it stopped instead of losing an
+// agent or double-counting history. After a completed drain the daemon
+// keeps serving as a tombstone shell (see the msgAgent refusal path)
+// until it receives msgShutdown.
+func (d *daemon) drain(timeout time.Duration) error {
+	if d.node.isDrained() {
+		d.broadcastLeave() // the crash may have eaten the first broadcast
+		return nil
+	}
+	d.node.setDraining(true)
+	if err := d.node.sync(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for !d.node.isEvacuated() {
+		// Push parked agents back through dispatch; the draining
+		// prologue pins a destination for each and ships it. Agents with
+		// running steps evacuate themselves at their next dispatch
+		// boundary the same way.
+		for _, p := range d.node.thaw(0) {
+			d.startStep(p.msg, p.replay)
+		}
+		if n := d.node.pendingCheckpoints(); n > 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wire: daemon %d drain timed out with %d resident agents", d.id, n)
+			}
+			if !d.sleep(2 * time.Millisecond) {
+				return errKilled
+			}
+			continue
+		}
+		d.node.sweepStaleMarks()
+		d.node.setEvacuated(true)
+		if err := d.node.sync(); err != nil {
+			return err
+		}
+		// Acceptance is fenced by the evacuated flag under the same
+		// mutex (see accept), so any accept that slipped in before the
+		// flag landed is visible right here — back out and re-evacuate.
+		if d.node.pendingCheckpoints() > 0 {
+			d.node.setEvacuated(false)
+			if err := d.node.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	// Hand the counter history to ONE survivor, pinned durably before
+	// the first send: a crashed drain retries the same target, and the
+	// target's absorbed-set makes the retry idempotent. Handing it to a
+	// second node would double-count this node's history in every
+	// termination snapshot.
+	target := d.node.pinAbsorbTarget(func() int { return d.members.nextLive(d.id, d.id) })
+	if target < 0 {
+		return fmt.Errorf("wire: daemon %d drain: no live member to absorb counters", d.id)
+	}
+	if err := d.node.sync(); err != nil {
+		return err
+	}
+	total, perJob := d.node.exportCounters()
+	backoff := d.opts.RetryBackoff
+	for {
+		err := d.absorbInto(target, total, perJob)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wire: daemon %d drain: absorb into node %d: %w", d.id, target, err)
+		}
+		if !d.sleep(backoff) {
+			return errKilled
+		}
+		if backoff *= 2; backoff > d.opts.MaxRetryBackoff {
+			backoff = d.opts.MaxRetryBackoff
+		}
+	}
+	d.node.setDrained()
+	if err := d.node.sync(); err != nil {
+		return err
+	}
+	d.node.met.drains.Inc()
+	d.broadcastLeave()
+	return nil
+}
+
+// absorbInto performs one msgAbsorb round trip against the pinned
+// survivor.
+func (d *daemon) absorbInto(target int, total counters, perJob map[uint64]counters) error {
+	addr, err := d.members.addrAny(target)
+	if err != nil {
+		return err
+	}
+	c := &ctlConn{addr: addr}
+	defer c.close()
+	rep, err := c.roundTrip(&envelope{Kind: msgAbsorb, Node: d.id, Counters: total, PerJob: perJob}, d.opts.AckTimeout)
+	if err != nil {
+		return err
+	}
+	if rep.Kind != msgOK {
+		return fmt.Errorf("wire: absorb reply kind %q", rep.Kind)
+	}
+	if rep.Err != "" {
+		return errors.New(rep.Err)
+	}
+	return nil
+}
+
+// broadcastLeave announces this node's departure to every other member,
+// best-effort and asynchronous like broadcastMembers: a member that
+// misses it learns on its next dial here (refused frames) or from a
+// peer's tombstone.
+func (d *daemon) broadcastLeave() {
+	for i, addr := range d.members.list() {
+		if i == d.id || addr == "" {
+			continue
+		}
+		addr := addr
+		go func() {
+			c := &ctlConn{addr: addr}
+			defer c.close()
+			c.roundTrip(&envelope{Kind: msgLeave, Node: d.id}, d.opts.AckTimeout)
+		}()
+	}
+}
+
 // injectLocal starts a new agent on this daemon — injection is local, as
 // in MESSENGERS. The agent is checkpointed (and, on a persistent host,
 // synced to disk) before dispatch, so injection into a dying daemon is
@@ -331,6 +551,11 @@ func (d *daemon) injectLocal(job uint64, behaviorName string, state any) error {
 	arrivals, err := d.node.inject(msg)
 	if serr := d.node.sync(); err == nil {
 		err = serr
+	}
+	if errors.Is(err, errEvacuated) {
+		// Not a daemon failure: the caller (the coordinator's inject
+		// path) re-places the agent on a live member.
+		return err
 	}
 	if err != nil {
 		d.fail(err)
@@ -384,6 +609,39 @@ func (d *daemon) startStep(msg *agentMsg, replay bool) {
 			}
 			return
 		}
+		// Elasticity interception (DESIGN.md §16), strictly after the
+		// cancel check (a cancelled agent is absorbed, never shipped) and
+		// strictly before the freeze park (a marked agent leaves even if
+		// its job is frozen — the destination's own freeze mark re-parks
+		// it there). Each branch ships the agent as a synthetic hop.
+		if dst, ok := d.node.migrateTarget(msg.ID); ok && dst != d.id {
+			// The pin was persisted before the msgMigrated reply (or by a
+			// replayed image); ship without re-syncing.
+			d.migrateOut(msg, dst, "migrate")
+			return
+		}
+		if d.node.isDraining() {
+			// A draining node evacuates every agent at its dispatch
+			// boundary. Pin the destination and persist it BEFORE the
+			// ship: a crashed drain replays this dispatch, and the pin is
+			// what keeps the replay from choosing a different survivor.
+			dst := d.members.nextLive(d.id, d.id)
+			if dst < 0 {
+				d.fail(fmt.Errorf("wire: daemon %d draining with no live member to evacuate to", d.id))
+				return
+			}
+			dst = d.node.assignMigration(msg.ID, dst)
+			if err := d.node.sync(); err != nil {
+				d.fail(err)
+				return
+			}
+			d.migrateOut(msg, dst, "evacuate")
+			return
+		}
+		if msg.Job != 0 && d.node.frozenJob(msg.Job) {
+			d.node.park(msg, replay)
+			return
+		}
 		b, err := behavior(msg.Behavior)
 		if err != nil {
 			d.fail(err)
@@ -407,6 +665,18 @@ func (d *daemon) startStep(msg *agentMsg, replay bool) {
 				d.startStep(msg, false)
 			}
 		case v.hop:
+			// A migration mark that raced this running step is void — the
+			// step's own hop wins. The clearance must be durable BEFORE the
+			// frame ships: a crashed-and-replayed sender that resurrected
+			// the pin would migrate (id, h+1) to a second destination while
+			// the first may already have accepted this send.
+			if _, marked := d.node.migrateTarget(msg.ID); marked {
+				d.node.clearMigration(msg.ID)
+				if err := d.node.sync(); err != nil {
+					d.fail(err)
+					return
+				}
+			}
 			prev := msg.Hop
 			out := &agentMsg{ID: msg.ID, Hop: msg.Hop + 1, Job: msg.Job, Behavior: msg.Behavior, State: msg.State}
 			d.deliver(v.dst, out, prev)
@@ -416,17 +686,45 @@ func (d *daemon) startStep(msg *agentMsg, replay bool) {
 	}()
 }
 
+// migrateOut ships a checkpointed agent to dst as a synthetic hop: the
+// step is skipped, the state travels unchanged at hop+1 through the
+// ordinary delivery path, and every exactly-once property — the
+// destination's dedup accept, the hop-guarded checkpoint retirement
+// here, persist-before-ack, retry, kill -9 recovery — is the one the
+// normal hop already has. The caller has persisted the destination pin.
+func (d *daemon) migrateOut(msg *agentMsg, dst int, note string) {
+	prev := msg.Hop
+	out := &agentMsg{ID: msg.ID, Hop: msg.Hop + 1, Job: msg.Job, Behavior: msg.Behavior, State: msg.State}
+	if d.deliver(dst, out, prev) {
+		d.node.met.agentsMigrated.Inc()
+		d.sink.record(navp.TraceMigrate, msg.Job, msg.Behavior, d.id, dst, 0, note)
+	}
+}
+
 // deliver ships one hop frame to a peer with at-least-once semantics:
 // retry with exponential backoff until the destination acknowledges that
 // it has checkpointed the agent, then retire our own checkpoint exactly
-// once. The fault injector sits right here — drops suppress the write,
-// duplicates repeat it, delays precede it — so every chaos scenario
-// exercises the same code path real network trouble would.
-func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
+// once; it reports whether an acknowledgement arrived. The fault
+// injector sits right here — drops suppress the write, duplicates repeat
+// it, delays precede it — so every chaos scenario exercises the same
+// code path real network trouble would.
+//
+// Two acknowledgement outcomes divert the hop instead of settling it: a
+// Refused ack (the destination is an evacuated tombstone shell that
+// provably did not accept), and a dial failure to a member that has
+// announced its departure. Both reroute the frame to the next live
+// member — after pinning that choice in the persisted image, so a
+// crashed-and-replayed sender re-ships to the same stand-in.
+func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) bool {
+	if rr, ok := d.node.rerouteFor(msg.ID); ok {
+		// A pinned reroute governs every (re)send of the in-flight hop,
+		// even when the original destination looks reachable again.
+		dst = rr
+	}
 	f, err := encodeFrame(&envelope{Kind: msgAgent, Agent: msg})
 	if err != nil {
 		d.fail(err)
-		return
+		return false
 	}
 	// The frame is retained across retries (retransmissions are
 	// byte-for-byte) and recycled when delivery ends either way.
@@ -439,39 +737,39 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 	backoff := d.opts.RetryBackoff
 	for attempt := uint64(0); ; attempt++ {
 		if d.dead.Load() {
-			return
+			return false
 		}
 		dec := d.opts.Fault.Decide(d.id, dst, seq, attempt)
 		if dec.Delay > 0 {
 			if !d.sleep(secondsToDuration(dec.Delay)) {
-				return
+				return false
 			}
 		}
 		var ackCh chan ackMsg
 		var l *link
 		var sentAt time.Time
+		var sendErr error
 		if dec.Drop {
 			met.framesDropped.Inc()
 			d.sink.record(navp.TraceDrop, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)), "")
 		} else {
-			var err error
-			if l, err = d.link(dst); err == nil {
+			if l, sendErr = d.link(dst); sendErr == nil {
 				ackCh = l.expect(msg.ID, msg.Hop)
 				sentAt = time.Now()
-				err = l.writeFrame(frame)
-				if err == nil {
+				sendErr = l.writeFrame(frame)
+				if sendErr == nil {
 					met.framesSent.Inc()
 					met.bytesSent.Add(int64(len(frame)))
 				}
-				for i := 0; err == nil && i < dec.Dup; i++ {
-					err = l.writeFrame(frame)
-					if err == nil {
+				for i := 0; sendErr == nil && i < dec.Dup; i++ {
+					sendErr = l.writeFrame(frame)
+					if sendErr == nil {
 						met.framesSent.Inc()
 						met.bytesSent.Add(int64(len(frame)))
 					}
 				}
 			}
-			if err != nil {
+			if sendErr != nil {
 				if l != nil {
 					l.cancel(msg.ID, msg.Hop)
 					d.dropLink(dst, l)
@@ -480,9 +778,10 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 			}
 		}
 		if ackCh != nil {
+			var ack ackMsg
 			var acked, linkDown bool
 			select {
-			case <-ackCh:
+			case ack = <-ackCh:
 				acked = true
 			case <-l.done:
 				// The link died under us (peer reset, redial elsewhere).
@@ -493,6 +792,15 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 			case <-d.stopped:
 			}
 			l.cancel(msg.ID, msg.Hop)
+			if acked && ack.Refused {
+				// The destination is an evacuated shell that provably did
+				// not accept the frame; divert to a live stand-in.
+				if nd := d.reroute(msg, dst); nd >= 0 {
+					dst = nd
+					continue
+				}
+				return false
+			}
 			if acked {
 				met.framesAcked.Inc()
 				met.ackLatency.Observe(time.Since(sentAt).Microseconds())
@@ -500,11 +808,11 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 					d.syncLazily()
 				}
 				d.sink.record(navp.TraceHop, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)), "")
-				return
+				return true
 			}
 			select {
 			case <-d.stopped:
-				return
+				return false
 			default:
 			}
 			if linkDown {
@@ -515,17 +823,53 @@ func (d *daemon) deliver(dst int, msg *agentMsg, prevHop uint64) {
 				continue // retry immediately over a fresh dial
 			}
 		}
+		if sendErr != nil && d.members.left(dst) {
+			// The destination announced its departure and no longer even
+			// dials. Its drain evacuated every resident agent before the
+			// leave broadcast, so this frame cannot have been accepted
+			// there — and even in the worst interleaving, a re-executed
+			// step from the hop boundary is what the replay contract
+			// already tolerates. Divert to a live stand-in.
+			if nd := d.reroute(msg, dst); nd >= 0 {
+				dst = nd
+				continue
+			}
+			return false
+		}
 		met.framesRetried.Inc()
 		d.sink.record(navp.TraceRetry, msg.Job, msg.Behavior, d.id, dst, int64(len(frame)),
 			fmt.Sprintf("attempt %d", attempt+2))
 		if !d.sleep(backoff) {
-			return
+			return false
 		}
 		if backoff *= 2; backoff > d.opts.MaxRetryBackoff {
 			backoff = d.opts.MaxRetryBackoff
 			met.backoffCeiling.Inc()
 		}
 	}
+}
+
+// reroute pins the next live member (excluding the failed destination)
+// as the stand-in for an agent's in-flight hop, persists the pin, and
+// returns it — or -1 when no live member exists or the pin cannot be
+// made durable, in which cases the hop is abandoned to checkpoint
+// replay. Overwriting an earlier pin is safe here and only here: both
+// call sites hold proof the failed destination never accepted the frame.
+func (d *daemon) reroute(msg *agentMsg, failed int) int {
+	nd := d.members.nextLive(failed, failed)
+	if nd < 0 {
+		d.fail(fmt.Errorf("wire: daemon %d has no live member to reroute agent %d around node %d", d.id, msg.ID, failed))
+		return -1
+	}
+	d.node.pinReroute(msg.ID, nd)
+	if err := d.node.sync(); err != nil {
+		d.fail(err)
+		return -1
+	}
+	d.node.met.agentsRerouted.Inc()
+	d.sink.record(navp.TraceMigrate, msg.Job, msg.Behavior, d.id, nd, 0,
+		fmt.Sprintf("reroute around %d", failed))
+	return nd
 }
 
 // syncLazily persists the node image after an internal transition
@@ -575,7 +919,10 @@ func (d *daemon) link(dst int) (*link, error) {
 	}
 	d.linkMu.Unlock()
 
-	addr, err := d.members.addr(dst)
+	// addrAny, not addr: departed members are dialed on purpose — their
+	// tombstone shells settle duplicate acks and refuse fresh frames,
+	// and only a refusal or a failed dial licenses a reroute.
+	addr, err := d.members.addrAny(dst)
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,17 @@ const (
 	msgFree   = "free"   // release job namespace Job's bookkeeping
 	msgClear  = "clear"  // delete node variables with prefix Name
 	msgOK     = "ok"     // generic control acknowledgement (Err carries failure)
+
+	// Migration and elasticity control (DESIGN.md §16). Migration rides
+	// the agent path itself — a marked agent ships as a normal msgAgent
+	// at hop+1 — so only the *marking* and the drain/freeze state
+	// machines need control frames.
+	msgMigrate  = "migrate"  // mark up to Count agents (namespace Job, 0 = any) for migration to node Node
+	msgMigrated = "migrated" // migrate reply: Count agents marked
+	msgDrain    = "drain"    // evacuate every agent, absorb counters, leave (Count = timeout ms, 0 = default)
+	msgAbsorb   = "absorb"   // a draining node Node hands its counter totals (Counters, PerJob) to a survivor
+	msgFreeze   = "freeze"   // park namespace Job's agents at their next dispatch
+	msgThaw     = "thaw"     // unpark namespace Job's agents and resume them
 )
 
 // envelope is the single wire format; unused fields stay zero.
@@ -66,6 +77,13 @@ type envelope struct {
 	Name  string
 	Value *stateBox
 	Err   string
+
+	// Migration operands: a bounded agent count (msgMigrate request and
+	// msgMigrated reply; drain timeout in milliseconds for msgDrain) and
+	// a draining node's per-job counter slices (msgAbsorb, alongside the
+	// cluster-wide total in Counters).
+	Count  int
+	PerJob map[uint64]counters
 }
 
 // agentMsg is a migrating computation between steps: the behavior name
@@ -91,10 +109,17 @@ type agentMsg struct {
 // ackMsg acknowledges one hop frame: the receiver has checkpointed the
 // agent (or already had it — Dup). On receipt the sender retires its own
 // checkpoint of the agent's previous hop and counts the send.
+//
+// Refused is the tombstone-shell refusal (DESIGN.md §16): an evacuated
+// node acknowledging that it did NOT accept a fresh frame. The sender
+// may then reroute the agent to a live member, knowing no second copy
+// exists — the refusing node either never saw this (id, hop) or would
+// have answered Dup.
 type ackMsg struct {
-	ID  uint64
-	Hop uint64
-	Dup bool
+	ID      uint64
+	Hop     uint64
+	Dup     bool
+	Refused bool
 }
 
 // counters is one daemon's contribution to the termination snapshot.
@@ -326,6 +351,29 @@ func (env *envelope) validate() error {
 	case msgCancel, msgFree:
 		if env.Job == 0 {
 			return fmt.Errorf("wire: %s frame for the default namespace", env.Kind)
+		}
+	case msgFreeze, msgThaw:
+		if env.Job == 0 {
+			return fmt.Errorf("wire: %s frame for the default namespace", env.Kind)
+		}
+	case msgMigrate:
+		if env.Node < 0 {
+			return fmt.Errorf("wire: migrate frame to negative node %d", env.Node)
+		}
+		if env.Count < 0 {
+			return fmt.Errorf("wire: migrate frame with negative count %d", env.Count)
+		}
+	case msgMigrated:
+		if env.Count < 0 {
+			return fmt.Errorf("wire: migrated reply with negative count %d", env.Count)
+		}
+	case msgDrain:
+		if env.Count < 0 {
+			return fmt.Errorf("wire: drain frame with negative timeout %d", env.Count)
+		}
+	case msgAbsorb:
+		if env.Node < 0 {
+			return fmt.Errorf("wire: absorb frame from negative node %d", env.Node)
 		}
 	case msgAck, msgSnapshot, msgCounters, msgPing, msgPong, msgShutdown, msgVar, msgOK:
 	default:

@@ -34,6 +34,15 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		{Kind: msgFree, Job: 3},
 		{Kind: msgClear, Name: "job.3."},
 		{Kind: msgOK, Err: "wire: nope"},
+		// Elasticity control frames and the tombstone-shell refusal ack.
+		{Kind: msgAck, Ack: ackMsg{ID: 9, Hop: 2, Refused: true}},
+		{Kind: msgMigrate, Node: 1, Job: 7, Count: 2},
+		{Kind: msgMigrated, Count: 2},
+		{Kind: msgFreeze, Job: 7},
+		{Kind: msgThaw, Job: 7},
+		{Kind: msgDrain, Count: 5000},
+		{Kind: msgAbsorb, Node: 2, Counters: counters{Created: 3, Finished: 3, Sent: 9, Received: 9},
+			PerJob: map[uint64]counters{7: {Created: 3, Finished: 3, Sent: 9, Received: 9}}},
 	} {
 		f, err := encodeFrame(env)
 		if err != nil {

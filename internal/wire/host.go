@@ -156,6 +156,21 @@ func StartHost(cfg HostConfig) (*Host, error) {
 	for _, msg := range msgs {
 		h.daemon.startStep(msg, true)
 	}
+	// A drain interrupted by a process death resumes where its on-disk
+	// flags left it: still-draining replayed agents evacuate themselves
+	// through the dispatch prologue above, and the background drain
+	// drives the evacuated → absorb → drained tail. An already-drained
+	// image respawns as a tombstone shell (the evacuated flag makes
+	// accept refuse) and just re-announces its departure.
+	if node.isDraining() && !node.isDrained() {
+		go func() {
+			if err := h.daemon.drain(opts.DrainTimeout); err != nil {
+				h.daemon.fail(err)
+			}
+		}()
+	} else if node.isDrained() {
+		h.daemon.broadcastLeave()
+	}
 	return h, nil
 }
 

@@ -55,6 +55,40 @@ func (m *membership) addr(i int) (string, error) {
 	return m.addrs[i], nil
 }
 
+// addrAny returns node i's address even when the member has announced
+// its departure. The sender-side hop path dials departed members on
+// purpose: an evacuated node keeps serving as a tombstone shell that
+// settles duplicate acks and refuses fresh frames (DESIGN.md §16), and
+// only a refusal — or a failed dial — licenses a reroute.
+func (m *membership) addrAny(i int) (string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if i < 0 || i >= len(m.addrs) {
+		return "", fmt.Errorf("wire: no member %d in a cluster of %d", i, len(m.addrs))
+	}
+	return m.addrs[i], nil
+}
+
+// nextLive returns the first member after `from` (wrapping, excluding
+// `exclude`) that has not left the cluster, or -1 when none exists. It
+// is the deterministic stand-in picker for reroutes and drains; the
+// caller pins the choice before shipping anything to it.
+func (m *membership) nextLive(from, exclude int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := len(m.addrs)
+	for off := 1; off <= n; off++ {
+		i := ((from+off)%n + n) % n
+		if i == exclude {
+			continue
+		}
+		if !m.down[i] {
+			return i
+		}
+	}
+	return -1
+}
+
 // list returns a copy of the address table in node-id order.
 func (m *membership) list() []string {
 	m.mu.RLock()

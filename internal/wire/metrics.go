@@ -39,6 +39,15 @@ const (
 	// Job namespaces holding live per-job counter slices across all
 	// nodes (grows on first use of a namespace, shrinks on ReleaseJob).
 	MetricJobsTracked = "wire.jobs.tracked"
+	// Elasticity (DESIGN.md §16): agents shipped by the migration path
+	// (marks and drain evacuations), agents rerouted around a departed
+	// destination, agents currently parked by a freeze, fresh frames
+	// refused by evacuated tombstone shells, and drains completed.
+	MetricAgentsMigrated = "wire.agents.migrated"
+	MetricAgentsRerouted = "wire.agents.rerouted"
+	MetricAgentsParked   = "wire.agents.parked"
+	MetricFramesRefused  = "wire.frames.refused"
+	MetricDrains         = "wire.drains"
 )
 
 // wireMetrics holds the pre-resolved metric handles shared by every
@@ -57,10 +66,15 @@ type wireMetrics struct {
 	dedupEvicted    *metrics.Counter
 	agentsInjected  *metrics.Counter
 	agentsCompleted *metrics.Counter
+	agentsMigrated  *metrics.Counter
+	agentsRerouted  *metrics.Counter
+	framesRefused   *metrics.Counter
+	drains          *metrics.Counter
 	dedupSize       *metrics.Gauge
 	ckptSize        *metrics.Gauge
 	inboundConns    *metrics.Gauge
 	jobsTracked     *metrics.Gauge
+	agentsParked    *metrics.Gauge
 }
 
 // ackLatencyBounds ladders from 50µs to ~1.6s; loopback acks land in
@@ -83,9 +97,14 @@ func newWireMetrics(r *metrics.Registry) *wireMetrics {
 		dedupEvicted:    r.Counter(MetricDedupEvicted),
 		agentsInjected:  r.Counter(MetricAgentsInjected),
 		agentsCompleted: r.Counter(MetricAgentsCompleted),
+		agentsMigrated:  r.Counter(MetricAgentsMigrated),
+		agentsRerouted:  r.Counter(MetricAgentsRerouted),
+		framesRefused:   r.Counter(MetricFramesRefused),
+		drains:          r.Counter(MetricDrains),
 		dedupSize:       r.Gauge(MetricDedupSize),
 		ckptSize:        r.Gauge(MetricCheckpoints),
 		inboundConns:    r.Gauge(MetricInboundConns),
 		jobsTracked:     r.Gauge(MetricJobsTracked),
+		agentsParked:    r.Gauge(MetricAgentsParked),
 	}
 }

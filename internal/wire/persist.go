@@ -75,9 +75,22 @@ type persistedState struct {
 	Ckpts                             []persistedCkpt
 	Vars                              map[string][]byte // name → gob(stateBox)
 	Cancelled                         []uint64
+
+	// Schema 2: migration and elasticity (DESIGN.md §16). Destination
+	// pins must be durable before the first ship, freeze marks must
+	// survive a crash, and the drain flags sequence a resumable
+	// evacuate → absorb → leave.
+	Migrations   map[uint64]int
+	Reroutes     map[uint64]int
+	Frozen       []uint64
+	Draining     bool
+	Evacuated    bool
+	Drained      bool
+	Absorbed     []int
+	AbsorbTarget int
 }
 
-const persistSchema = 1
+const persistSchema = 2
 
 // saveLocked writes one snapshot atomically: full write to a temp file
 // in the same directory, rename over the previous image. A process kill
@@ -155,6 +168,22 @@ func (ns *nodeState) export() (*persistedState, error) {
 			State: append([]byte(nil), c.state...),
 		})
 	}
+	img.Migrations = make(map[uint64]int, len(ns.migrations))
+	for id, dst := range ns.migrations {
+		img.Migrations[id] = dst
+	}
+	img.Reroutes = make(map[uint64]int, len(ns.reroutes))
+	for id, dst := range ns.reroutes {
+		img.Reroutes[id] = dst
+	}
+	for job := range ns.frozen {
+		img.Frozen = append(img.Frozen, job)
+	}
+	img.Draining, img.Evacuated, img.Drained = ns.draining, ns.evacuated, ns.drained
+	for src := range ns.absorbed {
+		img.Absorbed = append(img.Absorbed, src)
+	}
+	img.AbsorbTarget = ns.absorbTarget
 	ns.mu.Unlock()
 	vars, err := ns.vars.export()
 	if err != nil {
@@ -186,6 +215,20 @@ func (ns *nodeState) restore(img *persistedState) error {
 	for _, c := range img.Ckpts {
 		ns.putCkpt(c.ID, &checkpoint{behavior: c.Behavior, hop: c.Hop, job: c.Job, state: c.State})
 	}
+	for id, dst := range img.Migrations {
+		ns.migrations[id] = dst
+	}
+	for id, dst := range img.Reroutes {
+		ns.reroutes[id] = dst
+	}
+	for _, job := range img.Frozen {
+		ns.frozen[job] = struct{}{}
+	}
+	ns.draining, ns.evacuated, ns.drained = img.Draining, img.Evacuated, img.Drained
+	for _, src := range img.Absorbed {
+		ns.absorbed[src] = true
+	}
+	ns.absorbTarget = img.AbsorbTarget
 	ns.mu.Unlock()
 	if err := ns.vars.restore(img.Vars); err != nil {
 		return err
