@@ -1,0 +1,50 @@
+// Mechanically parallelized loop nests, end to end: every program in
+// this demo was emitted by `go run ./cmd/navpgen` from a sequential,
+// annotated Go loop nest (internal/gen/nests), then compiled like any
+// other package. For each nest the demo runs the three generated
+// variants — DSC, pipelined, phase-shifted — on the simulated Sun Blade
+// 100 cluster and prints the virtual-time makespans, reproducing the
+// paper's Figure 1 progression from generated rather than hand-written
+// code. Each run also re-checks the result against the sequential nest,
+// so every printed line is a verified schedule. Run with:
+//
+//	go run ./examples/navpgen
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/gen/genrun"
+	_ "repro/internal/gen/nests" // register the generated programs
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+func main() {
+	const pes = 4
+	fmt.Printf("navpgen-generated schedules on %d simulated PEs (oracle-checked)\n\n", pes)
+	fmt.Printf("%-22s %-10s %12s %9s\n", "program", "dist", "makespan", "speedup")
+
+	var nest string
+	var base float64
+	for _, p := range genrun.Programs() {
+		sizes := make([]int, len(p.SizeParams))
+		for i := range sizes {
+			sizes[i] = 48
+		}
+		sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), pes)
+		if err := p.Run(sys, pes, sizes, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name(), err)
+			os.Exit(1)
+		}
+		mk := float64(sys.VirtualTime())
+		if p.Nest != nest {
+			if nest != "" {
+				fmt.Println()
+			}
+			nest, base = p.Nest, mk
+		}
+		fmt.Printf("%-22s %-10s %12.4g %8.2fx\n", p.Name(), p.Dist, mk, base/mk)
+	}
+}

@@ -1,0 +1,280 @@
+package gen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// posKind classifies one subscript position of a reference against the
+// distribution.
+type posKind int
+
+const (
+	// posExact is a subscript over outer-loop variables, size
+	// parameters, and literals: it evaluates to one value per item, so
+	// the footprint cell carries it exactly.
+	posExact posKind = iota
+	// posDist is the subscript holding the distributed loop variable.
+	// Under cyclic distribution it is still exact per item; under block
+	// distribution it summarizes to the owning chunk's cell.
+	posDist
+	// posWild is a subscript sweeping an inner loop: the item touches
+	// the whole dimension, so the cell wildcards it ("*").
+	posWild
+)
+
+// refShape is a classified reference: how each subscript behaves under
+// the distribution, and whether the referenced data rides with the
+// agent or stays resident on the nodes.
+type refShape struct {
+	ref   Ref
+	kinds []posKind
+	// distPos is the subscript index holding the distributed variable,
+	// or -1 if the reference never mentions it.
+	distPos int
+	// shift is the constant offset c of a block-distributed subscript
+	// of the form v+c (ghost reads in a stencil). Zero for the bare
+	// variable.
+	shift int
+	// carried marks data the agent brings along on hops (no subscript
+	// depends on the distributed dimension), charged to the carry
+	// payload rather than owned by a visited node.
+	carried bool
+}
+
+// classify resolves every deduplicated reference of the nest into its
+// shape under the nest's distribution.
+func classify(n *Nest) ([]refShape, error) {
+	shapes := make([]refShape, 0, len(n.Refs))
+	for _, r := range n.Refs {
+		s, err := classifyRef(n, r)
+		if err != nil {
+			return nil, err
+		}
+		shapes = append(shapes, s)
+	}
+	return shapes, nil
+}
+
+// classifyRef classifies one reference.
+func classifyRef(n *Nest, r Ref) (refShape, error) {
+	inner := n.innerVars()
+	s := refShape{ref: r, distPos: -1}
+	for i, ie := range r.Index {
+		vars := identsIn(ie)
+		hasDist := vars[n.Dist.Dim]
+		hasInner := false
+		for v := range inner {
+			if vars[v] {
+				hasInner = true
+			}
+		}
+		hasOuter := vars[n.OuterLoop().Var]
+		switch {
+		case hasDist && hasInner:
+			return s, fmt.Errorf("reference %s mixes the distributed variable %q and an inner variable in one subscript; navpgen cannot summarize its footprint", refSrc(r), n.Dist.Dim)
+		case hasDist && hasOuter:
+			return s, fmt.Errorf("reference %s mixes the distributed variable %q and the outer variable in one subscript; navpgen cannot summarize its footprint", refSrc(r), n.Dist.Dim)
+		case hasDist:
+			if s.distPos >= 0 {
+				return s, fmt.Errorf("reference %s mentions the distributed variable %q in two subscripts", refSrc(r), n.Dist.Dim)
+			}
+			s.distPos = i
+			s.kinds = append(s.kinds, posDist)
+			if n.Dist.Kind == Block {
+				shift, ok := distShift(ie, n.Dist.Dim)
+				if !ok {
+					return s, fmt.Errorf("reference %s: block distribution needs the subscript to be %q or %q±c for a constant c", refSrc(r), n.Dist.Dim, n.Dist.Dim)
+				}
+				s.shift = shift
+			}
+		case hasInner:
+			s.kinds = append(s.kinds, posWild)
+		default:
+			s.kinds = append(s.kinds, posExact)
+		}
+	}
+	s.carried = s.distPos < 0
+	return s, nil
+}
+
+// refSrc renders a reference for diagnostics.
+func refSrc(r Ref) string {
+	return r.Array + "[" + strings.Join(r.IndexSrc, "][") + "]"
+}
+
+// identsIn collects the identifiers of an expression.
+func identsIn(e ast.Expr) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(e, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// distShift matches a block-distributed subscript against the forms v,
+// v+c, v-c, and c+v, returning the signed constant offset.
+func distShift(e ast.Expr, dim string) (int, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == dim {
+			return 0, true
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return 0, false
+		}
+		xi, xIsDim := ast.Unparen(x.X).(*ast.Ident)
+		yi, yIsDim := ast.Unparen(x.Y).(*ast.Ident)
+		xIsDim = xIsDim && xi.Name == dim
+		yIsDim = yIsDim && yi.Name == dim
+		if xIsDim {
+			if c, ok := intLit(x.Y); ok {
+				if x.Op == token.SUB {
+					return -c, true
+				}
+				return c, true
+			}
+		}
+		if yIsDim && x.Op == token.ADD {
+			if c, ok := intLit(x.X); ok {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// intLit extracts a non-negative integer literal.
+func intLit(e ast.Expr) (int, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	var v int
+	if _, err := fmt.Sscanf(lit.Value, "%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// checkDistribution enforces the soundness rules that make the
+// generated footprint cells a faithful summary of the nest's real data
+// accesses — the properties core.Check's verdict then rests on:
+//
+//   - A written array's subscripts must all be bare loop variables.
+//     Coarser naming (wildcards, arithmetic) is only sound for
+//     read-only arrays, where cells can never be the write side of a
+//     conflict.
+//   - A write must either mention the distributed variable (each chunk
+//     writes its own cells) or be a commutative += reduction; anything
+//     else would serialize the whole nest and the transformation is
+//     not worth emitting.
+//   - Block-distributed ghost reads (v±c) stay within one index of the
+//     chunk edge, so the two chunk-endpoint cells cover the subscript's
+//     span exactly.
+func (n *Nest) checkDistribution() error {
+	shapes, err := classify(n)
+	if err != nil {
+		return err
+	}
+	written := n.writtenArrays()
+	for _, s := range shapes {
+		r := s.ref
+		if written[r.Array] {
+			for i, ie := range r.Index {
+				id, ok := ast.Unparen(ie).(*ast.Ident)
+				if !ok {
+					return fmt.Errorf("reference %s: array %q is written in the nest, so every subscript must be a bare loop variable (subscript %d is %q)", refSrc(r), r.Array, i, r.IndexSrc[i])
+				}
+				if _, isLoop := n.loopByVar(id.Name); !isLoop {
+					return fmt.Errorf("reference %s: subscript %q of written array %q is not a loop variable", refSrc(r), id.Name, r.Array)
+				}
+			}
+		}
+		if r.Write && s.distPos < 0 && !r.Commutative {
+			return fmt.Errorf("write %s never mentions the distributed variable %q and is not a commutative +=; every chunk would overwrite it in order and nothing can run in parallel", refSrc(r), n.Dist.Dim)
+		}
+		if s.distPos >= 0 && n.Dist.Kind == Block && (s.shift < -1 || s.shift > 1) {
+			return fmt.Errorf("reference %s: block ghost offset %+d exceeds ±1; the chunk-endpoint footprint cells would no longer cover the subscript", refSrc(r), s.shift)
+		}
+		if r.Write && s.shift != 0 {
+			return fmt.Errorf("write %s: block-distributed writes must use the bare variable %q (ghost writes cross chunk ownership)", refSrc(r), n.Dist.Dim)
+		}
+	}
+
+	// The payload model: carried references must have computable
+	// extents (every wild subscript is a bare inner variable).
+	for _, s := range shapes {
+		if !s.carried {
+			continue
+		}
+		for i, k := range s.kinds {
+			if k != posWild {
+				continue
+			}
+			id, ok := ast.Unparen(s.ref.Index[i]).(*ast.Ident)
+			if !ok {
+				return fmt.Errorf("carried reference %s: inner subscript %q must be a bare inner loop variable so the hop payload has a computable extent", refSrc(s.ref), s.ref.IndexSrc[i])
+			}
+			if _, isLoop := n.loopByVar(id.Name); !isLoop {
+				return fmt.Errorf("carried reference %s: inner subscript %q is not a loop variable", refSrc(s.ref), s.ref.IndexSrc[i])
+			}
+		}
+	}
+	return nil
+}
+
+// carrySrc renders the agent's per-hop carry payload in bytes as a Go
+// expression: 8 bytes per element of every carried reference (one
+// element per exact subscript, a full dimension per wild subscript),
+// plus 8 bytes per folded loop index. Arrays carried by several
+// references are charged once, by their widest reference.
+func carrySrc(n *Nest, shapes []refShape) string {
+	perArray := map[string]string{}
+	var order []string
+	for _, s := range shapes {
+		if !s.carried {
+			continue
+		}
+		factors := []string{"8"}
+		for i, k := range s.kinds {
+			if k != posWild {
+				continue
+			}
+			id := ast.Unparen(s.ref.Index[i]).(*ast.Ident)
+			l, _ := n.loopByVar(id.Name)
+			factors = append(factors, parenIf(l.Trip()))
+		}
+		expr := strings.Join(factors, "*")
+		if prev, ok := perArray[s.ref.Array]; !ok {
+			perArray[s.ref.Array] = expr
+			order = append(order, s.ref.Array)
+		} else if len(expr) > len(prev) {
+			perArray[s.ref.Array] = expr // widest reference wins
+		}
+	}
+	terms := []string{fmt.Sprintf("%d", 8*1)} // the folded outer index
+	for _, a := range order {
+		terms = append(terms, perArray[a])
+	}
+	return strings.Join(terms, " + ")
+}
+
+// parenIf wraps an expression in parentheses unless it is a bare
+// identifier or literal.
+func parenIf(src string) string {
+	for _, r := range src {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		default:
+			return "(" + src + ")"
+		}
+	}
+	return src
+}

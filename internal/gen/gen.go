@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/facts"
+	"repro/internal/analysis/load"
+)
+
+// Result is one generated file, ready to write.
+type Result struct {
+	Nest     *Nest
+	FileName string
+	Source   []byte
+}
+
+// LoadPackage loads and type-checks the package at dir through the
+// analysis loader and computes its fact set. Directories inside the
+// enclosing module load under their real import path; directories
+// outside (test fixtures) load under a synthetic fixture path.
+func LoadPackage(dir string) (*load.Package, *facts.Set, error) {
+	loader, err := load.NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkg *load.Package
+	if rel, relErr := filepath.Rel(loader.ModuleDir, abs); relErr == nil && !strings.HasPrefix(rel, "..") {
+		path := loader.ModulePath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err = loader.Load(path)
+	} else {
+		pkg, err = loader.LoadDir(abs, "fixture/"+filepath.Base(abs))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, facts.Analyze([]*load.Package{pkg}), nil
+}
+
+// Generate runs the full navpgen pipeline over the package at dir:
+// select the nests (every annotated function, or the explicitly named
+// funcName with the given spec), extract and classify each, machine-
+// verify all three variants against sample plans, and emit the
+// generated sources. The package name of the emitted files is the
+// source package's own name, so generated code lands next to its nest.
+func Generate(dir, funcName, distSpec string) ([]Result, error) {
+	pkg, fs, err := LoadPackage(dir)
+	if err != nil {
+		return nil, err
+	}
+	var nests []*Nest
+	if funcName != "" {
+		if distSpec == "" {
+			return nil, fmt.Errorf("gen: -func %s needs a -dist spec (or annotate the function)", funcName)
+		}
+		d, err := ParseDist(distSpec)
+		if err != nil {
+			return nil, err
+		}
+		nest, err := ExtractNest(pkg, fs, funcName, d)
+		if err != nil {
+			return nil, err
+		}
+		nests = append(nests, nest)
+	} else {
+		if distSpec != "" {
+			return nil, fmt.Errorf("gen: -dist without -func; annotate the functions instead")
+		}
+		nests, err = AnnotatedNests(pkg, fs)
+		if err != nil {
+			return nil, err
+		}
+		if len(nests) == 0 {
+			return nil, fmt.Errorf("gen: no %s annotations in %s", Annotation, pkg.Path)
+		}
+	}
+	sort.Slice(nests, func(i, j int) bool { return nests[i].Name < nests[j].Name })
+
+	pkgName := pkg.Types.Name()
+	out := make([]Result, 0, len(nests))
+	for _, n := range nests {
+		if err := VerifyVariants(n); err != nil {
+			return nil, err
+		}
+		src, err := Emit(n, pkgName)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Result{Nest: n, FileName: FileName(n), Source: src})
+	}
+	return out, nil
+}
+
+// WriteResults writes each generated file into dir. With check set, no
+// file is written: instead every result is compared byte-for-byte
+// against what is on disk, and any drift (or missing file) is an error
+// — the CI regeneration gate.
+func WriteResults(results []Result, dir string, check bool) error {
+	var drift []string
+	for _, r := range results {
+		path := filepath.Join(dir, r.FileName)
+		if check {
+			have, err := os.ReadFile(path)
+			if err != nil {
+				drift = append(drift, fmt.Sprintf("%s: %v", r.FileName, err))
+				continue
+			}
+			if !bytes.Equal(have, r.Source) {
+				drift = append(drift, fmt.Sprintf("%s: differs from regenerated output", r.FileName))
+			}
+			continue
+		}
+		if err := os.WriteFile(path, r.Source, 0o644); err != nil {
+			return err
+		}
+	}
+	if len(drift) > 0 {
+		return fmt.Errorf("gen: generated sources are stale (rerun navpgen):\n  %s", strings.Join(drift, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/facts"
+	"repro/internal/analysis/load"
+)
+
+// extractFrom writes src into a temp fixture package, loads and
+// fact-analyzes it through the real analysis loader, and extracts fn
+// under dist — the full front half of the navpgen pipeline.
+func extractFrom(t *testing.T, src, fn, dist string) (*Nest, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := facts.Analyze([]*load.Package{pkg})
+	d, err := ParseDist(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ExtractNest(pkg, fs, fn, d)
+}
+
+func TestExtractMatmulShape(t *testing.T) {
+	n, err := extractFrom(t, `package f
+
+func Mm(a [][]float64, b [][]float64, c [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				c[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+}
+`, "Mm", "block(j)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Loops); got != 3 {
+		t.Errorf("loops = %d, want 3", got)
+	}
+	if n.DistIdx != 1 || n.OuterLoop().Var != "i" || n.DistLoop().Var != "j" {
+		t.Errorf("loop roles wrong: distIdx=%d outer=%s dist=%s", n.DistIdx, n.OuterLoop().Var, n.DistLoop().Var)
+	}
+	if n.OpCount != 2 {
+		t.Errorf("opcount = %d, want 2", n.OpCount)
+	}
+	if got := len(n.Refs); got != 3 {
+		t.Errorf("refs = %d, want 3 (c, a, b)", got)
+	}
+	if n.Elem != "float64" {
+		t.Errorf("elem = %s", n.Elem)
+	}
+	if err := VerifyVariants(n); err != nil {
+		t.Errorf("legal nest refused: %v", err)
+	}
+}
+
+// TestExtractRefusals pins the generator's refusal messages: a
+// mechanical transformer must reject, specifically, everything outside
+// its supported shape.
+func TestExtractRefusals(t *testing.T) {
+	cases := []struct {
+		name, src, fn, dist, wantErr string
+	}{
+		{
+			name: "while-style loop",
+			src: `package f
+func F(a []float64, n int) {
+	i := 0
+	for i < n {
+		i++
+	}
+}`,
+			fn: "F", dist: "block(i)", wantErr: "counted loop",
+		},
+		{
+			name: "single loop",
+			src: `package f
+func F(a []float64, n int) {
+	for i := 0; i < n; i++ {
+		a[i] += 1
+	}
+}`,
+			fn: "F", dist: "block(i)", wantErr: "needs an outer",
+		},
+		{
+			name: "unknown distributed dimension",
+			src: `package f
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(z)", wantErr: "no loop over distributed dimension",
+		},
+		{
+			name: "distributing the outermost loop",
+			src: `package f
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(i)", wantErr: "exactly one outer",
+		},
+		{
+			name: "call in body",
+			src: `package f
+func g() float64 { return 1 }
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += g()
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "unsupported",
+		},
+		{
+			name: "computed subscript on written array",
+			src: `package f
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*2][j] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "bare loop variable",
+		},
+		{
+			name: "mixed dist and inner subscript",
+			src: `package f
+func F(a [][]float64, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				a[i][j] += b[j+k]
+			}
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "mixes the distributed variable",
+		},
+		{
+			name: "unsupported element type",
+			src: `package f
+func F(a [][]float32, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "unsupported",
+		},
+		{
+			name: "reserved loop variable",
+			src: `package f
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for p := 0; p < n; p++ {
+			a[i][p] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(p)", wantErr: "collides",
+		},
+		{
+			name: "triangular bounds",
+			src: `package f
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "rectangular",
+		},
+		{
+			name: "serializing write",
+			src: `package f
+func F(a [][]float64, acc []float64, rows int, n int) {
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			acc[i] = a[i][j] + a[i][j]
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "nothing can run in parallel",
+		},
+		{
+			name: "ghost write",
+			src: `package f
+func F(a [][]float64, b [][]float64, rows int, n int) {
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			b[i][j] = a[i][j+1] * a[i][j+1]
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "",
+		},
+		{
+			name: "blocking body",
+			src: `package f
+import "time"
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			time.Sleep(time.Duration(n))
+			a[i][j] += 1
+		}
+	}
+}`,
+			fn: "F", dist: "block(j)", wantErr: "may block",
+		},
+		{
+			name: "missing function",
+			src: `package f
+func F(a []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i] += 1
+		}
+	}
+}`,
+			fn: "G", dist: "block(j)", wantErr: "not found",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := extractFrom(t, c.src, c.fn, c.dist)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected refusal: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted; want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestVerifyRefusesIllegalTransformation is the machine check earning
+// its keep: a nest whose distributed writes collide across outer
+// indexes extracts fine, but pipelining it would reorder a true
+// dependence, and core.Check over the sample plans refuses generation.
+func TestVerifyRefusesIllegalTransformation(t *testing.T) {
+	n, err := extractFrom(t, `package f
+
+func Gather(dst []float64, src []float64, rows int, n int) {
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			dst[j] = src[i] + src[i]
+		}
+	}
+}
+`, "Gather", "cyclic(j)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyVariants(n)
+	if err == nil {
+		t.Fatal("illegal transformation passed verification")
+	}
+	if !strings.Contains(err.Error(), "violates a sequential dependence") {
+		t.Errorf("refusal %q does not name the dependence violation", err)
+	}
+}
+
+// TestAnnotationErrors pins annotation parsing diagnostics.
+func TestAnnotationErrors(t *testing.T) {
+	run := func(src string) error {
+		t.Helper()
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loader, err := load.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(dir, "fixture/"+filepath.Base(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = AnnotatedNests(pkg, facts.Analyze([]*load.Package{pkg}))
+		return err
+	}
+	if err := run(`package f
+
+//navpgen:loopnest dist=diagonal(j)
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += 1
+		}
+	}
+}
+`); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("bad dist kind: %v", err)
+	}
+	if err := run(`package f
+
+//navpgen:loopnest mode=fast
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += 1
+		}
+	}
+}
+`); err == nil || !strings.Contains(err.Error(), "unknown annotation key") {
+		t.Errorf("bad key: %v", err)
+	}
+	if err := run(`package f
+
+//navpgen:loopnest
+func F(a [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] += 1
+		}
+	}
+}
+`); err == nil || !strings.Contains(err.Error(), "missing dist=") {
+		t.Errorf("missing dist: %v", err)
+	}
+}

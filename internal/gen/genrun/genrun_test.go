@@ -1,0 +1,183 @@
+package genrun
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+// TestBlockRangePartitions pins the block decomposition: for any
+// [lo,hi) and PE count the chunks are contiguous, ordered, exhaustive,
+// and within one element of each other in size.
+func TestBlockRangePartitions(t *testing.T) {
+	for _, c := range []struct{ lo, hi, pes int }{
+		{0, 10, 1}, {0, 10, 3}, {0, 10, 10}, {0, 10, 16},
+		{1, 8, 3}, {5, 5, 4}, {-3, 7, 4}, {2, 3, 2},
+	} {
+		prev := c.lo
+		min, max := c.hi-c.lo, 0
+		for p := 0; p < c.pes; p++ {
+			clo, chi := BlockRange(p, c.lo, c.hi, c.pes)
+			if clo != prev {
+				t.Errorf("[%d,%d)/%d: chunk %d starts at %d, want %d", c.lo, c.hi, c.pes, p, clo, prev)
+			}
+			if chi < clo {
+				t.Errorf("[%d,%d)/%d: chunk %d inverted [%d,%d)", c.lo, c.hi, c.pes, p, clo, chi)
+			}
+			if n := chi - clo; n < min {
+				min = n
+			} else if n > max {
+				max = n
+			}
+			if got := BlockLen(p, c.lo, c.hi, c.pes); got != chi-clo {
+				t.Errorf("BlockLen(%d) = %d, want %d", p, got, chi-clo)
+			}
+			prev = chi
+		}
+		if prev != c.hi {
+			t.Errorf("[%d,%d)/%d: chunks end at %d", c.lo, c.hi, c.pes, prev)
+		}
+		if c.hi > c.lo && max-min > 1 {
+			t.Errorf("[%d,%d)/%d: chunk sizes spread %d..%d", c.lo, c.hi, c.pes, min, max)
+		}
+	}
+}
+
+// TestBlockOwnerInvertsBlockRange pins BlockOwner as BlockRange's
+// inverse on in-range indices and as a clamp outside.
+func TestBlockOwnerInvertsBlockRange(t *testing.T) {
+	for _, c := range []struct{ lo, hi, pes int }{
+		{0, 10, 1}, {0, 10, 3}, {0, 10, 16}, {1, 8, 3}, {-3, 7, 4},
+	} {
+		for p := 0; p < c.pes; p++ {
+			clo, chi := BlockRange(p, c.lo, c.hi, c.pes)
+			for idx := clo; idx < chi; idx++ {
+				if got := BlockOwner(idx, c.lo, c.hi, c.pes); got != p {
+					t.Errorf("BlockOwner(%d, %d, %d, %d) = %d, want %d", idx, c.lo, c.hi, c.pes, got, p)
+				}
+			}
+		}
+		if got, want := BlockOwner(c.lo-5, c.lo, c.hi, c.pes), BlockOwner(c.lo, c.lo, c.hi, c.pes); got != want {
+			t.Errorf("below-range index owned by %d, want clamp to %d", got, want)
+		}
+		if got, want := BlockOwner(c.hi+5, c.lo, c.hi, c.pes), BlockOwner(c.hi-1, c.lo, c.hi, c.pes); got != want {
+			t.Errorf("above-range index owned by %d, want clamp to %d", got, want)
+		}
+	}
+}
+
+func TestCyclicOwner(t *testing.T) {
+	for idx := 0; idx < 12; idx++ {
+		if got := CyclicOwner(idx, 0, 4); got != idx%4 {
+			t.Errorf("CyclicOwner(%d, 0, 4) = %d, want %d", idx, got, idx%4)
+		}
+	}
+	if got := CyclicOwner(5, 2, 3); got != (5-2)%3 {
+		t.Errorf("CyclicOwner(5, 2, 3) = %d, want %d", got, (5-2)%3)
+	}
+}
+
+// TestRotationMatchesPhaseShift pins genrun.Rotation to core.PhaseShift's
+// default: the entry node the emitted phase-shifted variant computes
+// with Rotation must equal the Start node PhaseShift(plan, nil) assigns.
+func TestRotationMatchesPhaseShift(t *testing.T) {
+	const rows, cols = 5, 4
+	items := core.GridSweep(rows, cols, 1, func(col int) int { return col })
+	group := func(it core.Item) string {
+		var i, j int
+		fmt.Sscanf(it.ID, "it(%d,%d)", &i, &j)
+		return fmt.Sprintf("g%d", i)
+	}
+	shifted := core.PhaseShift(core.Pipeline(core.DSC("rot", items, 8), group), nil)
+	if len(shifted.Threads) != rows {
+		t.Fatalf("%d threads, want %d", len(shifted.Threads), rows)
+	}
+	for k, th := range shifted.Threads {
+		want := Rotation(k, cols)
+		if th.Start != want {
+			t.Errorf("thread %d enters at node %d, Rotation predicts %d", k, th.Start, want)
+		}
+		if th.Items[0].Node != want {
+			t.Errorf("thread %d first item on node %d, Rotation predicts %d", k, th.Items[0].Node, want)
+		}
+	}
+}
+
+func TestRotationBounds(t *testing.T) {
+	for length := 0; length < 6; length++ {
+		for k := -3; k < 9; k++ {
+			got := Rotation(k, length)
+			if length == 0 {
+				if got != 0 {
+					t.Errorf("Rotation(%d, 0) = %d, want 0", k, got)
+				}
+				continue
+			}
+			if got < 0 || got >= length {
+				t.Errorf("Rotation(%d, %d) = %d, out of [0,%d)", k, length, got, length)
+			}
+		}
+	}
+}
+
+func TestCheckPEs(t *testing.T) {
+	sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), 3)
+	if err := CheckPEs(sys, 3); err != nil {
+		t.Errorf("pes == nodes rejected: %v", err)
+	}
+	if err := CheckPEs(sys, 4); err == nil {
+		t.Error("pes > nodes accepted")
+	}
+	if err := CheckPEs(sys, 0); err == nil {
+		t.Error("pes == 0 accepted")
+	}
+}
+
+// TestCompare pins the two oracle comparison modes: bitwise for int64,
+// relative tolerance for float64.
+func TestCompare(t *testing.T) {
+	if err := CompareVec("v", []int64{1, 2}, []int64{1, 2}, 0); err != nil {
+		t.Errorf("equal int64 vectors differ: %v", err)
+	}
+	if err := CompareVec("v", []int64{1, 2}, []int64{1, 3}, 0); err == nil {
+		t.Error("unequal int64 vectors compare equal")
+	}
+	if err := CompareGrid("g", [][]float64{{1.0}}, [][]float64{{1.0 + 1e-15}}, 1e-12); err != nil {
+		t.Errorf("within-tolerance grids differ: %v", err)
+	}
+	if err := CompareGrid("g", [][]float64{{1.0}}, [][]float64{{1.0 + 1e-6}}, 1e-12); err == nil {
+		t.Error("out-of-tolerance grids compare equal")
+	}
+}
+
+// TestRandDeterministic pins seeded input generation: same seed, same
+// data; different seed, different data.
+func TestRandDeterministic(t *testing.T) {
+	a := RandGrid[float64](3, 4, 9)
+	b := RandGrid[float64](3, 4, 9)
+	if err := CompareGrid("g", a, b, 0); err != nil {
+		t.Errorf("same seed differs: %v", err)
+	}
+	c := RandVec[int64](16, 1)
+	d := RandVec[int64](16, 2)
+	if err := CompareVec("v", c, d, 0); err == nil {
+		t.Error("different seeds produced identical vectors")
+	}
+}
+
+// TestRegisterDuplicatePanics pins the registry's double-registration
+// guard (a generated package imported twice must fail loudly).
+func TestRegisterDuplicatePanics(t *testing.T) {
+	prog := Program{Nest: "DupNest", Variant: DSC, Dist: "block(j)",
+		Run: func(*navp.System, int, []int, int64) error { return nil }}
+	Register(prog)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(prog)
+}

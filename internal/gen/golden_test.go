@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"bytes"
+	"flag"
+	"go/format"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current generator output")
+
+// TestGoldenNests pins the committed generated sources in
+// internal/gen/nests: regenerating must reproduce them byte-for-byte.
+// This is the same property the CI navpgen-smoke job enforces with
+// `navpgen -check`; failing here means a generator change needs
+// `go run ./cmd/navpgen -pkg ./internal/gen/nests` rerun and the
+// result committed.
+func TestGoldenNests(t *testing.T) {
+	results, err := Generate("nests", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("generated %d files, want 3", len(results))
+	}
+	for _, r := range results {
+		path := filepath.Join("nests", r.FileName)
+		have, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v (regenerate with: go run ./cmd/navpgen -pkg ./internal/gen/nests)", path, err)
+			continue
+		}
+		if !bytes.Equal(have, r.Source) {
+			t.Errorf("%s is stale: differs from regenerated output (regenerate with: go run ./cmd/navpgen -pkg ./internal/gen/nests)", path)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins byte stability: two independent runs
+// of the full pipeline produce identical bytes.
+func TestGenerateDeterministic(t *testing.T) {
+	first, err := Generate("nests", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Generate("nests", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("run sizes differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].FileName != second[i].FileName {
+			t.Fatalf("file order differs: %s vs %s", first[i].FileName, second[i].FileName)
+		}
+		if !bytes.Equal(first[i].Source, second[i].Source) {
+			t.Errorf("%s: two runs produced different bytes", first[i].FileName)
+		}
+	}
+}
+
+// TestGeneratedGofmtIdempotent pins gofmt idempotence: formatting the
+// emitted source changes nothing.
+func TestGeneratedGofmtIdempotent(t *testing.T) {
+	results, err := Generate("nests", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		formatted, err := format.Source(r.Source)
+		if err != nil {
+			t.Fatalf("%s: gofmt: %v", r.FileName, err)
+		}
+		if !bytes.Equal(formatted, r.Source) {
+			t.Errorf("%s: emitted source is not gofmt-idempotent", r.FileName)
+		}
+	}
+}
+
+// TestGoldenFixture pins the generator's full output for a fixture nest
+// outside the shipping nests package, so intentional emitter changes
+// show up as a reviewable golden diff (-update rewrites it).
+func TestGoldenFixture(t *testing.T) {
+	results, err := Generate(filepath.Join("testdata", "src", "scale"), "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("generated %d files, want 1", len(results))
+	}
+	golden := filepath.Join("testdata", "golden", results[0].FileName+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, results[0].Source, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(want, results[0].Source) {
+		t.Errorf("generated output differs from %s (rerun with -update and review the diff)", golden)
+	}
+}

@@ -1,0 +1,104 @@
+package nests
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen/genrun"
+)
+
+// handSweep rebuilds the hand-written schedule of examples/transform —
+// core.GridSweep items DSC'd, pipelined by record, phase-shifted — for
+// the same shape and PE mapping the generated Sweep nest uses.
+func handSweep(v genrun.Variant, rows, cols, pes int) *core.Plan {
+	items := core.GridSweep(rows, cols, 3, func(col int) int { return col % pes })
+	groupByRow := func(it core.Item) string {
+		var i, j int
+		fmt.Sscanf(it.ID, "it(%d,%d)", &i, &j)
+		return fmt.Sprintf("record%d", i)
+	}
+	plan := core.DSC("sweep", items, 16)
+	switch v {
+	case genrun.Pipelined:
+		plan = core.Pipeline(plan, groupByRow)
+	case genrun.PhaseShifted:
+		plan = core.PhaseShift(core.Pipeline(plan, groupByRow), nil)
+	}
+	return plan
+}
+
+// TestDogfoodSweepMatchesHandWritten is the dogfood gate: navpgen,
+// pointed at the sequential Sweep nest, must mechanically reproduce the
+// schedule examples/transform builds by hand — same core.Check verdict,
+// same thread structure, same item order, same node pinning, same
+// per-item footprint cells. Thread names and carry sizes are the only
+// freedoms left to the generator.
+func TestDogfoodSweepMatchesHandWritten(t *testing.T) {
+	const rows, cols = 6, 4
+	for _, v := range genrun.Variants {
+		for _, pes := range []int{1, 2, 4} {
+			name := fmt.Sprintf("%s/pes=%d", v, pes)
+			hand := handSweep(v, rows, cols, pes)
+			gen := SweepPlan(v, pes, nil, nil, rows, cols)
+
+			hv, err := core.Check(hand)
+			if err != nil {
+				t.Fatalf("%s: hand plan: %v", name, err)
+			}
+			gv, err := core.Check(gen)
+			if err != nil {
+				t.Fatalf("%s: generated plan: %v", name, err)
+			}
+			if len(hv) != 0 || len(gv) != 0 {
+				t.Fatalf("%s: verdicts differ or dirty: hand=%v generated=%v", name, hv, gv)
+			}
+
+			if len(gen.Threads) != len(hand.Threads) {
+				t.Fatalf("%s: %d threads generated, hand-written has %d", name, len(gen.Threads), len(hand.Threads))
+			}
+			for ti := range hand.Threads {
+				ht, gt := hand.Threads[ti], gen.Threads[ti]
+				if gt.Start != ht.Start {
+					t.Errorf("%s: thread %d starts at node %d, hand-written at %d", name, ti, gt.Start, ht.Start)
+				}
+				if len(gt.Items) != len(ht.Items) {
+					t.Fatalf("%s: thread %d has %d items, hand-written %d", name, ti, len(gt.Items), len(ht.Items))
+				}
+				for ii := range ht.Items {
+					hi, gi := ht.Items[ii], gt.Items[ii]
+					if gi.ID != hi.ID || gi.Node != hi.Node {
+						t.Errorf("%s: thread %d item %d: got %s@%d, hand-written %s@%d",
+							name, ti, ii, gi.ID, gi.Node, hi.ID, hi.Node)
+					}
+					if !sameCells(gi.Accesses, hi.Accesses) {
+						t.Errorf("%s: item %s: footprint %v, hand-written %v",
+							name, gi.ID, gi.Accesses, hi.Accesses)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sameCells compares two declared footprints as sets of
+// (cell, write, commutative) triples, ignoring declaration order.
+func sameCells(a, b []core.Access) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(ac core.Access) string {
+		return fmt.Sprintf("%s|%v|%v", ac.Cell, ac.Write, ac.Commutative)
+	}
+	set := map[string]int{}
+	for _, ac := range a {
+		set[key(ac)]++
+	}
+	for _, ac := range b {
+		set[key(ac)]--
+		if set[key(ac)] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+// Package nests holds the sequential loop nests navpgen transforms and
+// the generated NavP programs derived from them (*_navp.go files).
+//
+// Each nest is an ordinary sequential Go function — the paper's
+// starting point — annotated with the data distribution to parallelize
+// it under. Running
+//
+//	go run repro/cmd/navpgen -pkg ./internal/gen/nests
+//
+// regenerates every *_navp.go sibling: the DSC'd, pipelined, and
+// phase-shifted NavP programs, their execution-plan constructors, and
+// their registry entries. The generated programs are the subjects of
+// this package's oracle, golden, lint, and dogfood tests.
+package nests
+
+// MatmulIJK is the paper's Figure-2 matrix multiply in ijk loop order:
+// C += A·B over n×n matrices. Distributed block(j), each PE owns a
+// contiguous band of C and B columns; A rows ride with the agents —
+// exactly the column-block decomposition of the paper's Figure 4.
+//
+//navpgen:loopnest dist=block(j)
+func MatmulIJK(a [][]float64, b [][]float64, c [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				c[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+}
+
+// Stencil1D applies one 3-point smoothing pass to each of rows
+// independent lines of n samples, writing the interior of out from in.
+// Distributed block(i), each PE owns a contiguous span of every line;
+// the ±1 taps make the generated footprint declare ghost reads of the
+// neighbouring chunks.
+//
+//navpgen:loopnest dist=block(i)
+func Stencil1D(in [][]float64, out [][]float64, rows int, n int) {
+	for r := 0; r < rows; r++ {
+		for i := 1; i < n-1; i++ {
+			out[r][i] = 0.25*in[r][i-1] + 0.5*in[r][i] + 0.25*in[r][i+1]
+		}
+	}
+}
+
+// Sweep is the integer grid sweep examples/transform schedules by hand
+// via core.GridSweep: every cell of the rows×cols grid accumulates a
+// product of its row's input. Distributed cyclic(j), columns deal out
+// round-robin — the same owner map as the hand-written plan, which is
+// what the dogfood test compares against.
+//
+//navpgen:loopnest dist=cyclic(j)
+func Sweep(in []int64, out [][]int64, rows int, cols int) {
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out[i][j] += in[i] * int64(i+j)
+		}
+	}
+}

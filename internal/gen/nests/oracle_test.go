@@ -1,0 +1,123 @@
+package nests
+
+import (
+	"testing"
+
+	"repro/internal/gen/genrun"
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+// sizesFor binds a program's size parameters for an oracle run: modest
+// and deliberately not divisible by any tested PE count, so block
+// chunking hits uneven tails.
+func sizesFor(p genrun.Program) []int {
+	out := make([]int, len(p.SizeParams))
+	for i := range out {
+		out[i] = 7 + 2*i
+	}
+	return out
+}
+
+// TestRegistryComplete pins the generated registry: three nests, three
+// variants each, every entry self-describing.
+func TestRegistryComplete(t *testing.T) {
+	progs := genrun.Programs()
+	if len(progs) != 9 {
+		t.Fatalf("registry holds %d programs, want 9 (3 nests x 3 variants)", len(progs))
+	}
+	wantNests := map[string]string{"MatmulIJK": "block(j)", "Stencil1D": "block(i)", "Sweep": "cyclic(j)"}
+	seen := map[string]int{}
+	for _, p := range progs {
+		seen[p.Nest]++
+		if d, ok := wantNests[p.Nest]; !ok || d != p.Dist {
+			t.Errorf("%s: dist %q, want %q", p.Name(), p.Dist, d)
+		}
+		if _, ok := genrun.Lookup(p.Name()); !ok {
+			t.Errorf("Lookup(%q) failed", p.Name())
+		}
+	}
+	for nest, count := range seen {
+		if count != 3 {
+			t.Errorf("%s registered %d variants, want 3", nest, count)
+		}
+	}
+}
+
+// TestOracleSim runs every generated program on the deterministic
+// simulated backend across PE counts and checks it against the
+// sequential nest (Run does the comparison internally: bitwise for
+// int64 nests, 1e-12 relative for float64).
+func TestOracleSim(t *testing.T) {
+	for _, p := range genrun.Programs() {
+		t.Run(p.Name(), func(t *testing.T) {
+			for _, pes := range []int{1, 2, 3, 5} {
+				sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), pes)
+				if err := p.Run(sys, pes, sizesFor(p), 42); err != nil {
+					t.Fatalf("pes=%d: %v", pes, err)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleReal runs every generated program on the goroutine backend
+// (agents genuinely concurrent; -race makes this a data-race proof of
+// the generated hop/compute structure).
+func TestOracleReal(t *testing.T) {
+	for _, p := range genrun.Programs() {
+		t.Run(p.Name(), func(t *testing.T) {
+			for _, pes := range []int{1, 3, 4} {
+				sys := navp.NewReal(navp.DefaultConfig(), pes)
+				if err := p.Run(sys, pes, sizesFor(p), 7); err != nil {
+					t.Fatalf("pes=%d: %v", pes, err)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleSeeds varies the input seed so a lucky zero can't mask a
+// wrong dataflow.
+func TestOracleSeeds(t *testing.T) {
+	for _, p := range genrun.Programs() {
+		for seed := int64(1); seed <= 3; seed++ {
+			sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), 3)
+			if err := p.Run(sys, 3, sizesFor(p), seed); err != nil {
+				t.Fatalf("%s seed=%d: %v", p.Name(), seed, err)
+			}
+		}
+	}
+}
+
+// TestCheckPlansAtShape re-proves dependence preservation at the oracle
+// shapes through each generated CheckPlans entry point.
+func TestCheckPlansAtShape(t *testing.T) {
+	for _, pes := range []int{1, 2, 3, 5} {
+		if err := MatmulIJKCheckPlans(pes, 7); err != nil {
+			t.Errorf("MatmulIJK pes=%d: %v", pes, err)
+		}
+		if err := Stencil1DCheckPlans(pes, 7, 9); err != nil {
+			t.Errorf("Stencil1D pes=%d: %v", pes, err)
+		}
+		if err := SweepCheckPlans(pes, 7, 9); err != nil {
+			t.Errorf("Sweep pes=%d: %v", pes, err)
+		}
+	}
+}
+
+// TestProgramRejectsBadShape pins the generated size validation.
+func TestProgramRejectsBadShape(t *testing.T) {
+	p, ok := genrun.Lookup("MatmulIJK/dsc")
+	if !ok {
+		t.Fatal("MatmulIJK/dsc not registered")
+	}
+	sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), 2)
+	if err := p.Run(sys, 2, []int{4, 4}, 1); err == nil {
+		t.Error("wrong size count accepted")
+	}
+	sys = navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), 2)
+	if err := p.Run(sys, 5, []int{4}, 1); err == nil {
+		t.Error("pes > nodes accepted")
+	}
+}

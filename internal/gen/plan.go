@@ -1,0 +1,315 @@
+package gen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/gen/genrun"
+)
+
+// This file is the generator's verify stage: before any source is
+// emitted, the exact item/footprint structure the generated plan
+// constructor will declare is built in memory at several sample shapes
+// and PE counts, and core.Check runs over every variant. A
+// transformation that would reorder a dependence of the sequential
+// nest is refused here, at generation time — the emitted CheckPlans
+// function then re-proves the same thing at the user's real shape.
+
+// evalExpr evaluates an integer expression over loop variables and
+// size parameters bound in env.
+func evalExpr(e ast.Expr, env map[string]int) (int, error) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return evalExpr(x.X, env)
+	case *ast.BasicLit:
+		if x.Kind != token.INT {
+			return 0, fmt.Errorf("gen: non-integer literal %q", x.Value)
+		}
+		return strconv.Atoi(x.Value)
+	case *ast.Ident:
+		v, ok := env[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("gen: unbound identifier %q", x.Name)
+		}
+		return v, nil
+	case *ast.UnaryExpr:
+		if x.Op != token.SUB {
+			return 0, fmt.Errorf("gen: unsupported operator %q", x.Op)
+		}
+		v, err := evalExpr(x.X, env)
+		return -v, err
+	case *ast.BinaryExpr:
+		a, err := evalExpr(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := evalExpr(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.ADD:
+			return a + b, nil
+		case token.SUB:
+			return a - b, nil
+		case token.MUL:
+			return a * b, nil
+		case token.QUO:
+			if b == 0 {
+				return 0, fmt.Errorf("gen: division by zero")
+			}
+			return a / b, nil
+		case token.REM:
+			if b == 0 {
+				return 0, fmt.Errorf("gen: modulo by zero")
+			}
+			return a % b, nil
+		}
+		return 0, fmt.Errorf("gen: unsupported operator %q", x.Op)
+	default:
+		return 0, fmt.Errorf("gen: unsupported expression %T", e)
+	}
+}
+
+// buildPlan constructs, in memory, the same plan the emitted <Nest>Plan
+// constructor builds: one item per (outer index, chunk) under block
+// distribution, one per (outer index, distributed index) under cyclic,
+// DSC'd in sequential order and then rewritten per the variant.
+func buildPlan(n *Nest, shapes []refShape, v genrun.Variant, pes int, env map[string]int) (*core.Plan, error) {
+	outer, dist := n.OuterLoop(), n.DistLoop()
+	lo0, err := evalExpr(outer.Lo, env)
+	if err != nil {
+		return nil, err
+	}
+	hi0, err := evalExpr(outer.Hi, env)
+	if err != nil {
+		return nil, err
+	}
+	lo1, err := evalExpr(dist.Lo, env)
+	if err != nil {
+		return nil, err
+	}
+	hi1, err := evalExpr(dist.Hi, env)
+	if err != nil {
+		return nil, err
+	}
+	innerTrips := 1
+	for _, l := range n.InnerLoops() {
+		lo, err := evalExpr(l.Lo, env)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := evalExpr(l.Hi, env)
+		if err != nil {
+			return nil, err
+		}
+		if hi > lo {
+			innerTrips *= hi - lo
+		} else {
+			innerTrips = 0
+		}
+	}
+
+	var items []core.Item
+	groups := map[string]string{}
+	for i0 := lo0; i0 < hi0; i0++ {
+		ienv := withBinding(env, outer.Var, i0)
+		switch n.Dist.Kind {
+		case Block:
+			for p := 0; p < pes; p++ {
+				clo, chi := genrun.BlockRange(p, lo1, hi1, pes)
+				acc, err := sampleAccesses(n, shapes, ienv, p, lo1, hi1, pes)
+				if err != nil {
+					return nil, err
+				}
+				id := fmt.Sprintf("it(%d,%d)", i0, p)
+				items = append(items, core.Item{
+					ID: id, Node: p,
+					Flops:    float64(n.OpCount * (chi - clo) * innerTrips),
+					Accesses: acc,
+				})
+				groups[id] = fmt.Sprintf("g%d", i0)
+			}
+		case Cyclic:
+			for j := lo1; j < hi1; j++ {
+				jenv := withBinding(ienv, dist.Var, j)
+				acc, err := sampleAccesses(n, shapes, jenv, -1, lo1, hi1, pes)
+				if err != nil {
+					return nil, err
+				}
+				id := fmt.Sprintf("it(%d,%d)", i0, j)
+				items = append(items, core.Item{
+					ID: id, Node: genrun.CyclicOwner(j, lo1, pes),
+					Flops:    float64(n.OpCount * innerTrips),
+					Accesses: acc,
+				})
+				groups[id] = fmt.Sprintf("g%d", i0)
+			}
+		}
+	}
+
+	carry := int64(8)
+	for _, s := range shapes {
+		if !s.carried {
+			continue
+		}
+		bytes := 8
+		for i, k := range s.kinds {
+			if k != posWild {
+				continue
+			}
+			id := ast.Unparen(s.ref.Index[i]).(*ast.Ident)
+			l, _ := n.loopByVar(id.Name)
+			lo, err := evalExpr(l.Lo, env)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := evalExpr(l.Hi, env)
+			if err != nil {
+				return nil, err
+			}
+			if hi > lo {
+				bytes *= hi - lo
+			} else {
+				bytes = 0
+			}
+		}
+		carry += int64(bytes)
+	}
+
+	plan := core.DSC(n.Name, items, carry)
+	switch v {
+	case genrun.Pipelined:
+		plan = core.Pipeline(plan, func(it core.Item) string { return groups[it.ID] })
+	case genrun.PhaseShifted:
+		plan = core.PhaseShift(core.Pipeline(plan, func(it core.Item) string { return groups[it.ID] }), nil)
+	}
+	return plan, nil
+}
+
+// withBinding copies env with one extra binding.
+func withBinding(env map[string]int, name string, v int) map[string]int {
+	out := make(map[string]int, len(env)+1)
+	for k, val := range env {
+		out[k] = val
+	}
+	out[name] = v
+	return out
+}
+
+// sampleAccesses builds the footprint cells of one item, mirroring the
+// emitted Sprintf cells exactly: exact subscripts evaluate to their
+// value, inner subscripts wildcard to "*", block-distributed
+// subscripts summarize to chunk cells "b<p>" (the chunk itself for the
+// bare variable, the two endpoint owners for a ghost offset), and
+// cyclic subscripts evaluate exactly. blockP is the chunk index under
+// block distribution, -1 under cyclic (env then binds the distributed
+// variable).
+func sampleAccesses(n *Nest, shapes []refShape, env map[string]int, blockP, lo1, hi1, pes int) ([]core.Access, error) {
+	var out []core.Access
+	for _, s := range shapes {
+		rows := [][]string{nil}
+		for i, k := range s.kinds {
+			switch k {
+			case posWild:
+				rows = appendPart(rows, "*")
+			case posExact:
+				v, err := evalExpr(s.ref.Index[i], env)
+				if err != nil {
+					return nil, err
+				}
+				rows = appendPart(rows, strconv.Itoa(v))
+			case posDist:
+				if n.Dist.Kind == Cyclic {
+					v, err := evalExpr(s.ref.Index[i], env)
+					if err != nil {
+						return nil, err
+					}
+					rows = appendPart(rows, strconv.Itoa(v))
+					continue
+				}
+				if s.shift == 0 {
+					rows = appendPart(rows, fmt.Sprintf("b%d", blockP))
+					continue
+				}
+				// A ghost offset touches up to two chunks: fork the cell
+				// into the two endpoint owners (they may coincide; the
+				// emitted literal also carries both entries).
+				clo := genrun.BlockLo(blockP, lo1, hi1, pes)
+				chi := genrun.BlockHi(blockP, lo1, hi1, pes)
+				loOwner := genrun.BlockOwner(clo+s.shift, lo1, hi1, pes)
+				hiOwner := genrun.BlockOwner(chi-1+s.shift, lo1, hi1, pes)
+				var next [][]string
+				for _, row := range rows {
+					next = append(next, append(append([]string(nil), row...), fmt.Sprintf("b%d", loOwner)))
+					next = append(next, append(append([]string(nil), row...), fmt.Sprintf("b%d", hiOwner)))
+				}
+				rows = next
+			}
+		}
+		for _, row := range rows {
+			cell := s.ref.Array + "("
+			for i, p := range row {
+				if i > 0 {
+					cell += ","
+				}
+				cell += p
+			}
+			cell += ")"
+			out = append(out, core.Access{Cell: cell, Write: s.ref.Write, Commutative: s.ref.Commutative})
+		}
+	}
+	return out, nil
+}
+
+// appendPart appends one rendered subscript to every pending cell row.
+func appendPart(rows [][]string, part string) [][]string {
+	for i := range rows {
+		rows[i] = append(rows[i], part)
+	}
+	return rows
+}
+
+// VerifyVariants is the generator's machine check: it builds sample
+// plans for every variant at several shapes and PE counts and runs
+// core.Check over each. Any dependence violation refuses generation —
+// navpgen only emits transformations it can prove preserve the nest's
+// sequential semantics at the sampled shapes (the emitted CheckPlans
+// re-proves it at the real shape).
+func VerifyVariants(n *Nest) error {
+	shapes, err := classify(n)
+	if err != nil {
+		return err
+	}
+	checked := 0
+	for _, size := range []int{5, 8} {
+		env := map[string]int{}
+		for _, sp := range n.SizeParams {
+			env[sp] = size
+		}
+		for _, pes := range []int{1, 2, 3} {
+			for _, v := range genrun.Variants {
+				plan, err := buildPlan(n, shapes, v, pes, env)
+				if err != nil {
+					return fmt.Errorf("gen: %s/%s: building sample plan (size=%d, pes=%d): %w", n.Name, v, size, pes, err)
+				}
+				viol, err := core.Check(plan)
+				if err != nil {
+					return fmt.Errorf("gen: %s/%s: core.Check (size=%d, pes=%d): %w", n.Name, v, size, pes, err)
+				}
+				if len(viol) > 0 {
+					return fmt.Errorf("gen: %s/%s violates a sequential dependence at size=%d, pes=%d (%d violations; first: %v): the nest is not legal under %s",
+						n.Name, v, size, pes, len(viol), viol[0], n.Dist)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("gen: %s: no sample plans could be built", n.Name)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// DistKind is the data-distribution family of a spec.
+type DistKind int
+
+const (
+	// Block assigns each PE one contiguous chunk of the distributed
+	// dimension (the paper's column-block distribution, Figure 4).
+	Block DistKind = iota
+	// Cyclic deals the distributed dimension's indexes out round-robin.
+	Cyclic
+)
+
+// String returns the kind's spec keyword.
+func (k DistKind) String() string {
+	switch k {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	}
+	return fmt.Sprintf("DistKind(%d)", int(k))
+}
+
+// Dist is a parsed data-distribution spec: which loop dimension of the
+// nest is distributed, and how. The PE count is deliberately not part
+// of the spec — generated programs take it at run time, so one
+// generation serves every cluster size.
+type Dist struct {
+	Kind DistKind
+	// Dim names the distributed loop variable ("j").
+	Dim string
+}
+
+// String renders the spec back to its canonical source form.
+func (d Dist) String() string { return fmt.Sprintf("%s(%s)", d.Kind, d.Dim) }
+
+// ParseDist parses a distribution spec of the form
+//
+//	block(dim) | cyclic(dim)
+//
+// where dim is a Go identifier naming a loop variable of the nest.
+// Whitespace around tokens is ignored. Malformed specs return an error;
+// ParseDist never panics (FuzzParseDist pins this).
+func ParseDist(s string) (Dist, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return Dist{}, fmt.Errorf("gen: distribution spec %q: want kind(dim), e.g. block(j)", orig)
+	}
+	kindStr := strings.TrimSpace(s[:open])
+	rest := s[open+1:]
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return Dist{}, fmt.Errorf("gen: distribution spec %q: missing ')'", orig)
+	}
+	if tail := strings.TrimSpace(rest[close+1:]); tail != "" {
+		return Dist{}, fmt.Errorf("gen: distribution spec %q: trailing %q after ')'", orig, tail)
+	}
+	dim := strings.TrimSpace(rest[:close])
+
+	var kind DistKind
+	switch kindStr {
+	case "block":
+		kind = Block
+	case "cyclic":
+		kind = Cyclic
+	default:
+		return Dist{}, fmt.Errorf("gen: distribution spec %q: unknown kind %q (want block or cyclic)", orig, kindStr)
+	}
+	if !isGoIdent(dim) {
+		return Dist{}, fmt.Errorf("gen: distribution spec %q: dimension %q is not an identifier", orig, dim)
+	}
+	return Dist{Kind: kind, Dim: dim}, nil
+}
+
+// isGoIdent reports whether s is a valid Go identifier.
+func isGoIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) {
+			continue
+		}
+		if i > 0 && unicode.IsDigit(r) {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDist(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Dist
+		ok   bool
+	}{
+		{"block(j)", Dist{Block, "j"}, true},
+		{"cyclic(i)", Dist{Cyclic, "i"}, true},
+		{"  block( j )  ", Dist{Block, "j"}, true},
+		{"block(row_)", Dist{Block, "row_"}, true},
+		{"cyclic(j2)", Dist{Cyclic, "j2"}, true},
+		{"", Dist{}, false},
+		{"block", Dist{}, false},
+		{"block()", Dist{}, false},
+		{"block(j", Dist{}, false},
+		{"block(j))", Dist{}, false},
+		{"block(j) x", Dist{}, false},
+		{"diagonal(j)", Dist{}, false},
+		{"block(2j)", Dist{}, false},
+		{"block(a b)", Dist{}, false},
+		{"(j)", Dist{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDist(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseDist(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseDist(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseDistRoundTrip pins String as the canonical form: whatever
+// parses must re-parse to itself via String.
+func TestParseDistRoundTrip(t *testing.T) {
+	for _, in := range []string{"block(j)", "cyclic(i)", " block( dim ) "} {
+		d, err := ParseDist(in)
+		if err != nil {
+			t.Fatalf("ParseDist(%q): %v", in, err)
+		}
+		back, err := ParseDist(d.String())
+		if err != nil {
+			t.Fatalf("ParseDist(%q): %v", d.String(), err)
+		}
+		if back != d {
+			t.Errorf("round trip %q -> %v -> %v", in, d, back)
+		}
+	}
+}
+
+// FuzzParseDist is the robustness gate the CI fuzz step runs: malformed
+// specs must error, never panic, and anything accepted must round-trip
+// through its canonical String form.
+func FuzzParseDist(f *testing.F) {
+	for _, seed := range []string{
+		"block(j)", "cyclic(i)", "block()", "block", "block(j))",
+		"cyclic((i))", " block ( j ) ", "BLOCK(J)", "block(\x00)",
+		"block(j)cyclic(i)", "(", ")", "block(世界)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDist(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "distribution spec") {
+				t.Errorf("ParseDist(%q): error %q does not name the spec", s, err)
+			}
+			return
+		}
+		back, err := ParseDist(d.String())
+		if err != nil {
+			t.Errorf("ParseDist(%q) accepted %v, but canonical form %q re-parses with: %v", s, d, d.String(), err)
+		} else if back != d {
+			t.Errorf("ParseDist(%q): %v round-trips to %v", s, d, back)
+		}
+	})
+}

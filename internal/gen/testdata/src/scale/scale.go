@@ -1,0 +1,16 @@
+// Package scale is a navpgen golden-test fixture: a minimal annotated
+// nest whose generated output is pinned byte-for-byte in
+// testdata/golden. Regenerate with `go test ./internal/gen -run
+// TestGoldenFixture -update`.
+package scale
+
+// ScaleRows accumulates a scaled per-row constant into every cell.
+//
+//navpgen:loopnest dist=block(j)
+func ScaleRows(m [][]float64, s []float64, rows int, cols int) {
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			m[r][j] += s[r] * 0.5
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/gen/genrun"
+	_ "repro/internal/gen/nests" // populate the generated-program registry
+	"repro/internal/machine"
+	"repro/internal/navp"
+)
+
+// GenRun executes one navpgen-generated program ("Nest/variant" from
+// the genrun registry) on a private simulated cluster and reports its
+// makespan. The program's own oracle comparison runs inside Run, so a
+// completed GenRun job is also a correctness proof of the generated
+// schedule at the given shape.
+type GenRun struct {
+	// Program is a registry name, e.g. "MatmulIJK/phase".
+	Program string
+	// PEs sizes the private system; 0 defaults to 4.
+	PEs int
+	// Sizes binds the nest's size parameters in order; nil defaults
+	// every dimension to 8.
+	Sizes []int
+	// Seed seeds the generated input data.
+	Seed int64
+}
+
+// Kind implements Work.
+func (w GenRun) Kind() string { return "navpgen" }
+
+// Run implements Work.
+func (w GenRun) Run(rt *Runtime) (any, error) {
+	p, ok := genrun.Lookup(w.Program)
+	if !ok {
+		return nil, fmt.Errorf("sched: navpgen work: no generated program %q (have %d registered)",
+			w.Program, len(genrun.Programs()))
+	}
+	pes := w.PEs
+	if pes <= 0 {
+		pes = 4
+	}
+	sizes := w.Sizes
+	if sizes == nil {
+		sizes = make([]int, len(p.SizeParams))
+		for i := range sizes {
+			sizes[i] = 8
+		}
+	}
+	sys := navp.NewSim(navp.DefaultConfig(), machine.SunBlade100(), pes)
+	if err := p.Run(sys, pes, sizes, w.Seed); err != nil {
+		return nil, fmt.Errorf("sched: navpgen %s: %w", w.Program, err)
+	}
+	return map[string]any{
+		"program":  w.Program,
+		"variant":  p.Variant.String(),
+		"pes":      pes,
+		"makespan": sys.VirtualTime(),
+	}, nil
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen/genrun"
+)
+
+// TestGenRunWork submits every registered navpgen program as a
+// scheduler job: each runs on its private simulated cluster, the
+// generated oracle comparison passes, and the result carries the
+// schedule's makespan.
+func TestGenRunWork(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	progs := genrun.Programs()
+	if len(progs) == 0 {
+		t.Fatal("generated-program registry is empty; blank import missing?")
+	}
+	ids := make(map[uint64]string, len(progs))
+	for _, p := range progs {
+		id, err := s.Submit(Spec{Work: GenRun{Program: p.Name(), PEs: 3, Seed: 11}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[id] = p.Name()
+	}
+	for id, name := range ids {
+		st := waitTerminal(t, s, id)
+		if st.State != "done" {
+			t.Fatalf("%s: state %s (%s)", name, st.State, st.Error)
+		}
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m, ok := res.(map[string]any)
+		if !ok {
+			t.Fatalf("%s: result %T, want map", name, res)
+		}
+		if m["program"] != name || m["pes"] != 3 {
+			t.Errorf("%s: result %v", name, m)
+		}
+		if mk, ok := m["makespan"].(float64); !ok || mk <= 0 {
+			t.Errorf("%s: makespan %v, want positive", name, m["makespan"])
+		}
+	}
+}
+
+// TestGenRunWorkUnknownProgram pins the lookup failure path.
+func TestGenRunWorkUnknownProgram(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.Submit(Spec{Work: GenRun{Program: "NoSuch/dsc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != "failed" {
+		t.Fatalf("state %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "no generated program") {
+		t.Errorf("error %q does not name the missing program", st.Error)
+	}
+	if (GenRun{}).Kind() != "navpgen" {
+		t.Error("Kind() != navpgen")
+	}
+}
